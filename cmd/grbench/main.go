@@ -1,0 +1,39 @@
+// Command grbench regenerates the paper's tables and figures (see DESIGN.md
+// §5 for the experiment index and EXPERIMENTS.md for recorded runs).
+//
+// Usage:
+//
+//	grbench -exp all
+//	grbench -exp fig4a -pokec-nodes 50000 -pokec-deg 15
+//	grbench -exp tableIIb
+//	grbench -exp fig4d -skip-baselines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"grminer/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(append(bench.Names, "all"), " | "))
+	flag.IntVar(&cfg.PokecNodes, "pokec-nodes", cfg.PokecNodes, "Pokec-like node count")
+	flag.Float64Var(&cfg.PokecDeg, "pokec-deg", cfg.PokecDeg, "Pokec-like average out-degree")
+	flag.IntVar(&cfg.DBLPAuthors, "dblp-authors", cfg.DBLPAuthors, "DBLP-like author count")
+	flag.IntVar(&cfg.DBLPPairs, "dblp-pairs", cfg.DBLPPairs, "DBLP-like collaboration pairs")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.IntVar(&cfg.MinSupp, "minsupp", cfg.MinSupp, "default absolute minSupp for sweeps")
+	flag.Float64Var(&cfg.MinNhp, "minnhp", cfg.MinNhp, "default minNhp for sweeps")
+	flag.IntVar(&cfg.K, "k", cfg.K, "default top-k for sweeps")
+	flag.BoolVar(&cfg.SkipBaselines, "skip-baselines", cfg.SkipBaselines, "omit BL1/BL2 from figure sweeps")
+	flag.Parse()
+
+	if err := bench.Run(*exp, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "grbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grminer"
+)
+
+func TestLoadGraphBuiltins(t *testing.T) {
+	toy, err := loadGraph("toy", "", "", "", 0, 0, 1)
+	if err != nil || toy.NumNodes() != 14 {
+		t.Fatalf("toy: %v", err)
+	}
+	pokec, err := loadGraph("pokec", "", "", "", 500, 4, 1)
+	if err != nil || pokec.NumNodes() != 500 || pokec.NumEdges() != 2000 {
+		t.Fatalf("pokec: %v (%d nodes %d edges)", err, pokec.NumNodes(), pokec.NumEdges())
+	}
+	if _, err := loadGraph("nope", "", "", "", 0, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := loadGraph("", "", "", "", 0, 0, 1); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestLoadGraphFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := grminer.ToyDating()
+	sp := filepath.Join(dir, "s.txt")
+	np := filepath.Join(dir, "n.tsv")
+	ep := filepath.Join(dir, "e.tsv")
+	if err := grminer.SaveFiles(g, sp, np, ep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadGraph("", sp, np, ep, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 30 {
+		t.Errorf("loaded %d edges", got.NumEdges())
+	}
+}
+
+func TestWriteResults(t *testing.T) {
+	g := grminer.ToyDating()
+	res, err := grminer.Mine(g, grminer.Options{MinSupp: 2, MinScore: 0.9, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tsv := filepath.Join(dir, "out.tsv")
+	if err := writeResults(res, g, tsv, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "rank\tgr\t") {
+		t.Errorf("tsv content: %q", string(data[:20]))
+	}
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := writeResults(res, g, jsonPath, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeResults(res, g, filepath.Join(dir, "x"), "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Collaboration: the Section VI-C study on the DBLP-like co-authorship
+// network — edge attributes (collaboration strength), the D1/D3/D5
+// productivity findings, and the D2 cross-area finding, plus the lift
+// metric's handling of popularity skew (Section VII).
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grminer"
+)
+
+func main() {
+	g := grminer.DBLP(grminer.DefaultDBLPConfig())
+	schema := g.Schema()
+	fmt.Printf("DBLP-like network: %d authors, %d directed co-author edges\n\n", g.NumNodes(), g.NumEdges())
+
+	// Step 1 — the paper's Table IIb run: minSupp = 0.1% |E|, minNhp = 50%,
+	// k = 20.
+	minSupp := g.NumEdges() / 1000
+	res, err := grminer.Mine(g, grminer.Options{
+		MinSupp: minSupp, MinScore: 0.5, K: 20, DynamicFloor: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top GRs by nhp (minSupp=%d, minNhp=50%%):\n", minSupp)
+	for i, s := range res.TopK {
+		if i == 6 {
+			break
+		}
+		fmt.Printf("  %d. %-50s nhp=%5.1f%% supp=%-6d conf=%5.1f%%\n",
+			i+1, s.GR.Format(schema), 100*s.Score, s.Supp, 100*s.Conf)
+	}
+
+	wb := grminer.NewWorkbench(g)
+
+	// Step 2 — the D1/D3 sanity check: the Poor-productivity findings are
+	// explained by the population distribution (91%+ of authors are Poor —
+	// students co-authoring with supervisors).
+	dist, err := wb.NodeDistribution(1) // P
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, c := range dist {
+		total += c
+	}
+	fmt.Printf("\nproductivity distribution: Poor=%.1f%% of authors (the paper reports 91.18%%),\n",
+		100*float64(dist[1])/float64(total))
+	fmt.Println("so D1-style GRs toward (P:Poor) reflect skew, not preference.")
+
+	// Step 3 — the D2 study with an edge descriptor: database authors who
+	// collaborate *often* outside their area go to data mining.
+	fmt.Println("\ncross-area collaboration (the paper's D2):")
+	for _, q := range []string{
+		"(A:DB) -[S:often]-> (A:DM)",
+		"(A:DB) -> (A:DM)",
+		"(A:AI) -[S:often]-> (A:DM)",
+		"(A:IR) -[S:often]-> (A:DM)",
+	} {
+		rep, err := wb.QueryText(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("   ", rep.String(schema))
+	}
+	areaDist, err := wb.NodeDistribution(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    area sizes: DB=%d DM=%d AI=%d IR=%d — DM is the smallest,\n",
+		areaDist[1], areaDist[2], areaDist[3], areaDist[4])
+	fmt.Println("    so the preference toward DM is genuine, not population skew.")
+
+	// Step 4 — Section VII: re-rank under lift, which demotes the
+	// popularity-skew GRs that nhp and conf both rank highly.
+	lifted, err := grminer.Mine(g, grminer.Options{
+		MinSupp: minSupp, MinScore: 1.5, K: 5, Metric: grminer.LiftMetric,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop GRs by lift (skew-corrected, Section VII):")
+	for i, s := range lifted.TopK {
+		fmt.Printf("  %d. %-50s lift=%5.2f supp=%d\n", i+1, s.GR.Format(schema), s.Score, s.Supp)
+	}
+}

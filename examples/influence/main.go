@@ -1,0 +1,111 @@
+// Influence: using mined GRs as the influence matrix of a class-propagation
+// task (the application Section II of the paper highlights: "GRs capture a
+// more general type of influences between sub-populations ... [and] can
+// serve as the assumed influence matrix").
+//
+// On the DBLP-like network we hide 30% of the authors' research areas,
+// derive the area-compatibility matrix from the network (homophily bonds on
+// the diagonal, mined secondary bonds such as DB->DM off-diagonal), and
+// recover the hidden areas by linearized belief propagation.
+//
+// Run with: go run ./examples/influence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"grminer"
+)
+
+const areaAttr = 0 // A in the DBLP schema
+
+func main() {
+	cfg := grminer.DefaultDBLPConfig()
+	cfg.Authors = 6000
+	cfg.Pairs = 9000
+	g := grminer.DBLP(cfg)
+	schema := g.Schema()
+	fmt.Printf("DBLP-like network: %d authors, %d directed co-author edges\n\n", g.NumNodes(), g.NumEdges())
+
+	// Step 1 — derive the influence matrix from the data: diagonal entries
+	// are the homophily bonds' confidence, off-diagonal the secondary
+	// bonds' nhp (exactly the quantities GRMiner ranks by).
+	influence, err := grminer.InfluenceMatrix(g, areaAttr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	area := schema.Node[areaAttr]
+	fmt.Println("GR-derived influence matrix (rows: source area, cols: destination area):")
+	fmt.Printf("        ")
+	for j := 1; j <= area.Domain; j++ {
+		fmt.Printf("%8s", area.Label(grminer.Value(j)))
+	}
+	fmt.Println()
+	for i := 1; i <= area.Domain; i++ {
+		fmt.Printf("  %-6s", area.Label(grminer.Value(i)))
+		for j := 0; j < area.Domain; j++ {
+			fmt.Printf("%8.3f", influence[i-1][j])
+		}
+		fmt.Println()
+	}
+	fmt.Println("note the strong diagonal (homophily) and the DB→DM secondary bond.")
+
+	// Step 2 — hide 30% of the areas and rebuild the graph with nulls.
+	r := rand.New(rand.NewSource(99))
+	truth := make([]grminer.Value, g.NumNodes())
+	hidden := make([]bool, g.NumNodes())
+	masked, err := grminer.NewGraph(schema, g.NumNodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nHidden := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		truth[v] = g.NodeValue(v, areaAttr)
+		prod := g.NodeValue(v, 1)
+		if r.Float64() < 0.3 {
+			hidden[v] = true
+			nHidden++
+			if err := masked.SetNodeValues(v, grminer.Null, prod); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if err := masked.SetNodeValues(v, truth[v], prod); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if _, err := masked.AddEdge(g.Src(e), g.Dst(e), g.EdgeValues(e)...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Step 3 — propagate and score.
+	res, err := grminer.Propagate(masked, influence, grminer.PropagateConfig{Attr: areaAttr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := res.Accuracy(truth, hidden)
+	fmt.Printf("\nhidden %d of %d areas; propagation converged=%v after %d sweeps\n",
+		nHidden, g.NumNodes(), res.Converged, res.Iterations)
+	fmt.Printf("recovered hidden areas with accuracy %.1f%% (chance: 25%%)\n", 100*acc)
+
+	// Show a few predictions.
+	fmt.Println("\nsample predictions:")
+	shown := 0
+	for v := 0; v < g.NumNodes() && shown < 5; v++ {
+		if !hidden[v] {
+			continue
+		}
+		pred := res.Predict(v)
+		mark := "✓"
+		if pred != truth[v] {
+			mark = "✗"
+		}
+		fmt.Printf("  author %-5d predicted %-3s truth %-3s %s\n",
+			v, area.Label(pred), area.Label(truth[v]), mark)
+		shown++
+	}
+}

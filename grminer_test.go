@@ -1,0 +1,124 @@
+package grminer_test
+
+import (
+	"strings"
+	"testing"
+
+	"grminer"
+)
+
+// The facade must support the full quickstart flow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	g := grminer.ToyDating()
+	res, err := grminer.Mine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) == 0 {
+		t.Fatal("no GRs found on the toy network")
+	}
+	for _, s := range res.TopK {
+		if s.Score < 0.5 || s.Supp < 2 {
+			t.Errorf("threshold violated: %+v", s)
+		}
+		if !strings.Contains(s.GR.Format(g.Schema()), "->") {
+			t.Errorf("Format output malformed: %q", s.GR.Format(g.Schema()))
+		}
+	}
+}
+
+func TestFacadeStoreReuse(t *testing.T) {
+	g := grminer.ToyDating()
+	st := grminer.BuildStore(g)
+	a, err := grminer.MineStore(st, grminer.Options{MinSupp: 2, MinScore: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := grminer.Mine(g, grminer.Options{MinSupp: 2, MinScore: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.TopK) != len(b.TopK) {
+		t.Errorf("store reuse changed results: %d vs %d", len(a.TopK), len(b.TopK))
+	}
+}
+
+func TestFacadeParseAndWorkbench(t *testing.T) {
+	g := grminer.ToyDating()
+	w := grminer.NewWorkbench(g)
+	rep, err := w.QueryText("(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nhp != 1.0 {
+		t.Errorf("GR4 nhp = %v", rep.Nhp)
+	}
+	r, err := grminer.ParseGR(g.Schema(), "(SEX:M) -> (SEX:F, RACE:Asian)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := grminer.EvalGR(g, r); c.LWR != 7 || c.LW != 14 {
+		t.Errorf("GR1 counts = %+v", c)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if len(grminer.AllMetrics()) != 7 {
+		t.Errorf("expected 7 builtin metrics, got %d", len(grminer.AllMetrics()))
+	}
+	m, err := grminer.MetricByName("lift")
+	if err != nil || m.Name != "lift" {
+		t.Errorf("MetricByName(lift): %v", err)
+	}
+	if _, err := grminer.MetricByName("bogus"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestFacadeGeneratorsAndBaselines(t *testing.T) {
+	cfg := grminer.DefaultDBLPConfig()
+	cfg.Authors = 800
+	cfg.Pairs = 1200
+	g := grminer.DBLP(cfg)
+
+	miner, err := grminer.Mine(g, grminer.Options{MinSupp: 5, MinScore: 0.5, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := grminer.BL2(g, grminer.BaselineOptions{MinSupp: 5, MinScore: 0.5, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miner.TopK) != len(bl.TopK) {
+		t.Fatalf("miner and baseline disagree: %d vs %d", len(miner.TopK), len(bl.TopK))
+	}
+	for i := range miner.TopK {
+		if miner.TopK[i].GR.Key() != bl.TopK[i].GR.Key() {
+			t.Fatalf("rank %d differs: %s vs %s", i, miner.TopK[i].GR.Key(), bl.TopK[i].GR.Key())
+		}
+	}
+
+	conf, err := grminer.ConfMiner(g, 5, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conf.TopK) == 0 {
+		t.Error("ConfMiner found nothing on a homophilous graph")
+	}
+}
+
+func TestFacadeFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := grminer.ToyDating()
+	sp, np, ep := dir+"/s.txt", dir+"/n.tsv", dir+"/e.tsv"
+	if err := grminer.SaveFiles(g, sp, np, ep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := grminer.LoadFiles(sp, np, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Error("file round trip lost data")
+	}
+}

@@ -1,0 +1,255 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"grminer/internal/buc"
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+	"grminer/internal/topk"
+)
+
+// Apriori is the paper's first strawman (Section IV, first paragraph):
+// "apply regular Apriori-like algorithms such as [5] to find frequent sets
+// l ∧ w and l ∧ w ∧ r above the minSupp threshold and then construct GRs in
+// a post-processing step using the minNhp threshold."
+//
+// It mines the single-table relation level-wise: candidate k-condition sets
+// are joined from frequent (k-1)-sets, pruned by the subset property, and
+// counted against the table in one pass per level — the classic algorithm,
+// with none of GRMiner's structure. The paper dismisses it because "there
+// are too many frequent sets when minNhp is small" and the flat table
+// replicates node attributes per edge; this implementation exists to make
+// that comparison runnable.
+func Apriori(g *graph.Graph, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Metric.Score == nil {
+		opt.Metric = metrics.NhpMetric
+	}
+	if opt.MinSupp < 1 {
+		opt.MinSupp = 1
+	}
+	schema := g.Schema()
+	t := flatTable{t: store.Flatten(g), schema: schema}
+	cols := t.Cols()
+
+	// Level 1: count every single (column, value) condition.
+	counts := make(map[string]int)
+	var frequent [][]buc.Cond // current level's frequent itemsets
+	level1 := make(map[buc.Cond]int)
+	rows := int32(t.Rows())
+	for row := int32(0); row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			v := t.Value(row, col)
+			if v == graph.Null {
+				continue
+			}
+			level1[buc.Cond{Col: col, Val: v}]++
+		}
+	}
+	for cond, n := range level1 {
+		if n >= opt.MinSupp {
+			set := []buc.Cond{cond}
+			frequent = append(frequent, set)
+			counts[buc.Key(set)] = n
+		}
+	}
+	sortCondSets(frequent)
+	var allFrequent [][]buc.Cond
+	allFrequent = append(allFrequent, frequent...)
+
+	// Levels 2..cols: join, prune, count.
+	partitions := int64(len(level1))
+	for level := 2; level <= cols && len(frequent) > 0; level++ {
+		candidates := joinLevel(frequent, counts)
+		if len(candidates) == 0 {
+			break
+		}
+		// One pass over the table counts all candidates of this level.
+		candCounts := make([]int, len(candidates))
+		for row := int32(0); row < rows; row++ {
+			for i, cand := range candidates {
+				match := true
+				for _, c := range cand {
+					if t.Value(row, c.Col) != c.Val {
+						match = false
+						break
+					}
+				}
+				if match {
+					candCounts[i]++
+				}
+			}
+		}
+		partitions += int64(len(candidates))
+		frequent = frequent[:0]
+		for i, cand := range candidates {
+			if candCounts[i] >= opt.MinSupp {
+				frequent = append(frequent, cand)
+				counts[buc.Key(cand)] = candCounts[i]
+			}
+		}
+		sortCondSets(frequent)
+		allFrequent = append(allFrequent, frequent...)
+	}
+
+	// Post-processing: exactly the BL pipeline — build GRs from frequent
+	// sets, score, filter, rank.
+	res := postProcessFrequent(t, schema, allFrequent, counts, opt)
+	res.Partitions = partitions
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// joinLevel produces level-(k+1) candidates from sorted frequent k-sets by
+// the classic prefix join, with subset pruning against the frequent map.
+func joinLevel(frequent [][]buc.Cond, counts map[string]int) [][]buc.Cond {
+	var out [][]buc.Cond
+	for i := 0; i < len(frequent); i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			a, b := frequent[i], frequent[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				break // sorted order: no further joins for i
+			}
+			if a[k-1].Col >= b[k-1].Col {
+				continue // same column twice (different values) never matches
+			}
+			cand := append(append([]buc.Cond(nil), a...), b[k-1])
+			if allSubsetsFrequent(cand, counts) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []buc.Cond, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent checks the Apriori property for the (k-1)-subsets.
+func allSubsetsFrequent(cand []buc.Cond, counts map[string]int) bool {
+	sub := make([]buc.Cond, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, c := range cand {
+			if i != skip {
+				sub = append(sub, c)
+			}
+		}
+		if _, ok := counts[buc.Key(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sortCondSets(sets [][]buc.Cond) {
+	sort.Slice(sets, func(i, j int) bool { return lessCondSet(sets[i], sets[j]) })
+}
+
+// lessCondSet orders condition sets element-wise by (column, value) — the
+// numeric order the prefix join requires (string keys would sort column 10
+// before column 2).
+func lessCondSet(a, b []buc.Cond) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k].Col != b[k].Col {
+			return a[k].Col < b[k].Col
+		}
+		if a[k].Val != b[k].Val {
+			return a[k].Val < b[k].Val
+		}
+	}
+	return len(a) < len(b)
+}
+
+// postProcessFrequent reconstructs GRs from frequent condition sets and
+// applies the metric, generality, and top-k stages (shared semantics with
+// mineCube, over a map of counts instead of an iceberg cube).
+func postProcessFrequent(t buc.Table, schema *graph.Schema, sets [][]buc.Cond, counts map[string]int, opt Options) *Result {
+	nv, ne := len(schema.Node), len(schema.Edge)
+	totalE := t.Rows()
+
+	cells := make([]buc.Cell, 0, len(sets))
+	for _, set := range sets {
+		cells = append(cells, buc.Cell{Conds: set, Count: counts[buc.Key(set)]})
+	}
+	buc.SortCells(cells)
+
+	list := topk.New(opt.K)
+	blockers := make(map[string][]lwPair)
+	homCache := make(map[string]int)
+	for _, cell := range cells {
+		g, ok := splitCell(cell.Conds, nv, ne)
+		if !ok {
+			continue
+		}
+		if !opt.IncludeTrivial && g.Trivial(schema) {
+			continue
+		}
+		c := metrics.Counts{LWR: cell.Count, E: totalE}
+		lwConds := lwOnly(cell.Conds, nv, ne)
+		if len(lwConds) == 0 {
+			c.LW = totalE // the empty condition set covers every edge
+		} else {
+			// supp(l ∧ w) ≥ supp(l ∧ w ∧ r) ≥ minSupp, so the set is frequent.
+			c.LW = counts[buc.Key(lwConds)]
+		}
+		if opt.Metric.NeedsHom {
+			if eff, hasBeta := g.HomophilyEffect(schema); hasBeta {
+				effConds := append(append([]buc.Cond(nil), lwConds...), rhsConds(eff.R, nv, ne)...)
+				key := buc.Key(effConds)
+				hom, seen := homCache[key]
+				if !seen {
+					var inSet bool
+					hom, inSet = counts[key]
+					if !inSet {
+						hom = buc.CountMatching(t, effConds)
+					}
+					homCache[key] = hom
+				}
+				c.Hom = hom
+			}
+		}
+		if opt.Metric.NeedsR {
+			rc := rhsConds(g.R, nv, ne)
+			if n, ok := counts[buc.Key(rc)]; ok {
+				c.R = n
+			} else {
+				c.R = buc.CountMatching(t, rc)
+			}
+		}
+		score := opt.Metric.Score(c)
+		if score < opt.MinScore {
+			continue
+		}
+		s := gr.Scored{GR: g, Supp: cell.Count, Score: score, Conf: metrics.Conf(c)}
+		if opt.NoGeneralityFilter {
+			list.Consider(s)
+			continue
+		}
+		key := g.RHSKey()
+		blocked := false
+		for _, b := range blockers[key] {
+			if b.l.SubsetOf(g.L) && b.w.SubsetOf(g.W) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		blockers[key] = append(blockers[key], lwPair{l: g.L, w: g.W})
+		list.Consider(s)
+	}
+	return &Result{TopK: list.Items(), CubeCells: len(cells)}
+}

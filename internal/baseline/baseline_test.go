@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"grminer/internal/core"
+	"grminer/internal/dataset"
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+)
+
+func randomGraph(seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "A", Domain: 3, Homophily: true},
+			{Name: "B", Domain: 2, Homophily: seed%2 == 0},
+		},
+		[]graph.Attribute{{Name: "W", Domain: 2}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	n := 6 + r.Intn(10)
+	g := graph.MustNew(schema, n)
+	for v := 0; v < n; v++ {
+		g.SetNodeValues(v, graph.Value(r.Intn(4)), graph.Value(r.Intn(3)))
+	}
+	for e := 0; e < 15+r.Intn(40); e++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3)))
+	}
+	return g
+}
+
+func sameResults(t *testing.T, label string, got, want []gr.Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vs %d results", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].GR.Key() != want[i].GR.Key() || got[i].Supp != want[i].Supp || got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d: got (%s, %d, %v) want (%s, %d, %v)", label, i,
+				got[i].GR.Key(), got[i].Supp, got[i].Score,
+				want[i].GR.Key(), want[i].Supp, want[i].Score)
+		}
+	}
+}
+
+// BL1 and BL2 mine the same relation through different layouts; their
+// results must be identical, and both must match GRMiner (the paper's
+// Theorem 4 asserts GRMiner is exact; the baselines are exact by
+// construction, pruning only on support).
+func TestBaselinesMatchMiner(t *testing.T) {
+	configs := []struct {
+		minSupp  int
+		minScore float64
+		k        int
+	}{
+		{1, 0.3, 0},
+		{2, 0.5, 0},
+		{2, 0.25, 5},
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		g := randomGraph(seed)
+		for _, cfg := range configs {
+			opt := Options{MinSupp: cfg.minSupp, MinScore: cfg.minScore, K: cfg.k}
+			bl1, err := BL1(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bl2, err := BL2(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "BL1 vs BL2", bl1.TopK, bl2.TopK)
+
+			miner, err := core.Mine(g, core.Options{
+				MinSupp: cfg.minSupp, MinScore: cfg.minScore, K: cfg.k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "BL1 vs GRMiner", bl1.TopK, miner.TopK)
+		}
+	}
+}
+
+func TestBaselineOnToy(t *testing.T) {
+	g := dataset.ToyDating()
+	opt := Options{MinSupp: 2, MinScore: 0.5}
+	bl1, err := BL1(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "toy", bl1.TopK, miner.TopK)
+	if bl1.CubeCells == 0 || bl1.Partitions == 0 {
+		t.Errorf("work counters empty: %+v", bl1)
+	}
+}
+
+// The baselines' defining inefficiency: they enumerate the full iceberg
+// regardless of minNhp, so a tighter score threshold must not shrink their
+// cube (Fig 4b's flat baseline curves).
+func TestBaselineIgnoresScoreThreshold(t *testing.T) {
+	g := randomGraph(3)
+	loose, err := BL2(g, Options{MinSupp: 2, MinScore: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := BL2(g, Options{MinSupp: 2, MinScore: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.CubeCells != tight.CubeCells || loose.Partitions != tight.Partitions {
+		t.Errorf("baseline work changed with minScore: %+v vs %+v", loose, tight)
+	}
+}
+
+// ConfMiner must equal the oracle run with the confidence metric and
+// trivial GRs admitted — the configuration of the Table II conf columns.
+func TestConfMinerMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(seed)
+		res, err := ConfMiner(g, 2, 0.4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Oracle(g, OracleOptions{
+			MinSupp: 2, MinScore: 0.4, K: 10,
+			Metric: metrics.ConfMetric, IncludeTrivial: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "conf", res.TopK, want)
+	}
+}
+
+// On a homophilous graph the conf ranking surfaces trivial GRs that the nhp
+// ranking excludes — the qualitative claim of Table II.
+func TestConfRankingSurfacesTrivialGRs(t *testing.T) {
+	schema, _ := graph.NewSchema(
+		[]graph.Attribute{{Name: "H", Domain: 3, Homophily: true}},
+		nil,
+	)
+	r := rand.New(rand.NewSource(42))
+	g := graph.MustNew(schema, 60)
+	for v := 0; v < 60; v++ {
+		g.SetNodeValues(v, graph.Value(v%3+1))
+	}
+	for e := 0; e < 400; e++ {
+		src := r.Intn(60)
+		var dst int
+		if r.Float64() < 0.8 { // strong homophily
+			dst = (src/3)*3 + src%3 // same class
+			dst = (dst + 3*r.Intn(20)) % 60
+		} else {
+			dst = r.Intn(60)
+		}
+		g.AddEdge(src, dst)
+	}
+	conf, err := ConfMiner(g, 5, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivialAtTop := 0
+	for _, s := range conf.TopK {
+		if s.GR.Trivial(schema) {
+			trivialAtTop++
+		}
+	}
+	if trivialAtTop == 0 {
+		t.Error("conf ranking found no trivial homophily GRs on a homophilous graph")
+	}
+	nhp, err := core.Mine(g, core.Options{MinSupp: 5, MinScore: 0.5, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range nhp.TopK {
+		if s.GR.Trivial(schema) {
+			t.Error("nhp ranking returned a trivial GR")
+		}
+	}
+}
+
+func TestOracleGuards(t *testing.T) {
+	// A schema too wide for exhaustive search must be refused.
+	attrs := make([]graph.Attribute, 10)
+	for i := range attrs {
+		attrs[i] = graph.Attribute{Name: string(rune('A' + i)), Domain: 9}
+	}
+	schema, _ := graph.NewSchema(attrs, nil)
+	g := graph.MustNew(schema, 2)
+	if _, err := Oracle(g, OracleOptions{MinSupp: 1}); err == nil {
+		t.Error("oracle accepted an exponential search space")
+	}
+}
+
+func TestBaselineIncludeTrivial(t *testing.T) {
+	g := dataset.ToyDating()
+	with, err := BL2(g, Options{MinSupp: 2, MinScore: 0.5, IncludeTrivial: true, Metric: metrics.ConfMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(g, OracleOptions{
+		MinSupp: 2, MinScore: 0.5, Metric: metrics.ConfMetric, IncludeTrivial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "include-trivial", with.TopK, want)
+}

@@ -1,0 +1,284 @@
+package baseline
+
+import (
+	"time"
+
+	"grminer/internal/buc"
+	"grminer/internal/core"
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+	"grminer/internal/topk"
+)
+
+// Options configures the BUC baselines. The fields mirror core.Options; the
+// baselines push only MinSupp into the search (Section VI-D: "Both baselines
+// prune the search space using the anti-monotonicity of support, but not
+// minNhp, and find the top-k GRs in a post-processing step").
+type Options struct {
+	MinSupp            int
+	MinScore           float64
+	K                  int
+	Metric             metrics.Metric
+	IncludeTrivial     bool
+	NoGeneralityFilter bool
+}
+
+// Result is a completed baseline run.
+type Result struct {
+	// TopK lists the retained GRs, best first.
+	TopK []gr.Scored
+	// CubeCells is the number of iceberg cells the BUC pass produced — the
+	// frequent-set explosion the paper blames for baseline slowness.
+	CubeCells int
+	// Partitions counts counting-sort invocations.
+	Partitions int64
+	// Duration is the wall-clock time including post-processing.
+	Duration time.Duration
+}
+
+// flatTable adapts the single-table layout (BL1).
+type flatTable struct {
+	t      *store.FlatTable
+	schema *graph.Schema
+}
+
+func (f flatTable) Rows() int { return f.t.Rows }
+func (f flatTable) Cols() int { return f.t.Width }
+func (f flatTable) Domain(col int) int {
+	nv, ne := f.t.NodeAttrs, f.t.EdgeAttrs
+	switch {
+	case col < nv:
+		return f.schema.Node[col].Domain
+	case col < nv+ne:
+		return f.schema.Edge[col-nv].Domain
+	default:
+		return f.schema.Node[col-nv-ne].Domain
+	}
+}
+func (f flatTable) Value(row int32, col int) graph.Value { return f.t.Value(row, col) }
+
+// threeArrayTable adapts the compact store (BL2): the same logical relation,
+// but node attributes are fetched through the LArray/RArray indirection
+// instead of being replicated per edge.
+type threeArrayTable struct {
+	st     *store.Store
+	schema *graph.Schema
+}
+
+func (t threeArrayTable) Rows() int { return t.st.NumEdges() }
+func (t threeArrayTable) Cols() int {
+	return 2*len(t.schema.Node) + len(t.schema.Edge)
+}
+func (t threeArrayTable) Domain(col int) int {
+	nv, ne := len(t.schema.Node), len(t.schema.Edge)
+	switch {
+	case col < nv:
+		return t.schema.Node[col].Domain
+	case col < nv+ne:
+		return t.schema.Edge[col-nv].Domain
+	default:
+		return t.schema.Node[col-nv-ne].Domain
+	}
+}
+func (t threeArrayTable) Value(row int32, col int) graph.Value {
+	nv, ne := len(t.schema.Node), len(t.schema.Edge)
+	switch {
+	case col < nv:
+		return t.st.LVal(row, col)
+	case col < nv+ne:
+		return t.st.EVal(row, col-nv)
+	default:
+		return t.st.RVal(row, col-nv-ne)
+	}
+}
+
+// BL1 mines top-k GRs by running BUC over the materialised single table and
+// reconstructing GRs in post-processing.
+func BL1(g *graph.Graph, opt Options) (*Result, error) {
+	start := time.Now()
+	t := flatTable{t: store.Flatten(g), schema: g.Schema()}
+	res, err := mineCube(t, g.Schema(), opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// BL2 is BL1 over the three-array representation: identical enumeration and
+// results, without the |E|×2×#AttrV table blow-up.
+func BL2(g *graph.Graph, opt Options) (*Result, error) {
+	start := time.Now()
+	t := threeArrayTable{st: store.Build(g), schema: g.Schema()}
+	res, err := mineCube(t, g.Schema(), opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// BL2Store is BL2 over a pre-built store (excludes store construction from
+// the measured time, for harness runs that reuse one store).
+func BL2Store(st *store.Store, opt Options) (*Result, error) {
+	start := time.Now()
+	t := threeArrayTable{st: st, schema: st.Graph().Schema()}
+	res, err := mineCube(t, st.Graph().Schema(), opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// mineCube is the shared pipeline: iceberg cube, then GR reconstruction,
+// scoring, redundancy filtering, and ranking.
+func mineCube(t buc.Table, schema *graph.Schema, opt Options) (*Result, error) {
+	if opt.Metric.Score == nil {
+		opt.Metric = metrics.NhpMetric
+	}
+	if opt.MinSupp < 1 {
+		opt.MinSupp = 1
+	}
+	cube, err := buc.Compute(t, opt.MinSupp)
+	if err != nil {
+		return nil, err
+	}
+	nv, ne := len(schema.Node), len(schema.Edge)
+	totalE := t.Rows()
+
+	// Process cells most-general-first so earlier candidates can block
+	// later specialisations, exactly as the miner does in-search.
+	buc.SortCells(cube.List)
+
+	list := topk.New(opt.K)
+	blockers := make(map[string][]lwPair)
+	homCache := make(map[string]int)
+
+	for _, cell := range cube.List {
+		g, ok := splitCell(cell.Conds, nv, ne)
+		if !ok {
+			continue // no RHS conditions: not a GR
+		}
+		if !opt.IncludeTrivial && g.Trivial(schema) {
+			continue
+		}
+		c := metrics.Counts{LWR: cell.Count, E: totalE}
+		lwConds := lwOnly(cell.Conds, nv, ne)
+		c.LW, _ = cube.Count(lwConds)
+		if opt.Metric.NeedsHom && !g.Trivial(schema) {
+			if eff, hasBeta := g.HomophilyEffect(schema); hasBeta {
+				effConds := append(append([]buc.Cond(nil), lwConds...), rhsConds(eff.R, nv, ne)...)
+				key := buc.Key(effConds)
+				hom, seen := homCache[key]
+				if !seen {
+					// The homophily-effect cell may be infrequent and hence
+					// absent from the iceberg; fall back to a direct count.
+					var inCube bool
+					hom, inCube = cube.Count(effConds)
+					if !inCube {
+						hom = buc.CountMatching(t, effConds)
+					}
+					homCache[key] = hom
+				}
+				c.Hom = hom
+			}
+		}
+		if opt.Metric.NeedsR {
+			c.R, _ = cube.Count(rhsConds(g.R, nv, ne))
+		}
+		score := opt.Metric.Score(c)
+		if score < opt.MinScore {
+			continue
+		}
+		s := gr.Scored{GR: g, Supp: cell.Count, Score: score, Conf: metrics.Conf(c)}
+		if opt.NoGeneralityFilter {
+			list.Consider(s)
+			continue
+		}
+		key := g.RHSKey()
+		blocked := false
+		for _, b := range blockers[key] {
+			if b.l.SubsetOf(g.L) && b.w.SubsetOf(g.W) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		blockers[key] = append(blockers[key], lwPair{l: g.L, w: g.W})
+		list.Consider(s)
+	}
+	return &Result{TopK: list.Items(), CubeCells: len(cube.List), Partitions: cube.Partitions}, nil
+}
+
+// lwPair mirrors the miner's blocker record.
+type lwPair struct {
+	l, w gr.Descriptor
+}
+
+// splitCell converts a cell's column conditions into a GR; ok is false when
+// the cell has no RHS condition.
+func splitCell(conds []buc.Cond, nv, ne int) (gr.GR, bool) {
+	var g gr.GR
+	for _, c := range conds {
+		switch {
+		case c.Col < nv:
+			g.L = g.L.With(c.Col, c.Val)
+		case c.Col < nv+ne:
+			g.W = g.W.With(c.Col-nv, c.Val)
+		default:
+			g.R = g.R.With(c.Col-nv-ne, c.Val)
+		}
+	}
+	return g, len(g.R) > 0
+}
+
+// lwOnly keeps the L and W columns of a condition list.
+func lwOnly(conds []buc.Cond, nv, ne int) []buc.Cond {
+	var out []buc.Cond
+	for _, c := range conds {
+		if c.Col < nv+ne {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// rhsConds maps a node descriptor to RHS columns.
+func rhsConds(d gr.Descriptor, nv, ne int) []buc.Cond {
+	out := make([]buc.Cond, len(d))
+	for i, c := range d {
+		out[i] = buc.Cond{Col: nv + ne + c.Attr, Val: c.Val}
+	}
+	return out
+}
+
+// ConfMiner is the straightforward confidence-threshold approach of Section
+// IV: mine with minConf and minSupp, keeping trivial GRs in the ranking (as
+// the Table II "ranked by conf" columns do). It reuses the SFDF engine with
+// the confidence metric, which is exactly "GRMiner with conf" — the point of
+// the comparison is the ranking, not the search strategy.
+func ConfMiner(g *graph.Graph, minSupp int, minConf float64, k int) (*core.Result, error) {
+	return core.Mine(g, core.Options{
+		MinSupp:        minSupp,
+		MinScore:       minConf,
+		K:              k,
+		Metric:         metrics.ConfMetric,
+		IncludeTrivial: true,
+	})
+}
+
+// ConfMinerStore is ConfMiner over a pre-built store.
+func ConfMinerStore(st *store.Store, minSupp int, minConf float64, k int) (*core.Result, error) {
+	return core.MineStore(st, core.Options{
+		MinSupp:        minSupp,
+		MinScore:       minConf,
+		K:              k,
+		Metric:         metrics.ConfMetric,
+		IncludeTrivial: true,
+	})
+}

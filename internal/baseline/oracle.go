@@ -1,0 +1,131 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation: the brute-force Definition-5 oracle used by tests, the two
+// BUC-style frequent-set baselines BL1 and BL2 of Section VI-D, and the
+// confidence-threshold miner used in the Table II interestingness study.
+package baseline
+
+import (
+	"fmt"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/topk"
+)
+
+// OracleOptions configures the exhaustive miner. The option set mirrors
+// core.Options where meaningful.
+type OracleOptions struct {
+	MinSupp  int
+	MinScore float64
+	K        int
+	Metric   metrics.Metric
+	MaxL     int
+	MaxW     int
+	MaxR     int
+	// NoGeneralityFilter disables Definition 5 condition (2).
+	NoGeneralityFilter bool
+	// IncludeTrivial also admits trivial GRs (mirrors core.Options).
+	IncludeTrivial bool
+}
+
+// Oracle computes the exact top-k GRs by enumerating every possible GR and
+// applying Definition 5 literally: condition (1) via full-scan supports,
+// condition (2) by pairwise generality comparison over the qualifying set,
+// and condition (3) by rank. Its cost is exponential in the schema size; it
+// exists to validate the real miners on small inputs.
+func Oracle(g *graph.Graph, opt OracleOptions) ([]gr.Scored, error) {
+	if opt.Metric.Score == nil {
+		opt.Metric = metrics.NhpMetric
+	}
+	if opt.MinSupp < 1 {
+		opt.MinSupp = 1
+	}
+	schema := g.Schema()
+	work := estimateOracleWork(schema, opt)
+	if work > 5e7 {
+		return nil, fmt.Errorf("baseline: oracle search space ~%g too large; use the real miner", work)
+	}
+
+	var qualifying []gr.Scored
+	forEachDescriptor(schema.Node, opt.MaxL, nil, func(l gr.Descriptor) {
+		forEachDescriptor(schema.Edge, opt.MaxW, nil, func(w gr.Descriptor) {
+			forEachDescriptor(schema.Node, opt.MaxR, nil, func(r gr.Descriptor) {
+				if len(r) == 0 {
+					return
+				}
+				cand := gr.GR{L: l.Clone(), W: w.Clone(), R: r.Clone()}
+				if !opt.IncludeTrivial && cand.Trivial(schema) {
+					return
+				}
+				c := metrics.Eval(g, cand)
+				if c.LWR < opt.MinSupp {
+					return
+				}
+				score := opt.Metric.Score(c)
+				if score < opt.MinScore {
+					return
+				}
+				qualifying = append(qualifying, gr.Scored{
+					GR: cand, Supp: c.LWR, Score: score, Conf: metrics.Conf(c),
+				})
+			})
+		})
+	})
+
+	list := topk.New(opt.K)
+	for i := range qualifying {
+		if !opt.NoGeneralityFilter && blockedBy(qualifying, i) {
+			continue
+		}
+		list.Consider(qualifying[i])
+	}
+	return list.Items(), nil
+}
+
+// blockedBy reports whether qualifying[i] has a strictly more general GR in
+// the qualifying set (Definition 5 condition 2).
+func blockedBy(qualifying []gr.Scored, i int) bool {
+	for j := range qualifying {
+		if j == i {
+			continue
+		}
+		if gr.StrictlyMoreGeneral(qualifying[j].GR, qualifying[i].GR) {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachDescriptor enumerates every descriptor over attrs with at most max
+// conditions (max == 0: unlimited), including the empty descriptor.
+func forEachDescriptor(attrs []graph.Attribute, max int, prefix gr.Descriptor, emit func(gr.Descriptor)) {
+	var rec func(attr int, d gr.Descriptor)
+	rec = func(attr int, d gr.Descriptor) {
+		if attr == len(attrs) {
+			emit(d)
+			return
+		}
+		rec(attr+1, d) // leave attr unconstrained
+		if max > 0 && len(d) >= max {
+			return
+		}
+		for v := 1; v <= attrs[attr].Domain; v++ {
+			rec(attr+1, d.With(attr, graph.Value(v)))
+		}
+	}
+	rec(0, prefix)
+}
+
+// estimateOracleWork bounds the number of GRs the oracle would touch.
+func estimateOracleWork(s *graph.Schema, opt OracleOptions) float64 {
+	count := func(attrs []graph.Attribute) float64 {
+		prod := 1.0
+		for i := range attrs {
+			prod *= float64(attrs[i].Domain + 1)
+		}
+		return prod
+	}
+	n := count(s.Node)
+	return n * n * count(s.Edge)
+}

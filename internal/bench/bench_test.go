@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PokecNodes = 1500
+	cfg.PokecDeg = 8
+	cfg.DBLPAuthors = 2000
+	cfg.DBLPPairs = 2500
+	cfg.MinSupp = 20
+	cfg.K = 20
+	return cfg
+}
+
+func TestToyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Toy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The report must carry the paper's exact toy numbers.
+	for _, want := range []string{
+		"supp= 7/30", "conf= 50.0%", // GR1
+		"supp= 0/30",  // GR2
+		"conf= 66.7%", // GR3
+		"nhp=100.0%",  // GR4
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("toy report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	cfg := tinyConfig()
+	for _, name := range Names {
+		var buf bytes.Buffer
+		if err := Run(name, &buf, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, tinyConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableIIaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := TableIIa(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Ranked by nhp") || !strings.Contains(out, "Ranked by conf") {
+		t.Fatalf("Table IIa output malformed:\n%s", out)
+	}
+	// The conf ranking must surface trivial homophily GRs on this
+	// homophilous network; the nhp ranking must not.
+	if !strings.Contains(out, "[trivial]") {
+		t.Errorf("conf ranking shows no trivial GRs:\n%s", out)
+	}
+}
+
+func TestStoreSizeReport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	if err := StoreSize(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "smaller") {
+		t.Errorf("storesize report: %s", buf.String())
+	}
+}

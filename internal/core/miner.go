@@ -1,0 +1,643 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"grminer/internal/csort"
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+	"grminer/internal/topk"
+)
+
+// Options configures a mining run (Definition 5 plus engineering knobs).
+type Options struct {
+	// MinSupp is the absolute support threshold (edge count, ≥ 1).
+	MinSupp int
+	// MinScore is the threshold on the ranking metric (the paper's minNhp).
+	MinScore float64
+	// K bounds the result list; 0 keeps every qualifying GR.
+	K int
+	// DynamicFloor enables the GRMiner(k) behaviour: once the top-k list is
+	// full, the pruning threshold is upgraded to the k-th best score
+	// (Algorithm 1, line 28). Requires K > 0 and an RHS-anti-monotone
+	// metric to have any effect.
+	DynamicFloor bool
+	// Metric is the ranking metric; the zero value selects non-homophily
+	// preference. Metrics without RHS anti-monotonicity (lift, conviction,
+	// Piatetsky-Shapiro) disable score-based pruning automatically and are
+	// ranked in post-processing, as Section VII prescribes.
+	Metric metrics.Metric
+	// MaxL, MaxW, MaxR cap descriptor sizes (0 = unlimited). Useful to
+	// bound pattern length on very wide schemas.
+	MaxL, MaxW, MaxR int
+	// NoGeneralityFilter disables Definition 5 condition (2); every GR that
+	// meets the thresholds then competes for the top-k directly.
+	NoGeneralityFilter bool
+	// IncludeTrivial also scores and reports trivial GRs. Definition 5
+	// excludes them, but the confidence-ranked study of Table II shows them
+	// on purpose (4 of Pokec's top-5 by conf are trivial homophily GRs);
+	// the ConfMiner baseline sets this. Subtrees under a trivial GR are
+	// score-pruned only for metrics that ignore the homophily effect
+	// (conf, laplace, gain); for nhp Remark 2 forbids it.
+	IncludeTrivial bool
+	// ExactGenerality restores exact Definition 5 semantics under
+	// DynamicFloor. The paper's dynamic threshold upgrade can prune a
+	// subtree containing a *generalisation* that satisfies the user's
+	// thresholds but not the upgraded floor; a later specialisation then
+	// escapes condition (2) because the blocker was never enumerated. With
+	// this option, candidates that pass the in-search blocker check are
+	// verified against all their generalisations by direct (memoised)
+	// support queries before entering the top-k. Costs extra scans; off by
+	// default to match the paper's GRMiner(k).
+	ExactGenerality bool
+	// StaticRHSOrder disables the dynamic tail ordering of Equation 8 (an
+	// ablation of the paper's key pruning enabler). The same GRs are found
+	// — subset-first enumeration still holds — but nhp loses its
+	// anti-monotonicity whenever β is empty (Remark 2), so the miner must
+	// withhold nhp pruning in exactly those states and examines strictly
+	// more GRs. `grbench -exp ablation` quantifies the cost.
+	StaticRHSOrder bool
+	// Parallelism > 1 mines first-level partitions on that many worker
+	// goroutines (see parallel.go for the decomposition and soundness
+	// argument). Results are deterministic and equal to the sequential
+	// run's: with a static floor the workers collect candidates that a
+	// final generality-ordered merge filters exactly; with DynamicFloor,
+	// ExactGenerality is enabled automatically so blocking is
+	// order-independent and the shared floor stays sound. 0 and 1 mean
+	// sequential.
+	Parallelism int
+}
+
+// normalize fills defaults and validates.
+func (o Options) normalize() (Options, error) {
+	if o.Metric.Score == nil {
+		o.Metric = metrics.NhpMetric
+	}
+	if o.MinSupp < 1 {
+		o.MinSupp = 1
+	}
+	if o.K < 0 {
+		return o, fmt.Errorf("core: negative K %d", o.K)
+	}
+	if o.DynamicFloor && o.K == 0 {
+		return o, fmt.Errorf("core: DynamicFloor requires K > 0")
+	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("core: negative Parallelism %d", o.Parallelism)
+	}
+	if o.Parallelism > 1 && o.DynamicFloor && !o.NoGeneralityFilter {
+		// Parallel dynamic-floor pruning needs order-independent blocking
+		// to stay sound and deterministic; see parallel.go.
+		o.ExactGenerality = true
+	}
+	return o, nil
+}
+
+// Stats reports the work a run performed.
+type Stats struct {
+	// PartitionCalls counts counting-sort invocations.
+	PartitionCalls int64
+	// Examined counts non-trivial GRs whose score was computed (the paper's
+	// "GRs examined"; Theorem 4(2) bounds which GRs ever get here).
+	Examined int64
+	// TrivialSeen counts trivial GR partitions traversed.
+	TrivialSeen int64
+	// PrunedSupp counts partitions cut by minSupp (Theorem 2(1)).
+	PrunedSupp int64
+	// PrunedScore counts subtrees cut by the score floor (Theorem 3).
+	PrunedScore int64
+	// Candidates counts non-trivial GRs meeting both thresholds.
+	Candidates int64
+	// Blocked counts candidates removed by the generality filter.
+	Blocked int64
+	// HomScans counts homophily-effect counting scans (cache misses).
+	HomScans int64
+	// Duration is the wall-clock mining time.
+	Duration time.Duration
+}
+
+// Result is a completed mining run.
+type Result struct {
+	// TopK lists the retained GRs, best first (Definition 5 rank).
+	TopK []gr.Scored
+	// Stats summarises the search.
+	Stats Stats
+	// Options echoes the normalized options used.
+	Options Options
+	// TotalEdges is |E| of the mined network (relative supports divide by
+	// this).
+	TotalEdges int
+}
+
+// Mine builds the compact store for g and runs GRMiner.
+func Mine(g *graph.Graph, opt Options) (*Result, error) {
+	return MineStore(store.Build(g), opt)
+}
+
+// MineStore runs GRMiner over a pre-built store (Algorithm 1). The store is
+// read-only during the run and may be reused across runs.
+func MineStore(st *store.Store, opt Options) (*Result, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(st.Graph().Schema().Node); n > 64 {
+		// betaMask packs node-attribute indices into a uint64.
+		return nil, fmt.Errorf("core: %d node attributes exceed the supported maximum of 64", n)
+	}
+	if opt.Parallelism > 1 {
+		return mineParallel(st, opt)
+	}
+	m := newMiner(st, opt)
+	start := time.Now()
+	m.run()
+	m.stats.Duration = time.Since(start)
+	res := &Result{TopK: m.top.Items(), Stats: m.stats, Options: opt, TotalEdges: st.NumEdges()}
+	return res, nil
+}
+
+// lwPair is a recorded blocker for the generality filter: the LHS and edge
+// descriptor of a GR that satisfied Definition 5 condition (1).
+type lwPair struct {
+	l, w gr.Descriptor
+}
+
+type miner struct {
+	st     *store.Store
+	schema *graph.Schema
+	opt    Options
+	metric metrics.Metric
+
+	part      *csort.Partitioner
+	buffers   [][]int32
+	groupBufs [][]csort.Group
+	top       *topk.List
+	// blockers maps an RHS key to the (L, W) pairs of threshold-satisfying
+	// GRs seen so far; SFDF's subset-first property guarantees every
+	// generalisation is recorded before its specialisations arrive.
+	blockers map[string][]lwPair
+	// rCounts caches |E(r)| per RHS key for metrics that need supp(r).
+	rCounts map[string]int
+	// qualCache memoises ExactGenerality verdicts per GR key.
+	qualCache map[string]bool
+
+	slOrder []int
+	swOrder []int
+	totalE  int
+	stats   Stats
+
+	// Parallel-worker state (nil in sequential mode): candidates are
+	// collected locally and merged after all workers finish; the shared
+	// state carries the dynamic floor. See parallel.go.
+	par       *parShared
+	collected []gr.Scored
+}
+
+func newMiner(st *store.Store, opt Options) *miner {
+	schema := st.Graph().Schema()
+	maxDomain := 1
+	for i := range schema.Node {
+		if schema.Node[i].Domain > maxDomain {
+			maxDomain = schema.Node[i].Domain
+		}
+	}
+	for i := range schema.Edge {
+		if schema.Edge[i].Domain > maxDomain {
+			maxDomain = schema.Edge[i].Domain
+		}
+	}
+	return &miner{
+		st:       st,
+		schema:   schema,
+		opt:      opt,
+		metric:   opt.Metric,
+		part:     csort.New(maxDomain),
+		top:      topk.New(opt.K),
+		blockers: make(map[string][]lwPair),
+		rCounts:  make(map[string]int),
+		slOrder:  lhsOrder(schema),
+		swOrder:  edgeOrder(schema),
+		totalE:   st.NumEdges(),
+	}
+}
+
+// buffer returns the scratch slice for the given recursion depth, sized to
+// hold n ids. Buffers persist across sibling partitions at the same depth:
+// a partition's groups are fully processed (including deeper recursion into
+// higher-depth buffers) before the next dimension reuses the slice.
+func (m *miner) buffer(depth, n int) []int32 {
+	for len(m.buffers) <= depth {
+		m.buffers = append(m.buffers, nil)
+	}
+	if cap(m.buffers[depth]) < n {
+		m.buffers[depth] = make([]int32, n)
+	}
+	return m.buffers[depth][:n]
+}
+
+// partition runs the counting sort and snapshots the group list into a
+// depth-scoped buffer: the Partitioner reuses its internal group slice, so
+// recursive Partition calls would otherwise clobber the groups a caller is
+// still iterating.
+func (m *miner) partition(depth int, data []int32, key func(int32) uint16, out []int32) []csort.Group {
+	m.stats.PartitionCalls++
+	groups := m.part.Partition(data, key, out)
+	for len(m.groupBufs) <= depth {
+		m.groupBufs = append(m.groupBufs, nil)
+	}
+	m.groupBufs[depth] = append(m.groupBufs[depth][:0], groups...)
+	return m.groupBufs[depth]
+}
+
+// run is Algorithm 1's Main: RIGHT, EDGE, LEFT over the full edge set.
+func (m *miner) run() {
+	if m.totalE == 0 {
+		return
+	}
+	all := m.st.AllEdges()
+	m.enterRight(all, 1, nil, nil)
+	m.edge(all, 1, nil, nil, len(m.swOrder))
+	m.left(all, 1, nil, len(m.slOrder))
+}
+
+// left is Algorithm 1's LEFT: extend the LHS descriptor by each node
+// attribute at a position below maxPos, then branch into RIGHT, EDGE, and
+// deeper LEFT on every surviving partition.
+func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
+	if m.opt.MaxL > 0 && len(lhs) >= m.opt.MaxL {
+		return
+	}
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := m.slOrder[pos]
+		groups := m.partition(depth, data, func(e int32) uint16 {
+			return uint16(m.st.LVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue // null never forms a descriptor
+			}
+			part := buf[grp.Lo:grp.Hi]
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.leftGroup(part, depth, lhs.With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+}
+
+// leftGroup processes one LHS partition: branch into RIGHT, EDGE, and
+// deeper LEFT (Algorithm 1, lines 12-14).
+func (m *miner) leftGroup(part []int32, depth int, lhs2 gr.Descriptor, pos int) {
+	m.enterRight(part, depth+1, lhs2, nil)
+	m.edge(part, depth+1, lhs2, nil, len(m.swOrder))
+	m.left(part, depth+1, lhs2, pos)
+}
+
+// edge is Algorithm 1's EDGE: extend the edge descriptor, then branch into
+// RIGHT and deeper EDGE.
+func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) {
+	if m.opt.MaxW > 0 && len(w) >= m.opt.MaxW {
+		return
+	}
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := m.swOrder[pos]
+		groups := m.partition(depth, data, func(e int32) uint16 {
+			return uint16(m.st.EVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue
+			}
+			part := buf[grp.Lo:grp.Hi]
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.edgeGroup(part, depth, lhs, w.With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+}
+
+// edgeGroup processes one edge-descriptor partition: branch into RIGHT and
+// deeper EDGE (Algorithm 1, lines 20-21).
+func (m *miner) edgeGroup(part []int32, depth int, lhs, w2 gr.Descriptor, pos int) {
+	m.enterRight(part, depth+1, lhs, w2)
+	m.edge(part, depth+1, lhs, w2, pos)
+}
+
+// rctx is the context of one RHS-expansion subtree: the base partition
+// E(l ∧ w) it hangs off, the fixed l and w, the dynamic RHS order for this
+// l, and the memoised homophily-effect supports (Section IV-D: every
+// supp(l -w-> l[β]) a descendant needs is countable from base).
+type rctx struct {
+	base     []int32
+	lhs, w   gr.Descriptor
+	sr       []int
+	homCache map[uint64]int
+}
+
+// enterRight opens an RHS-expansion subtree below the node for (lhs, w).
+func (m *miner) enterRight(base []int32, depth int, lhs, w gr.Descriptor) {
+	rc := &rctx{
+		base: base,
+		lhs:  lhs,
+		w:    w,
+	}
+	if m.opt.StaticRHSOrder {
+		rc.sr = staticRHSOrder(m.schema)
+	} else {
+		rc.sr = rhsOrder(m.schema, lhs.Has)
+	}
+	m.right(rc, base, depth, nil, len(rc.sr))
+}
+
+// right is Algorithm 1's RIGHT: extend the RHS descriptor, score the
+// resulting GRs, prune by supp (Theorem 2(1)) and — for anti-monotone
+// metrics — by the score floor (Theorem 3), and feed candidates through the
+// generality filter into the top-k list.
+func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxPos int) {
+	if m.opt.MaxR > 0 && len(rhs) >= m.opt.MaxR {
+		return
+	}
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := rc.sr[pos]
+		groups := m.partition(depth, data, func(e int32) uint16 {
+			return uint16(m.st.RVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue
+			}
+			part := buf[grp.Lo:grp.Hi]
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.rightGroup(rc, part, depth, rhs.With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+}
+
+// rightGroup scores one RHS partition and recurses (the body of Algorithm
+// 1, lines 25-29).
+func (m *miner) rightGroup(rc *rctx, part []int32, depth int, rhs2 gr.Descriptor, pos int) {
+	g := gr.GR{L: rc.lhs, W: rc.w, R: rhs2}
+
+	if g.Trivial(m.schema) {
+		// Under Definition 5 trivial GRs are never reported and —
+		// crucially — never score-pruned: extending a trivial RHS with a
+		// non-matching homophily value can *raise* nhp (Remark 2), so
+		// Theorem 3 does not license cutting this subtree. With
+		// IncludeTrivial (the Table II conf study) they are scored like
+		// any other GR; their β is empty so Hom stays 0, and pruning below
+		// them is allowed only for metrics that never read the homophily
+		// effect.
+		m.stats.TrivialSeen++
+		if m.opt.IncludeTrivial {
+			c := metrics.Counts{LWR: len(part), LW: len(rc.base), E: m.totalE}
+			if m.metric.NeedsR {
+				c.R = m.rCount(g)
+			}
+			score := m.metric.Score(c)
+			m.stats.Examined++
+			if score >= m.opt.MinScore {
+				m.stats.Candidates++
+				m.consider(gr.Scored{GR: g, Supp: len(part), Score: score, Conf: metrics.Conf(c)})
+			}
+			if m.metric.RHSAntiMonotone && !m.metric.NeedsHom && score < m.floor() {
+				m.stats.PrunedScore++
+				return
+			}
+		}
+		m.right(rc, part, depth+1, rhs2, pos)
+		return
+	}
+
+	c := metrics.Counts{LWR: len(part), LW: len(rc.base), E: m.totalE}
+	var mask uint64
+	if m.metric.NeedsHom {
+		if mask = m.betaMask(rc.lhs, rhs2); mask != 0 {
+			c.Hom = m.homEffect(rc, mask)
+		}
+	}
+	if m.metric.NeedsR {
+		c.R = m.rCount(g)
+	}
+	score := m.metric.Score(c)
+	m.stats.Examined++
+
+	// Candidates are recorded before any floor pruning so that every
+	// *examined* GR satisfying Definition 5 condition (1) becomes a
+	// generality blocker, even when the dynamic floor stops it from
+	// entering the top-k.
+	if score >= m.opt.MinScore {
+		m.stats.Candidates++
+		m.consider(gr.Scored{GR: g, Supp: len(part), Score: score, Conf: metrics.Conf(c)})
+	}
+	prunable := m.metric.RHSAntiMonotone
+	if m.opt.StaticRHSOrder && m.metric.NeedsHom && mask == 0 {
+		// Ablation mode: without the dynamic ordering, a homophily value
+		// conflicting with the LHS may still be appended below this node,
+		// flipping β to non-empty and possibly raising nhp (Remark 2) —
+		// the pruning Theorem 3 licenses is unavailable here.
+		prunable = false
+	}
+	if prunable && score < m.floor() {
+		// Theorem 3: every RHS extension of this non-trivial GR scores no
+		// higher; cut the subtree.
+		m.stats.PrunedScore++
+		return
+	}
+	m.right(rc, part, depth+1, rhs2, pos)
+}
+
+// floor returns the effective pruning threshold: the user's MinScore,
+// upgraded to the k-th best score under GRMiner(k) semantics. Parallel
+// workers read the shared floor, which only ever rises and never exceeds
+// the final k-th best score, so pruning with it is sound.
+func (m *miner) floor() float64 {
+	f := m.opt.MinScore
+	if m.opt.DynamicFloor {
+		if m.par != nil {
+			if fl, ok := m.par.floor(); ok && fl > f {
+				f = fl
+			}
+		} else if fl, ok := m.top.Floor(); ok && fl > f {
+			f = fl
+		}
+	}
+	return f
+}
+
+// consider applies Definition 5 condition (2) — drop a GR if a strictly more
+// general GR already satisfied condition (1) — then offers the survivor to
+// the top-k list and records it as a future blocker.
+//
+// Parallel workers instead collect candidates locally: with a static floor
+// the generality filter runs in the coordinator's final generality-ordered
+// merge (the collected set is complete, so the merge is exact); under
+// DynamicFloor the normalized options force ExactGenerality, making the
+// blocking decision order-independent so it can happen right here.
+func (m *miner) consider(s gr.Scored) {
+	if m.par != nil {
+		if !m.opt.NoGeneralityFilter && m.opt.ExactGenerality && m.hasQualifyingGeneralization(s.GR) {
+			m.stats.Blocked++
+			return
+		}
+		m.collected = append(m.collected, s)
+		if m.opt.DynamicFloor {
+			m.par.offer(s)
+		}
+		return
+	}
+	if m.opt.NoGeneralityFilter {
+		m.top.Consider(s)
+		return
+	}
+	key := s.GR.RHSKey()
+	for _, b := range m.blockers[key] {
+		if b.l.SubsetOf(s.GR.L) && b.w.SubsetOf(s.GR.W) {
+			m.stats.Blocked++
+			return
+		}
+	}
+	if m.opt.ExactGenerality && m.hasQualifyingGeneralization(s.GR) {
+		m.stats.Blocked++
+		return
+	}
+	m.blockers[key] = append(m.blockers[key], lwPair{l: s.GR.L, w: s.GR.W})
+	m.top.Consider(s)
+}
+
+// hasQualifyingGeneralization reports whether any strict generalisation of g
+// (a GR with the same RHS and a subset of g's LHS and edge conditions)
+// satisfies Definition 5 condition (1). Used by ExactGenerality to repair
+// the dynamic-floor corner case; results are memoised per generalisation.
+func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
+	n := len(g.L) + len(g.W)
+	if n == 0 || n > 20 {
+		// No strict generalisation exists, or the enumeration would explode;
+		// fall back to the in-search blocker set.
+		return false
+	}
+	if m.qualCache == nil {
+		m.qualCache = make(map[string]bool)
+	}
+	graphG := m.st.Graph()
+	for mask := 0; mask < (1<<n)-1; mask++ { // all proper subsets of (L ∪ W)
+		var l, w gr.Descriptor
+		for i, c := range g.L {
+			if mask&(1<<i) != 0 {
+				l = l.With(c.Attr, c.Val)
+			}
+		}
+		for i, c := range g.W {
+			if mask&(1<<(len(g.L)+i)) != 0 {
+				w = w.With(c.Attr, c.Val)
+			}
+		}
+		cand := gr.GR{L: l, W: w, R: g.R}
+		ck := cand.Key()
+		qual, seen := m.qualCache[ck]
+		if !seen {
+			qual = false
+			if !cand.Trivial(m.schema) {
+				c := metrics.Eval(graphG, cand)
+				qual = c.LWR >= m.opt.MinSupp && m.metric.Score(c) >= m.opt.MinScore
+			}
+			m.qualCache[ck] = qual
+		}
+		if qual {
+			return true
+		}
+	}
+	return false
+}
+
+// betaMask computes β (Equation 4) as a bitmask over node attribute
+// indices: homophily attributes constrained on both sides with different
+// values. Schemas are limited to 64 node attributes, far beyond any dataset
+// in the paper.
+func (m *miner) betaMask(lhs, rhs gr.Descriptor) uint64 {
+	var mask uint64
+	for _, rc := range rhs {
+		if !m.schema.Node[rc.Attr].Homophily {
+			continue
+		}
+		if lv, ok := lhs.Get(rc.Attr); ok && lv != rc.Val {
+			mask |= 1 << uint(rc.Attr)
+		}
+	}
+	return mask
+}
+
+// homEffect returns supp(l -w-> l[β]) for the β encoded by mask, counting
+// within the subtree's base partition E(l ∧ w) and memoising per β. This
+// realises Section IV-D: case 1 (β ⊂ R) and case 2 (β = R) collapse into a
+// single bounded scan because base is exactly the partition whose earlier
+// enumeration the paper's Property 2 relies on.
+func (m *miner) homEffect(rc *rctx, mask uint64) int {
+	if rc.homCache == nil {
+		rc.homCache = make(map[uint64]int)
+	}
+	if v, ok := rc.homCache[mask]; ok {
+		return v
+	}
+	m.stats.HomScans++
+	// Gather the β attributes and their LHS values.
+	var attrs []int
+	var want []graph.Value
+	for a := 0; a < len(m.schema.Node); a++ {
+		if mask&(1<<uint(a)) == 0 {
+			continue
+		}
+		lv, _ := rc.lhs.Get(a)
+		attrs = append(attrs, a)
+		want = append(want, lv)
+	}
+	count := 0
+	for _, e := range rc.base {
+		match := true
+		for i, a := range attrs {
+			if m.st.RVal(e, a) != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	rc.homCache[mask] = count
+	return count
+}
+
+// rCount returns |E(r)| over the whole edge set, memoised per RHS.
+func (m *miner) rCount(g gr.GR) int {
+	key := g.RHSKey()
+	if v, ok := m.rCounts[key]; ok {
+		return v
+	}
+	count := 0
+	for e := int32(0); int(e) < m.totalE; e++ {
+		match := true
+		for _, c := range g.R {
+			if m.st.RVal(e, c.Attr) != c.Val {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	m.rCounts[key] = count
+	return count
+}

@@ -1,0 +1,87 @@
+// Package core implements the paper's primary contribution: the GRMiner
+// algorithm (Algorithm 1) over the compact three-array data model, using the
+// Subset-First Depth-First (SFDF) enumeration of Section IV-C with the
+// dynamic tail ordering of Equation 8, and pushing the minSupp, minNhp, and
+// top-k constraints into the search per Theorems 2 and 3.
+package core
+
+import "grminer/internal/graph"
+
+// The SFDF tree orders all attributes by the list τ of Equation 7,
+//
+//	τ : NHr, Hr, W, NHl, Hl
+//
+// reading left to right with ascending "positions". A tree node labeled with
+// the attribute at position p has one child per attribute at a position
+// strictly below p (the tail), and children are visited in ascending
+// position order. Consequences, proved in Section IV-C of the paper and
+// exercised by the tests here:
+//
+//   - along any root-to-node path, attributes are added LHS first, then
+//     edge, then RHS (Property 1), because L attributes hold the highest
+//     positions and every extension moves strictly left;
+//   - across the whole tree, any attribute set is enumerated before all of
+//     its supersets (Property 2), because the descending position sequence
+//     of a subset is lexicographically no greater than that of a superset;
+//   - within the RHS block the positions are assigned *dynamically* per
+//     Equation 8 — NHr, Hr1, Hr2 ascending, where Hr2 holds the homophily
+//     attributes already constrained on the LHS — so homophily attributes
+//     that could flip β from ∅ to non-∅ are exhausted first and Theorem 3's
+//     anti-monotonicity of nhp holds on every RHS extension of a
+//     non-trivial GR.
+//
+// The three position lists below materialise the blocks. The recursion in
+// miner.go encodes the cross-block order structurally (RIGHT, then EDGE,
+// then LEFT at every node, as in Algorithm 1).
+
+// lhsOrder returns the LHS position list: non-homophily node attributes
+// first (lower positions), then homophily ones, matching "..., NHl, Hl".
+func lhsOrder(s *graph.Schema) []int {
+	order := make([]int, 0, len(s.Node))
+	order = append(order, s.NonHomophilyNodeAttrs()...)
+	order = append(order, s.HomophilyNodeAttrs()...)
+	return order
+}
+
+// edgeOrder returns the edge-attribute position list (W block).
+func edgeOrder(s *graph.Schema) []int {
+	order := make([]int, len(s.Edge))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// staticRHSOrder returns the RHS position list without the Equation 8
+// dynamic split: NHr then Hr in schema order, independent of the LHS. Used
+// by the StaticRHSOrder ablation; with this order a homophily attribute
+// constrained on the LHS can be appended to the RHS *after* other values,
+// flipping β from empty to non-empty and possibly *raising* nhp (Remark 2),
+// so nhp pruning must be withheld whenever β is still empty.
+func staticRHSOrder(s *graph.Schema) []int {
+	order := make([]int, 0, len(s.Node))
+	order = append(order, s.NonHomophilyNodeAttrs()...)
+	order = append(order, s.HomophilyNodeAttrs()...)
+	return order
+}
+
+// rhsOrder returns the dynamically ordered RHS position list for a GR whose
+// LHS constrains exactly the node attributes in lhsHas: NHr, then Hr1
+// (homophily attributes absent from the LHS), then Hr2 (present in the LHS),
+// ascending — Equation 8. Because the enumeration picks positions in
+// descending order, Hr2 attributes are added to the RHS before Hr1 and NHr.
+func rhsOrder(s *graph.Schema, lhsHas func(attr int) bool) []int {
+	order := make([]int, 0, len(s.Node))
+	order = append(order, s.NonHomophilyNodeAttrs()...)
+	for _, a := range s.HomophilyNodeAttrs() {
+		if !lhsHas(a) {
+			order = append(order, a) // Hr1
+		}
+	}
+	for _, a := range s.HomophilyNodeAttrs() {
+		if lhsHas(a) {
+			order = append(order, a) // Hr2
+		}
+	}
+	return order
+}

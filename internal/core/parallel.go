@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/store"
+	"grminer/internal/topk"
+)
+
+// Parallel mining decomposes the SFDF tree at its first level: the root's
+// children — one per (attribute, value) partition of the full edge set,
+// across the RIGHT, EDGE, and LEFT blocks — become independent tasks that
+// worker goroutines process with private miner state (partitioner, scratch
+// buffers, caches, statistics).
+//
+// Soundness:
+//
+//   - the tasks partition the enumeration space exactly as the sequential
+//     walk does, so every GR is examined by exactly one worker;
+//   - supp pruning is local and unaffected;
+//   - with a static floor, workers prune only on MinScore, so the union of
+//     collected candidates is the complete set of GRs satisfying
+//     Definition 5 condition (1); the coordinator then applies condition
+//     (2) in generality order (a complete candidate set makes the
+//     blocker-map filter exact) and condition (3) by rank;
+//   - with DynamicFloor, normalize() forces ExactGenerality so condition
+//     (2) is decided order-independently inside each worker, which makes
+//     the shared top-k floor hold only genuinely qualifying, unblocked
+//     candidates; the floor therefore never exceeds the final k-th best
+//     score and subtree pruning below it is sound. Floor *timing* varies
+//     across runs, affecting work done but never the result set: a pruned
+//     subtree only contains candidates scoring strictly below some floor
+//     value, hence strictly below the final k-th best score.
+type parShared struct {
+	mu  sync.Mutex
+	top *topk.List
+}
+
+func (p *parShared) offer(s gr.Scored) {
+	p.mu.Lock()
+	p.top.Consider(s)
+	p.mu.Unlock()
+}
+
+func (p *parShared) floor() (float64, bool) {
+	p.mu.Lock()
+	f, ok := p.top.Floor()
+	p.mu.Unlock()
+	return f, ok
+}
+
+// parTask is one first-level subtree.
+type parTask func(w *miner)
+
+// mineParallel runs GRMiner with opt.Parallelism workers.
+func mineParallel(st *store.Store, opt Options) (*Result, error) {
+	start := time.Now()
+	shared := &parShared{top: topk.New(opt.K)}
+
+	// The coordinator miner builds the first-level partitions.
+	coord := newMiner(st, opt)
+	coord.par = shared
+	tasks := buildTasks(coord)
+
+	workers := opt.Parallelism
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	taskCh := make(chan parTask)
+	miners := make([]*miner, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := newMiner(st, opt)
+		w.par = shared
+		miners[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				t(w)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+
+	// Merge: coordinator's own collected candidates (none — it only built
+	// tasks) plus every worker's.
+	collected := coord.collected
+	stats := coord.stats
+	for _, w := range miners {
+		collected = append(collected, w.collected...)
+		stats.PartitionCalls += w.stats.PartitionCalls
+		stats.Examined += w.stats.Examined
+		stats.TrivialSeen += w.stats.TrivialSeen
+		stats.PrunedSupp += w.stats.PrunedSupp
+		stats.PrunedScore += w.stats.PrunedScore
+		stats.Candidates += w.stats.Candidates
+		stats.Blocked += w.stats.Blocked
+		stats.HomScans += w.stats.HomScans
+	}
+
+	topList := mergeCandidates(collected, opt, &stats)
+	stats.Duration = time.Since(start)
+	return &Result{TopK: topList, Stats: stats, Options: opt, TotalEdges: st.NumEdges()}, nil
+}
+
+// buildTasks materialises the first-level partitions. Each partition's id
+// slice is copied out of the coordinator's scratch buffer because the tasks
+// outlive the loop.
+func buildTasks(m *miner) []parTask {
+	if m.totalE == 0 {
+		return nil
+	}
+	all := m.st.AllEdges()
+	var tasks []parTask
+	buf := m.buffer(1, len(all))
+
+	// Root RIGHT block: GRs with empty LHS and W. Each worker needs its own
+	// rctx (the homophily-effect cache is written during search), sharing
+	// the read-only full edge list as base.
+	sr := rhsOrder(m.schema, gr.Descriptor(nil).Has)
+	if m.opt.StaticRHSOrder {
+		sr = staticRHSOrder(m.schema)
+	}
+	for pos := 0; pos < len(sr); pos++ {
+		attr := sr[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.RVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue
+			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			rhs2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
+			tasks = append(tasks, func(w *miner) {
+				rc := &rctx{base: all, sr: sr}
+				w.rightGroup(rc, part, 1, rhs2, pos)
+			})
+		}
+	}
+
+	// Root EDGE block.
+	for pos := 0; pos < len(m.swOrder); pos++ {
+		attr := m.swOrder[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.EVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue
+			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			w2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
+			tasks = append(tasks, func(w *miner) {
+				w.edgeGroup(part, 1, nil, w2, pos)
+			})
+		}
+	}
+
+	// Root LEFT block.
+	for pos := 0; pos < len(m.slOrder); pos++ {
+		attr := m.slOrder[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.LVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) {
+				continue
+			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			lhs2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
+			tasks = append(tasks, func(w *miner) {
+				w.leftGroup(part, 1, lhs2, pos)
+			})
+		}
+	}
+	return tasks
+}
+
+// mergeCandidates applies Definition 5 conditions (2) and (3) to the union
+// of worker candidates. With ExactGenerality the candidates were already
+// blocked exactly inside the workers and only ranking remains; otherwise
+// candidates are processed most-general-first against a blocker map, which
+// is exact because the static-floor collection is complete.
+func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scored {
+	list := topk.New(opt.K)
+	if opt.NoGeneralityFilter || opt.ExactGenerality {
+		for _, s := range collected {
+			list.Consider(s)
+		}
+		return list.Items()
+	}
+	sort.Slice(collected, func(i, j int) bool {
+		li := len(collected[i].GR.L) + len(collected[i].GR.W)
+		lj := len(collected[j].GR.L) + len(collected[j].GR.W)
+		if li != lj {
+			return li < lj
+		}
+		return collected[i].GR.Key() < collected[j].GR.Key()
+	})
+	blockers := make(map[string][]lwPair)
+	for _, s := range collected {
+		key := s.GR.RHSKey()
+		blocked := false
+		for _, b := range blockers[key] {
+			if b.l.SubsetOf(s.GR.L) && b.w.SubsetOf(s.GR.W) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			stats.Blocked++
+			continue
+		}
+		blockers[key] = append(blockers[key], lwPair{l: s.GR.L, w: s.GR.W})
+		list.Consider(s)
+	}
+	return list.Items()
+}

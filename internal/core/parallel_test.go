@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"testing"
+
+	"grminer/internal/baseline"
+	"grminer/internal/core"
+	"grminer/internal/datagen"
+	"grminer/internal/dataset"
+	"grminer/internal/graph"
+	"grminer/internal/store"
+)
+
+// Parallel mining with a static floor must match the sequential miner (and
+// hence the oracle) exactly, for every worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := randomGraph(seed, seed%2 == 0, seed%3 != 0)
+		seq, err := core.Mine(g, core.Options{MinSupp: 1, MinScore: 0.3, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := core.Mine(g, core.Options{
+				MinSupp: 1, MinScore: 0.3, K: 10, Parallelism: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, "parallel-static", par.TopK, seq.TopK)
+		}
+	}
+}
+
+// Parallel + DynamicFloor (which auto-enables ExactGenerality) must equal
+// the sequential exact run and be deterministic across repetitions.
+func TestParallelDynamicFloor(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(seed, true, seed%2 == 0)
+		exact, err := core.Mine(g, core.Options{
+			MinSupp: 1, MinScore: 0.3, K: 5, DynamicFloor: true, ExactGenerality: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			par, err := core.Mine(g, core.Options{
+				MinSupp: 1, MinScore: 0.3, K: 5, DynamicFloor: true, Parallelism: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, "parallel-dynamic", par.TopK, exact.TopK)
+			if !par.Options.ExactGenerality {
+				t.Fatal("parallel dynamic run did not auto-enable ExactGenerality")
+			}
+		}
+	}
+}
+
+// Parallel work accounting must cover the same search space: the examined
+// counter (with static floor, where pruning is deterministic) matches the
+// sequential run's.
+func TestParallelStatsCoverage(t *testing.T) {
+	g := randomGraph(3, true, true)
+	seq, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.4, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.Examined != seq.Stats.Examined {
+		t.Errorf("examined: parallel %d vs sequential %d", par.Stats.Examined, seq.Stats.Examined)
+	}
+	if par.Stats.TrivialSeen != seq.Stats.TrivialSeen {
+		t.Errorf("trivial: parallel %d vs sequential %d", par.Stats.TrivialSeen, seq.Stats.TrivialSeen)
+	}
+	if par.Stats.Candidates != seq.Stats.Candidates {
+		t.Errorf("candidates: parallel %d vs sequential %d", par.Stats.Candidates, seq.Stats.Candidates)
+	}
+}
+
+func TestParallelOnToyAndEmpty(t *testing.T) {
+	g := dataset.ToyDating()
+	seq, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.5, Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "toy-parallel", par.TopK, seq.TopK)
+
+	schema, _ := graph.NewSchema([]graph.Attribute{{Name: "A", Domain: 2}}, nil)
+	empty := graph.MustNew(schema, 0)
+	res, err := core.Mine(empty, core.Options{MinSupp: 1, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 0 {
+		t.Error("parallel empty graph produced results")
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	g := dataset.ToyDating()
+	if _, err := core.Mine(g, core.Options{Parallelism: -2}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	// Parallelism 1 is sequential; must behave identically.
+	a, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "p1", a.TopK, b.TopK)
+}
+
+// A moderately sized structured graph: parallel and sequential must agree
+// under both floors and with IncludeTrivial.
+func TestParallelOnSyntheticDBLP(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 3000
+	cfg.Pairs = 4000
+	g := datagen.DBLP(cfg)
+	st := store.Build(g)
+
+	seq, err := core.MineStore(st, core.Options{MinSupp: 10, MinScore: 0.4, K: 15, IncludeTrivial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.MineStore(st, core.Options{
+		MinSupp: 10, MinScore: 0.4, K: 15, IncludeTrivial: true, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "dblp-parallel", par.TopK, seq.TopK)
+
+	// And against the baseline BL2 for the non-trivial default setting.
+	seqD, err := core.MineStore(st, core.Options{MinSupp: 10, MinScore: 0.4, K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := baseline.BL2(g, baseline.Options{MinSupp: 10, MinScore: 0.4, K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "dblp-bl2", seqD.TopK, bl.TopK)
+}

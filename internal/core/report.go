@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"grminer/internal/graph"
+)
+
+// Result serialization: TSV for spreadsheets and JSON for downstream tools.
+// Both forms carry the GR in its parseable textual syntax so results can be
+// fed back into the hypothesis workbench.
+
+// WriteTSV writes one header line and one row per GR: rank, the textual GR,
+// score, absolute support, relative support (against Result.TotalEdges),
+// and confidence.
+func (r *Result) WriteTSV(w io.Writer, s *graph.Schema) error {
+	bw := bufio.NewWriter(w)
+	metric := r.Options.Metric.Name
+	fmt.Fprintf(bw, "rank\tgr\t%s\tsupp\trel_supp\tconf\n", metric)
+	for i, sc := range r.TopK {
+		rel := 0.0
+		if r.TotalEdges > 0 {
+			rel = float64(sc.Supp) / float64(r.TotalEdges)
+		}
+		fmt.Fprintf(bw, "%d\t%s\t%.6f\t%d\t%.6f\t%.6f\n",
+			i+1, sc.GR.Format(s), sc.Score, sc.Supp, rel, sc.Conf)
+	}
+	return bw.Flush()
+}
+
+// JSONResult is the serialized form of one mined GR.
+type JSONResult struct {
+	Rank  int     `json:"rank"`
+	GR    string  `json:"gr"`
+	Score float64 `json:"score"`
+	Supp  int     `json:"supp"`
+	Conf  float64 `json:"conf"`
+}
+
+// JSONReport is the serialized form of a full run.
+type JSONReport struct {
+	Metric   string       `json:"metric"`
+	MinSupp  int          `json:"min_supp"`
+	MinScore float64      `json:"min_score"`
+	K        int          `json:"k"`
+	Results  []JSONResult `json:"results"`
+	Stats    Stats        `json:"stats"`
+}
+
+// WriteJSON writes the run as one indented JSON document.
+func (r *Result) WriteJSON(w io.Writer, s *graph.Schema) error {
+	rep := JSONReport{
+		Metric:   r.Options.Metric.Name,
+		MinSupp:  r.Options.MinSupp,
+		MinScore: r.Options.MinScore,
+		K:        r.Options.K,
+		Stats:    r.Stats,
+	}
+	for i, sc := range r.TopK {
+		rep.Results = append(rep.Results, JSONResult{
+			Rank: i + 1, GR: sc.GR.Format(s), Score: sc.Score, Supp: sc.Supp, Conf: sc.Conf,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

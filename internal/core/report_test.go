@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"grminer/internal/core"
+	"grminer/internal/dataset"
+)
+
+func TestWriteTSV(t *testing.T) {
+	g := dataset.ToyDating()
+	res, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.9, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEdges != 30 {
+		t.Errorf("TotalEdges = %d, want 30", res.TotalEdges)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTSV(&buf, g.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.TopK) {
+		t.Fatalf("TSV has %d lines for %d results", len(lines), len(res.TopK))
+	}
+	if !strings.HasPrefix(lines[0], "rank\tgr\tnhp\tsupp\trel_supp\tconf") {
+		t.Errorf("header = %q", lines[0])
+	}
+	first := strings.Split(lines[1], "\t")
+	if len(first) != 6 || first[0] != "1" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "->") {
+		t.Error("GR column not in parseable syntax")
+	}
+	// rel_supp = supp / 30.
+	if !strings.Contains(lines[1], "0.4666") {
+		t.Errorf("rel_supp wrong in %q (supp=%d)", lines[1], res.TopK[0].Supp)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	g := dataset.ToyDating()
+	res, err := core.Mine(g, core.Options{MinSupp: 2, MinScore: 0.9, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, g.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	var rep core.JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Metric != "nhp" || rep.MinSupp != 2 || rep.K != 3 {
+		t.Errorf("metadata = %+v", rep)
+	}
+	if len(rep.Results) != len(res.TopK) {
+		t.Fatalf("results = %d, want %d", len(rep.Results), len(res.TopK))
+	}
+	if rep.Results[0].Rank != 1 || rep.Results[0].Supp != res.TopK[0].Supp {
+		t.Errorf("first row = %+v", rep.Results[0])
+	}
+	if rep.Stats.Examined == 0 {
+		t.Error("stats missing from JSON")
+	}
+}

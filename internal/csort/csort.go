@@ -1,0 +1,99 @@
+// Package csort implements the linear counting-sort partitioner GRMiner uses
+// to split edge partitions by one attribute (Section V: "A linear sorting
+// method, Counting Sort, is adopted to sort and get the aggregate of each
+// partition. It sorts in O(N) time without any key comparisons").
+//
+// A Partitioner owns the counting buckets and resets only the buckets it
+// touched, so partitioning a small slice by a large-domain attribute (for
+// example Pokec's Region with |A| = 188) stays proportional to the slice.
+package csort
+
+import "fmt"
+
+// Group is one partition of the input: the ids whose key equals Val occupy
+// out[Lo:Hi] after Partition returns. Groups are emitted in ascending Val
+// order; empty values produce no group.
+type Group struct {
+	Val uint16
+	Lo  int32
+	Hi  int32
+}
+
+// Partitioner is a reusable counting-sort work area. It is not safe for
+// concurrent use; create one per goroutine.
+type Partitioner struct {
+	counts []int32
+	starts []int32
+	groups []Group
+}
+
+// New returns a Partitioner able to handle keys in 0..maxDomain.
+func New(maxDomain int) *Partitioner {
+	return &Partitioner{
+		counts: make([]int32, maxDomain+1),
+		starts: make([]int32, maxDomain+1),
+	}
+}
+
+// Partition stably sorts ids by key(id) into out and returns the non-empty
+// groups. out must have the same length as ids and not alias it. The key
+// function must return values within the Partitioner's domain; Partition
+// panics otherwise (an out-of-domain key indicates data corruption upstream,
+// since the graph layer validates every stored value).
+//
+// The returned group slice is owned by the Partitioner and is invalidated by
+// the next Partition call.
+func (p *Partitioner) Partition(ids []int32, key func(int32) uint16, out []int32) []Group {
+	if len(out) != len(ids) {
+		panic(fmt.Sprintf("csort: out length %d != ids length %d", len(out), len(ids)))
+	}
+	p.groups = p.groups[:0]
+	if len(ids) == 0 {
+		return p.groups
+	}
+	// Count occurrences; track touched values through the groups list so the
+	// reset below is O(distinct values), not O(domain).
+	for _, id := range ids {
+		k := key(id)
+		if int(k) >= len(p.counts) {
+			panic(fmt.Sprintf("csort: key %d out of domain %d", k, len(p.counts)-1))
+		}
+		if p.counts[k] == 0 {
+			p.groups = append(p.groups, Group{Val: k})
+		}
+		p.counts[k]++
+	}
+	// Groups were appended in first-seen order; order them by value with an
+	// insertion sort (the group count is the number of *distinct* values,
+	// which is small; this does not touch the O(N) id pass).
+	for i := 1; i < len(p.groups); i++ {
+		g := p.groups[i]
+		j := i - 1
+		for j >= 0 && p.groups[j].Val > g.Val {
+			p.groups[j+1] = p.groups[j]
+			j--
+		}
+		p.groups[j+1] = g
+	}
+	// Prefix sums over the ordered groups give each group's slot range.
+	var off int32
+	for i := range p.groups {
+		g := &p.groups[i]
+		n := p.counts[g.Val]
+		g.Lo = off
+		g.Hi = off + n
+		p.starts[g.Val] = off
+		off += n
+	}
+	// Stable scatter.
+	for _, id := range ids {
+		k := key(id)
+		out[p.starts[k]] = id
+		p.starts[k]++
+	}
+	// Reset touched buckets.
+	for _, g := range p.groups {
+		p.counts[g.Val] = 0
+	}
+	return p.groups
+}

@@ -1,0 +1,162 @@
+package csort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasic(t *testing.T) {
+	keys := []uint16{2, 0, 1, 2, 1, 1}
+	ids := []int32{0, 1, 2, 3, 4, 5}
+	out := make([]int32, len(ids))
+	p := New(3)
+	groups := p.Partition(ids, func(id int32) uint16 { return keys[id] }, out)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3 groups", groups)
+	}
+	want := []struct {
+		val    uint16
+		member []int32
+	}{
+		{0, []int32{1}},
+		{1, []int32{2, 4, 5}},
+		{2, []int32{0, 3}},
+	}
+	for i, w := range want {
+		g := groups[i]
+		if g.Val != w.val || int(g.Hi-g.Lo) != len(w.member) {
+			t.Fatalf("group %d = %+v, want val %d size %d", i, g, w.val, len(w.member))
+		}
+		for j, m := range w.member {
+			if out[g.Lo+int32(j)] != m {
+				t.Errorf("group %d slot %d = %d, want %d (stability)", i, j, out[g.Lo+int32(j)], m)
+			}
+		}
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	p := New(5)
+	groups := p.Partition(nil, func(int32) uint16 { return 0 }, nil)
+	if len(groups) != 0 {
+		t.Errorf("empty input produced groups: %v", groups)
+	}
+}
+
+func TestPartitionSingleValue(t *testing.T) {
+	ids := []int32{5, 3, 9}
+	out := make([]int32, 3)
+	p := New(10)
+	groups := p.Partition(ids, func(int32) uint16 { return 7 }, out)
+	if len(groups) != 1 || groups[0].Val != 7 || groups[0].Lo != 0 || groups[0].Hi != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for i, id := range ids {
+		if out[i] != id {
+			t.Errorf("order not preserved: %v", out)
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	p := New(2)
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("length mismatch", func() {
+		p.Partition([]int32{1, 2}, func(int32) uint16 { return 0 }, make([]int32, 1))
+	})
+	assertPanic("key out of domain", func() {
+		p.Partition([]int32{1}, func(int32) uint16 { return 9 }, make([]int32, 1))
+	})
+}
+
+func TestPartitionerReuse(t *testing.T) {
+	p := New(100)
+	out := make([]int32, 8)
+	for round := 0; round < 50; round++ {
+		r := rand.New(rand.NewSource(int64(round)))
+		keys := make([]uint16, 8)
+		ids := make([]int32, 8)
+		for i := range ids {
+			ids[i] = int32(i)
+			keys[i] = uint16(r.Intn(101))
+		}
+		groups := p.Partition(ids, func(id int32) uint16 { return keys[id] }, out)
+		total := 0
+		for _, g := range groups {
+			total += int(g.Hi - g.Lo)
+			for _, id := range out[g.Lo:g.Hi] {
+				if keys[id] != g.Val {
+					t.Fatalf("round %d: id %d in group %d has key %d", round, id, g.Val, keys[id])
+				}
+			}
+		}
+		if total != len(ids) {
+			t.Fatalf("round %d: groups cover %d of %d ids", round, total, len(ids))
+		}
+	}
+}
+
+// Property: Partition is equivalent to a stable sort by key, and groups are
+// ascending, disjoint, and exhaustive.
+func TestPartitionMatchesStableSortProperty(t *testing.T) {
+	p := New(16)
+	f := func(raw []uint16) bool {
+		keys := make([]uint16, len(raw))
+		ids := make([]int32, len(raw))
+		for i, k := range raw {
+			keys[i] = k % 17
+			ids[i] = int32(i)
+		}
+		out := make([]int32, len(ids))
+		groups := p.Partition(ids, func(id int32) uint16 { return keys[id] }, out)
+
+		ref := append([]int32(nil), ids...)
+		sort.SliceStable(ref, func(i, j int) bool { return keys[ref[i]] < keys[ref[j]] })
+		for i := range ref {
+			if out[i] != ref[i] {
+				return false
+			}
+		}
+		prev := -1
+		covered := int32(0)
+		for _, g := range groups {
+			if int(g.Val) <= prev || g.Lo != covered || g.Hi <= g.Lo {
+				return false
+			}
+			prev = int(g.Val)
+			covered = g.Hi
+		}
+		return int(covered) == len(ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	const n = 1 << 16
+	keys := make([]uint16, n)
+	ids := make([]int32, n)
+	r := rand.New(rand.NewSource(1))
+	for i := range ids {
+		ids[i] = int32(i)
+		keys[i] = uint16(r.Intn(188))
+	}
+	out := make([]int32, n)
+	p := New(188)
+	key := func(id int32) uint16 { return keys[id] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Partition(ids, key, out)
+	}
+	b.SetBytes(int64(n * 4))
+}

@@ -1,0 +1,277 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grminer/internal/graph"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestWeightedSampler(t *testing.T) {
+	w := newWeighted([]float64{1, 0, 3})
+	r := newRand(1)
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[w.sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight value sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("3:1 weights sampled at ratio %.2f", ratio)
+	}
+	assertPanics(t, "negative weight", func() { newWeighted([]float64{1, -1}) })
+	assertPanics(t, "zero weights", func() { newWeighted([]float64{0, 0}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestValueIndex(t *testing.T) {
+	schema, _ := graph.NewSchema([]graph.Attribute{{Name: "A", Domain: 3}}, nil)
+	g := graph.MustNew(schema, 6)
+	for n := 0; n < 6; n++ {
+		g.SetNodeValues(n, graph.Value(n%3))
+	}
+	vi := indexByValue(g, 0, 3)
+	r := newRand(1)
+	for i := 0; i < 50; i++ {
+		n, ok := vi.sample(r, 2)
+		if !ok || g.NodeValue(int(n), 0) != 2 {
+			t.Fatalf("sample returned node %d with wrong value", n)
+		}
+	}
+	if _, ok := vi.sample(r, 3); ok {
+		t.Error("sample found nodes for an unused value")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(5, 1.0)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("zipf weights not decreasing: %v", w)
+		}
+	}
+	if math.Abs(w[0]-1.0) > 1e-12 || math.Abs(w[1]-0.5) > 1e-12 {
+		t.Errorf("zipf(1) weights wrong: %v", w)
+	}
+}
+
+func TestPokecDeterminismAndShape(t *testing.T) {
+	cfg := DefaultPokecConfig()
+	cfg.Nodes = 2000
+	cfg.AvgOutDegree = 8
+	g1 := Pokec(cfg)
+	g2 := Pokec(cfg)
+	if g1.NumNodes() != 2000 || g1.NumEdges() != 16000 {
+		t.Fatalf("size = %d nodes, %d edges", g1.NumNodes(), g1.NumEdges())
+	}
+	for n := 0; n < g1.NumNodes(); n++ {
+		for a := 0; a < 6; a++ {
+			if g1.NodeValue(n, a) != g2.NodeValue(n, a) {
+				t.Fatal("generator not deterministic (node values)")
+			}
+			if g1.NodeValue(n, a) == graph.Null {
+				t.Fatal("Pokec profile has null value; the paper keeps complete profiles only")
+			}
+		}
+	}
+	for e := 0; e < g1.NumEdges(); e++ {
+		if g1.Src(e) != g2.Src(e) || g1.Dst(e) != g2.Dst(e) {
+			t.Fatal("generator not deterministic (edges)")
+		}
+		if g1.Src(e) == g1.Dst(e) {
+			t.Fatal("self-loop generated")
+		}
+	}
+	// Different seed must change the output.
+	cfg.Seed = 99
+	g3 := Pokec(cfg)
+	same := true
+	for e := 0; e < g1.NumEdges() && same; e++ {
+		if g1.Src(e) != g3.Src(e) || g1.Dst(e) != g3.Dst(e) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical edges")
+	}
+}
+
+func TestPokecMarginals(t *testing.T) {
+	cfg := DefaultPokecConfig()
+	cfg.Nodes = 20000
+	cfg.AvgOutDegree = 1
+	g := Pokec(cfg)
+	counts := make([]int, 11)
+	for n := 0; n < g.NumNodes(); n++ {
+		counts[g.NodeValue(n, PokecEdu)]++
+	}
+	secondary := float64(counts[EduSecondary]) / float64(g.NumNodes())
+	training := float64(counts[EduTraining]) / float64(g.NumNodes())
+	// The paper reports 19.54% Secondary vs 1.9% Training; allow slack.
+	if secondary < 0.15 || secondary > 0.25 {
+		t.Errorf("Secondary share = %.3f, want ≈ 0.195", secondary)
+	}
+	if training > 0.04 {
+		t.Errorf("Training share = %.3f, want ≈ 0.019", training)
+	}
+	if secondary < 5*training {
+		t.Errorf("Secondary (%0.3f) should dwarf Training (%0.3f)", secondary, training)
+	}
+}
+
+// The planted structure must be measurable: homophily edges inflate
+// same-value rates, and the Basic->Secondary secondary bond must hold among
+// non-Basic destinations.
+func TestPokecPlantedStructure(t *testing.T) {
+	cfg := DefaultPokecConfig()
+	cfg.Nodes = 5000
+	cfg.AvgOutDegree = 12
+	g := Pokec(cfg)
+
+	var basicSrc, basicToBasic, basicToSecondary int
+	var sameRegion int
+	for e := 0; e < g.NumEdges(); e++ {
+		src, dst := g.Src(e), g.Dst(e)
+		if g.NodeValue(src, PokecRegion) == g.NodeValue(dst, PokecRegion) {
+			sameRegion++
+		}
+		if g.NodeValue(src, PokecEdu) == EduBasic {
+			basicSrc++
+			switch g.NodeValue(dst, PokecEdu) {
+			case EduBasic:
+				basicToBasic++
+			case EduSecondary:
+				basicToSecondary++
+			}
+		}
+	}
+	// Region homophily: with 188 Zipf regions, random mixing gives a few
+	// percent same-region; the homophily branch pushes it well above.
+	frac := float64(sameRegion) / float64(g.NumEdges())
+	if frac < 0.10 {
+		t.Errorf("same-region rate %.3f shows no homophily", frac)
+	}
+	// The P2 shape: nhp(Basic -> Secondary) = P(Secondary | not Basic) must
+	// clearly exceed the Secondary population share (~0.195).
+	nhp := float64(basicToSecondary) / float64(basicSrc-basicToBasic)
+	if nhp < 0.35 {
+		t.Errorf("planted Basic->Secondary nhp = %.3f, want > 0.35", nhp)
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 4000
+	cfg.Pairs = 5000
+	g := DBLP(cfg)
+	if g.NumEdges() != 2*cfg.Pairs {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 2*cfg.Pairs)
+	}
+	// Productivity: overwhelmingly Poor, as the paper reports (91.18%).
+	poor := 0
+	areaCounts := make([]int, 5)
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.NodeValue(n, DBLPProd) == ProdPoor {
+			poor++
+		}
+		areaCounts[g.NodeValue(n, DBLPArea)]++
+	}
+	share := float64(poor) / float64(g.NumNodes())
+	if share < 0.88 || share > 0.94 {
+		t.Errorf("Poor share = %.3f, want ≈ 0.9118", share)
+	}
+	// DM must be the least populated area.
+	for _, a := range []int{AreaDB, AreaAI, AreaIR} {
+		if areaCounts[AreaDM] >= areaCounts[a] {
+			t.Errorf("DM (%d) not the smallest area (area %d has %d)", areaCounts[AreaDM], a, areaCounts[a])
+		}
+	}
+
+	// D2 shape: among DB-sourced "often" edges leaving DB, DM dominates.
+	var dbOftenOut, dbOftenToDM int
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.NodeValue(g.Src(e), DBLPArea) != AreaDB {
+			continue
+		}
+		if g.EdgeValue(e, DBLPStrength) != StrengthOften {
+			continue
+		}
+		if dstArea := g.NodeValue(g.Dst(e), DBLPArea); dstArea != AreaDB {
+			dbOftenOut++
+			if dstArea == AreaDM {
+				dbOftenToDM++
+			}
+		}
+	}
+	if dbOftenOut == 0 {
+		t.Fatal("no cross-area often edges from DB")
+	}
+	if nhp := float64(dbOftenToDM) / float64(dbOftenOut); nhp < 0.5 {
+		t.Errorf("planted DB -often-> DM rate = %.3f, want > 0.5", nhp)
+	}
+}
+
+func TestDBLPUndirected(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 500
+	cfg.Pairs = 600
+	g := DBLP(cfg)
+	// Every even edge must have an odd reverse twin with equal strength.
+	for e := 0; e < g.NumEdges(); e += 2 {
+		if g.Src(e) != g.Dst(e+1) || g.Dst(e) != g.Src(e+1) {
+			t.Fatalf("edge %d has no reverse twin", e)
+		}
+		if g.EdgeValue(e, 0) != g.EdgeValue(e+1, 0) {
+			t.Fatalf("edge %d twin strength differs", e)
+		}
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	cfg := RandomConfig{
+		Nodes:     50,
+		Edges:     200,
+		NodeAttrs: []graph.Attribute{{Name: "A", Domain: 4, Homophily: true}},
+		EdgeAttrs: []graph.Attribute{{Name: "W", Domain: 2}},
+		NullProb:  0.2,
+		Seed:      3,
+	}
+	g := Random(cfg)
+	if g.NumNodes() != 50 || g.NumEdges() != 200 {
+		t.Fatalf("random graph size wrong")
+	}
+	nulls := 0
+	for n := 0; n < 50; n++ {
+		if g.NodeValue(n, 0) == graph.Null {
+			nulls++
+		}
+	}
+	if nulls == 0 || nulls == 50 {
+		t.Errorf("NullProb=0.2 produced %d/50 nulls", nulls)
+	}
+	g2 := Random(cfg)
+	for e := 0; e < 200; e++ {
+		if g.Src(e) != g2.Src(e) || g.EdgeValue(e, 0) != g2.EdgeValue(e, 0) {
+			t.Fatal("random generator not deterministic")
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	assertPanics(t, "pokec zero nodes", func() { Pokec(PokecConfig{}) })
+	assertPanics(t, "dblp zero authors", func() { DBLP(DBLPConfig{}) })
+}

@@ -1,0 +1,85 @@
+// Package datagen synthesises attributed social networks standing in for
+// the paper's two real datasets (see DESIGN.md §3 for the substitution
+// argument): a Pokec-like dating/friendship network and a DBLP-like
+// co-authorship network, both with controllable homophily strength and
+// planted non-homophily preferences, plus uniform random graphs for
+// property tests. All generators are deterministic given their seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"grminer/internal/graph"
+)
+
+// weighted samples indices proportionally to non-negative weights.
+type weighted struct {
+	cum []float64
+}
+
+func newWeighted(weights []float64) weighted {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("datagen: negative weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		panic("datagen: all-zero weights")
+	}
+	return weighted{cum: cum}
+}
+
+// sample returns an index in [0, len(weights)).
+func (w weighted) sample(r *rand.Rand) int {
+	x := r.Float64() * w.cum[len(w.cum)-1]
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// valueIndex buckets node ids by attribute value for fast conditional
+// sampling ("pick a node whose Region equals v").
+type valueIndex struct {
+	buckets [][]int32
+}
+
+func indexByValue(g *graph.Graph, attr, domain int) valueIndex {
+	vi := valueIndex{buckets: make([][]int32, domain+1)}
+	for n := 0; n < g.NumNodes(); n++ {
+		v := g.NodeValue(n, attr)
+		vi.buckets[v] = append(vi.buckets[v], int32(n))
+	}
+	return vi
+}
+
+// sample picks a uniform node with the given value; ok is false when no
+// node has it.
+func (vi valueIndex) sample(r *rand.Rand, v graph.Value) (int32, bool) {
+	b := vi.buckets[v]
+	if len(b) == 0 {
+		return 0, false
+	}
+	return b[r.Intn(len(b))], true
+}
+
+// zipfWeights returns Zipf(s) weights for n values (rank 1 most popular) —
+// used for skewed marginals such as Pokec's Region attribute.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

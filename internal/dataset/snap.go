@@ -1,0 +1,439 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grminer/internal/graph"
+)
+
+// This file implements the Section VI-A preprocessing pipeline for the real
+// SNAP soc-pokec dump (https://snap.stanford.edu/data/soc-pokec.html), so
+// the paper's actual evaluation data can be mined when available. The dump
+// has two files:
+//
+//   - soc-pokec-profiles.txt: one user per line, tab-separated columns;
+//     the columns used here are user_id, gender, region, AGE, and the three
+//     free-text fields education, marital_status and what-looking-for
+//     (columns configurable via SNAPPokecOptions).
+//   - soc-pokec-relationships.txt: "src\tdst" directed friendship pairs.
+//
+// The paper's preprocessing, reproduced here:
+//
+//  1. strip non-letter characters from free text and lowercase it
+//     (standard IR normalisation);
+//  2. keep only words occurring in at least MinWordFreq profiles (the
+//     paper uses 200), mapping everything else to "invalid";
+//  3. for education take the highest level filled in; for looking-for and
+//     marital status take the most frequent word;
+//  4. drop profiles containing an invalid value, and induce the subgraph
+//     on the remaining users (the paper keeps 87.98% of users and 68.83%
+//     of edges);
+//  5. discretise AGE into the ten buckets of Section VI-A.
+//
+// Region values are interned into a dense id space ordered by frequency,
+// capped at the schema's domain (188 in the paper); rarer regions become
+// invalid.
+
+// SNAPPokecOptions configures the loader. Zero-valued fields take the
+// defaults of DefaultSNAPPokecOptions.
+type SNAPPokecOptions struct {
+	// Column indices into soc-pokec-profiles.txt.
+	IDCol, GenderCol, RegionCol, AgeCol int
+	EduCol, LookingCol, MaritalCol      int
+	// MinWordFreq is the minimum number of profiles a free-text word must
+	// appear in to become a value (the paper uses 200).
+	MinWordFreq int
+	// MaxRegions caps the region domain (the paper's dump has 188).
+	MaxRegions int
+	// EduLevels orders education words from lowest to highest level; when
+	// several appear in one profile the highest is kept (paper step 3).
+	// Words not listed rank below all listed ones.
+	EduLevels []string
+}
+
+// DefaultSNAPPokecOptions matches the column layout of the 2012 SNAP dump
+// (0-based: user_id=0, gender=3, region=4, AGE=7, and the free-text fields
+// at their documented positions) and the paper's thresholds.
+func DefaultSNAPPokecOptions() SNAPPokecOptions {
+	return SNAPPokecOptions{
+		IDCol: 0, GenderCol: 3, RegionCol: 4, AgeCol: 7,
+		EduCol: 9, LookingCol: 27, MaritalCol: 13,
+		MinWordFreq: 200,
+		MaxRegions:  188,
+		EduLevels: []string{
+			"preschool", "basic", "training", "secondary",
+			"apprentice", "college", "bachelor", "master", "phd",
+		},
+	}
+}
+
+// ageBucket maps an age in years to the paper's ten buckets (1..10);
+// 0 (unknown/invalid) stays null.
+func ageBucket(age int) graph.Value {
+	switch {
+	case age <= 0:
+		return graph.Null
+	case age <= 6:
+		return 1
+	case age <= 13:
+		return 2
+	case age <= 17:
+		return 3
+	case age <= 24:
+		return 4
+	case age <= 34:
+		return 5
+	case age <= 44:
+		return 6
+	case age <= 54:
+		return 7
+	case age <= 64:
+		return 8
+	case age <= 79:
+		return 9
+	default:
+		return 10
+	}
+}
+
+// normalizeWords applies preprocessing step 1: keep letters, lowercase,
+// split into words.
+func normalizeWords(text string) []string {
+	var b strings.Builder
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Fields(b.String())
+}
+
+// snapProfile is one parsed profile line.
+type snapProfile struct {
+	id      int
+	gender  graph.Value
+	region  string
+	age     graph.Value
+	edu     []string
+	looking []string
+	marital []string
+}
+
+// LoadSNAPPokec parses the two SNAP files and returns the induced,
+// preprocessed graph. Node ids are re-numbered densely over kept users.
+func LoadSNAPPokec(profiles, relationships io.Reader, opt SNAPPokecOptions) (*graph.Graph, error) {
+	if opt.MinWordFreq <= 0 {
+		opt = DefaultSNAPPokecOptions()
+	}
+
+	parsed, err := parseProfiles(profiles, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Vocabulary pass (step 2): word -> number of profiles containing it.
+	freq := make(map[string]int)
+	countWords := func(words []string) {
+		seen := map[string]bool{}
+		for _, w := range words {
+			if !seen[w] {
+				freq[w]++
+				seen[w] = true
+			}
+		}
+	}
+	regionFreq := make(map[string]int)
+	for _, p := range parsed {
+		countWords(p.edu)
+		countWords(p.looking)
+		countWords(p.marital)
+		if p.region != "" {
+			regionFreq[p.region]++
+		}
+	}
+
+	// Region interning: most frequent regions get ids 1..MaxRegions.
+	regions := make([]string, 0, len(regionFreq))
+	for r := range regionFreq {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regionFreq[regions[i]] != regionFreq[regions[j]] {
+			return regionFreq[regions[i]] > regionFreq[regions[j]]
+		}
+		return regions[i] < regions[j]
+	})
+	if len(regions) > opt.MaxRegions {
+		regions = regions[:opt.MaxRegions]
+	}
+	regionID := make(map[string]graph.Value, len(regions))
+	for i, r := range regions {
+		regionID[r] = graph.Value(i + 1)
+	}
+
+	// Value vocabularies for the three text attributes (step 2-3).
+	eduRank := make(map[string]int, len(opt.EduLevels))
+	for i, w := range opt.EduLevels {
+		eduRank[w] = i + 1
+	}
+	eduID, eduLabels := buildVocab(parsed, freq, opt.MinWordFreq, func(p *snapProfile) []string { return p.edu })
+	lookID, lookLabels := buildVocab(parsed, freq, opt.MinWordFreq, func(p *snapProfile) []string { return p.looking })
+	marID, marLabels := buildVocab(parsed, freq, opt.MinWordFreq, func(p *snapProfile) []string { return p.marital })
+
+	// Resolve each profile to values; drop profiles with any invalid value
+	// (step 4). A field left completely empty is also invalid — the paper
+	// keeps only complete profiles.
+	type resolved struct {
+		id   int
+		vals [6]graph.Value
+	}
+	var kept []resolved
+	for i := range parsed {
+		p := &parsed[i]
+		var v resolved
+		v.id = p.id
+		v.vals[PokecSNAPGender] = p.gender
+		v.vals[PokecSNAPAge] = p.age
+		v.vals[PokecSNAPRegion] = regionID[p.region]
+		v.vals[PokecSNAPEdu] = resolveEdu(p.edu, freq, opt.MinWordFreq, eduRank, eduID)
+		v.vals[PokecSNAPLooking] = resolveFrequent(p.looking, freq, opt.MinWordFreq, lookID)
+		v.vals[PokecSNAPMarital] = resolveFrequent(p.marital, freq, opt.MinWordFreq, marID)
+		ok := true
+		for _, val := range v.vals {
+			if val == graph.Null {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, v)
+		}
+	}
+
+	schema, err := snapSchema(len(regions), eduLabels, lookLabels, marLabels)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.New(schema, len(kept))
+	if err != nil {
+		return nil, err
+	}
+	dense := make(map[int]int, len(kept))
+	for n, v := range kept {
+		dense[v.id] = n
+		if err := g.SetNodeValues(n, v.vals[:]...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Induced edges (step 4).
+	sc := bufio.NewScanner(relationships)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: relationships line %d: %q", lineNo, line)
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("dataset: relationships line %d: bad ids %q", lineNo, line)
+		}
+		s, okS := dense[src]
+		d, okD := dense[dst]
+		if !okS || !okD {
+			continue // endpoint dropped during preprocessing
+		}
+		if _, err := g.AddEdge(s, d); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading relationships: %w", err)
+	}
+	return g, nil
+}
+
+// SNAP Pokec attribute indices (same order as the synthetic generator).
+const (
+	PokecSNAPGender = iota
+	PokecSNAPAge
+	PokecSNAPRegion
+	PokecSNAPEdu
+	PokecSNAPLooking
+	PokecSNAPMarital
+)
+
+func parseProfiles(r io.Reader, opt SNAPPokecOptions) ([]snapProfile, error) {
+	maxCol := opt.IDCol
+	for _, c := range []int{opt.GenderCol, opt.RegionCol, opt.AgeCol, opt.EduCol, opt.LookingCol, opt.MaritalCol} {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []snapProfile
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) <= maxCol {
+			return nil, fmt.Errorf("dataset: profiles line %d: %d columns, need > %d", lineNo, len(fields), maxCol)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(fields[opt.IDCol]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: profiles line %d: bad user id %q", lineNo, fields[opt.IDCol])
+		}
+		var p snapProfile
+		p.id = id
+		switch strings.TrimSpace(fields[opt.GenderCol]) {
+		case "1":
+			p.gender = GenderSNAPMale
+		case "0":
+			p.gender = GenderSNAPFemale
+		}
+		p.region = strings.TrimSpace(strings.ToLower(fields[opt.RegionCol]))
+		if age, err := strconv.Atoi(strings.TrimSpace(fields[opt.AgeCol])); err == nil {
+			p.age = ageBucket(age)
+		}
+		p.edu = normalizeWords(fields[opt.EduCol])
+		p.looking = normalizeWords(fields[opt.LookingCol])
+		p.marital = normalizeWords(fields[opt.MaritalCol])
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading profiles: %w", err)
+	}
+	return out, nil
+}
+
+// Gender values in the SNAP loader.
+const (
+	GenderSNAPMale   graph.Value = 1
+	GenderSNAPFemale graph.Value = 2
+)
+
+// buildVocab assigns dense value ids to frequent words of one text field,
+// in descending frequency order.
+func buildVocab(profiles []snapProfile, freq map[string]int, minFreq int,
+	get func(*snapProfile) []string) (map[string]graph.Value, []string) {
+
+	fieldFreq := map[string]int{}
+	for i := range profiles {
+		seen := map[string]bool{}
+		for _, w := range get(&profiles[i]) {
+			if freq[w] >= minFreq && !seen[w] {
+				fieldFreq[w]++
+				seen[w] = true
+			}
+		}
+	}
+	words := make([]string, 0, len(fieldFreq))
+	for w := range fieldFreq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if fieldFreq[words[i]] != fieldFreq[words[j]] {
+			return fieldFreq[words[i]] > fieldFreq[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	ids := make(map[string]graph.Value, len(words))
+	labels := []string{"∅"}
+	for i, w := range words {
+		ids[w] = graph.Value(i + 1)
+		labels = append(labels, w)
+	}
+	return ids, labels
+}
+
+// resolveEdu keeps the highest-ranked valid education word (paper step 3).
+func resolveEdu(words []string, freq map[string]int, minFreq int,
+	rank map[string]int, ids map[string]graph.Value) graph.Value {
+
+	best := ""
+	bestRank := -1
+	for _, w := range words {
+		if freq[w] < minFreq {
+			return graph.Null // invalid word invalidates the profile
+		}
+		if r := rank[w]; r > bestRank {
+			best, bestRank = w, r
+		}
+	}
+	if best == "" {
+		return graph.Null
+	}
+	return ids[best]
+}
+
+// resolveFrequent keeps the globally most frequent valid word.
+func resolveFrequent(words []string, freq map[string]int, minFreq int,
+	ids map[string]graph.Value) graph.Value {
+
+	best := ""
+	for _, w := range words {
+		if freq[w] < minFreq {
+			return graph.Null
+		}
+		if best == "" || freq[w] > freq[best] {
+			best = w
+		}
+	}
+	if best == "" {
+		return graph.Null
+	}
+	return ids[best]
+}
+
+// snapSchema builds the schema with data-driven domains and labels.
+func snapSchema(numRegions int, edu, look, mar []string) (*graph.Schema, error) {
+	dom := func(labels []string) int {
+		if len(labels) <= 1 {
+			return 1 // keep the schema valid even for degenerate vocabularies
+		}
+		return len(labels) - 1
+	}
+	pad := func(labels []string, domain int) []string {
+		for len(labels) < domain+1 {
+			labels = append(labels, "")
+		}
+		return labels
+	}
+	if numRegions < 1 {
+		numRegions = 1
+	}
+	return graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "G", Domain: 2, Labels: []string{"∅", "Male", "Female"}},
+			{Name: "A", Domain: 10, Homophily: true, Labels: []string{
+				"∅", "0-6", "7-13", "14-17", "18-24", "25-34", "35-44", "45-54", "55-64", "65-79", "80+"}},
+			{Name: "R", Domain: numRegions, Homophily: true},
+			{Name: "E", Domain: dom(edu), Homophily: true, Labels: pad(edu, dom(edu))},
+			{Name: "L", Domain: dom(look), Homophily: true, Labels: pad(look, dom(look))},
+			{Name: "S", Domain: dom(mar), Labels: pad(mar, dom(mar))},
+		},
+		nil,
+	)
+}

@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"grminer/internal/graph"
+)
+
+// fixtureOptions uses a compact 8-column layout for test fixtures.
+func fixtureOptions() SNAPPokecOptions {
+	return SNAPPokecOptions{
+		IDCol: 0, GenderCol: 1, RegionCol: 2, AgeCol: 3,
+		EduCol: 4, LookingCol: 5, MaritalCol: 6,
+		MinWordFreq: 2,
+		MaxRegions:  3,
+		EduLevels:   []string{"basic", "secondary", "college", "master"},
+	}
+}
+
+// profile builds one fixture line: id, gender, region, age, edu, look, mar,
+// plus one trailing junk column to prove extra columns are ignored.
+func profile(id int, gender, region string, age int, edu, look, mar string) string {
+	return fmt.Sprintf("%d\t%s\t%s\t%d\t%s\t%s\t%s\tjunk", id, gender, region, age, edu, look, mar)
+}
+
+func fixtureProfiles() string {
+	lines := []string{
+		profile(10, "1", "ba", 23, "college", "chat", "single"),
+		profile(20, "0", "ba", 31, "Basic College!", "chat", "single"),
+		profile(30, "1", "ke", 16, "basic", "chat chat", "single"),
+		profile(40, "0", "ke", 45, "college", "chat", "single"),
+		// Dropped: contains the rare word "hogwarts" (below MinWordFreq).
+		profile(50, "1", "ba", 23, "hogwarts", "chat", "single"),
+		// Dropped: empty education field.
+		profile(60, "0", "ba", 23, "", "chat", "single"),
+		// Dropped: no age.
+		profile(70, "1", "ba", 0, "college", "chat", "single"),
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fixtureRelationships() string {
+	return "10\t20\n20\t10\n30\t40\n10\t50\n50\t10\n# comment\n\n70\t10\n"
+}
+
+func TestLoadSNAPPokec(t *testing.T) {
+	g, err := LoadSNAPPokec(
+		strings.NewReader(fixtureProfiles()),
+		strings.NewReader(fixtureRelationships()),
+		fixtureOptions(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Users 10, 20, 30, 40 survive; 50, 60, 70 are dropped.
+	if g.NumNodes() != 4 {
+		t.Fatalf("kept %d users, want 4", g.NumNodes())
+	}
+	// Edges 10->20, 20->10, 30->40 survive; edges touching 50/70 are gone.
+	if g.NumEdges() != 3 {
+		t.Fatalf("kept %d edges, want 3", g.NumEdges())
+	}
+
+	s := g.Schema()
+	// Education vocabulary: "college" (3 profiles) and "basic" (2) survive.
+	eduAttr, _ := s.NodeAttr("E")
+	if s.Node[eduAttr].Domain != 2 {
+		t.Fatalf("education domain = %d, want 2", s.Node[eduAttr].Domain)
+	}
+	collegeVal, ok := s.Node[eduAttr].ValueOf("college")
+	if !ok {
+		t.Fatal("college missing from education vocabulary")
+	}
+	basicVal, ok := s.Node[eduAttr].ValueOf("basic")
+	if !ok {
+		t.Fatal("basic missing from education vocabulary")
+	}
+
+	// User 20 (node 1) filled "Basic College!": normalisation lowercases,
+	// and the highest level (college) wins per paper step 3.
+	if g.NodeValue(1, PokecSNAPEdu) != collegeVal {
+		t.Errorf("user 20 edu = %d, want college=%d", g.NodeValue(1, PokecSNAPEdu), collegeVal)
+	}
+	_ = basicVal
+
+	// Node order follows input order of kept profiles: 10, 20, 30, 40.
+	if g.NodeValue(0, PokecSNAPGender) != GenderSNAPMale {
+		t.Error("user 10 gender wrong")
+	}
+	if g.NodeValue(1, PokecSNAPGender) != GenderSNAPFemale {
+		t.Error("user 20 gender wrong")
+	}
+	// Age buckets: 23 -> 18-24 (4), 31 -> 25-34 (5), 16 -> 14-17 (3).
+	if g.NodeValue(0, PokecSNAPAge) != 4 || g.NodeValue(1, PokecSNAPAge) != 5 || g.NodeValue(2, PokecSNAPAge) != 3 {
+		t.Errorf("age buckets: %d %d %d", g.NodeValue(0, PokecSNAPAge), g.NodeValue(1, PokecSNAPAge), g.NodeValue(2, PokecSNAPAge))
+	}
+	// Regions: "ba" (kept by 10, 20; also 50-70 counted) outranks "ke".
+	if g.NodeValue(0, PokecSNAPRegion) != g.NodeValue(1, PokecSNAPRegion) {
+		t.Error("users 10 and 20 should share a region value")
+	}
+	if g.NodeValue(0, PokecSNAPRegion) == g.NodeValue(2, PokecSNAPRegion) {
+		t.Error("regions ba and ke must differ")
+	}
+	// Education: user 10 college, user 30 basic.
+	if g.NodeValue(0, PokecSNAPEdu) != collegeVal {
+		t.Errorf("user 10 edu = %d, want college=%d", g.NodeValue(0, PokecSNAPEdu), collegeVal)
+	}
+	if g.NodeValue(2, PokecSNAPEdu) != basicVal {
+		t.Errorf("user 30 edu = %d, want basic=%d", g.NodeValue(2, PokecSNAPEdu), basicVal)
+	}
+}
+
+// The highest education level wins when several are filled (paper step 3).
+func TestSNAPEduHighestLevel(t *testing.T) {
+	profiles := strings.Join([]string{
+		profile(1, "1", "ba", 23, "basic college", "chat", "single"),
+		profile(2, "0", "ba", 23, "basic college", "chat", "single"),
+		profile(3, "1", "ba", 23, "basic", "chat", "single"),
+	}, "\n")
+	g, err := LoadSNAPPokec(strings.NewReader(profiles), strings.NewReader(""), fixtureOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("kept %d users", g.NumNodes())
+	}
+	s := g.Schema()
+	eduAttr, _ := s.NodeAttr("E")
+	collegeVal, _ := s.Node[eduAttr].ValueOf("college")
+	if g.NodeValue(0, PokecSNAPEdu) != collegeVal {
+		t.Errorf("user with basic+college resolved to %d, want college", g.NodeValue(0, PokecSNAPEdu))
+	}
+}
+
+func TestSNAPMostFrequentWordWins(t *testing.T) {
+	// "chat" appears in 3 profiles, "friend" in 2; a profile listing both
+	// resolves to chat.
+	profiles := strings.Join([]string{
+		profile(1, "1", "ba", 23, "basic", "chat friend", "single"),
+		profile(2, "0", "ba", 23, "basic", "chat", "single"),
+		profile(3, "1", "ba", 23, "basic", "chat friend", "single"),
+	}, "\n")
+	g, err := LoadSNAPPokec(strings.NewReader(profiles), strings.NewReader(""), fixtureOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Schema()
+	lookAttr, _ := s.NodeAttr("L")
+	chatVal, ok := s.Node[lookAttr].ValueOf("chat")
+	if !ok {
+		t.Fatal("chat missing from vocabulary")
+	}
+	if g.NodeValue(0, PokecSNAPLooking) != chatVal {
+		t.Errorf("looking = %d, want chat=%d", g.NodeValue(0, PokecSNAPLooking), chatVal)
+	}
+}
+
+func TestSNAPRegionCap(t *testing.T) {
+	opt := fixtureOptions()
+	opt.MaxRegions = 1
+	// Two regions: "ba" x2, "ke" x1 -> only "ba" survives, "ke" users drop.
+	profiles := strings.Join([]string{
+		profile(1, "1", "ba", 23, "basic", "chat", "single"),
+		profile(2, "0", "ba", 23, "basic", "chat", "single"),
+		profile(3, "1", "ke", 23, "basic", "chat", "single"),
+	}, "\n")
+	g, err := LoadSNAPPokec(strings.NewReader(profiles), strings.NewReader(""), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("kept %d users, want 2 (region cap)", g.NumNodes())
+	}
+}
+
+func TestSNAPErrors(t *testing.T) {
+	opt := fixtureOptions()
+	cases := []struct {
+		name               string
+		profiles, relation string
+	}{
+		{"short profile line", "1\t1\tba", ""},
+		{"bad user id", "x\t1\tba\t23\tbasic\tchat\tsingle\tz", ""},
+		{"bad relationship", profile(1, "1", "ba", 23, "basic", "chat", "single"), "1"},
+		{"bad relationship ids", profile(1, "1", "ba", 23, "basic", "chat", "single"), "a\tb"},
+	}
+	for _, c := range cases {
+		_, err := LoadSNAPPokec(strings.NewReader(c.profiles), strings.NewReader(c.relation), opt)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAgeBuckets(t *testing.T) {
+	cases := map[int]graph.Value{
+		-1: graph.Null, 0: graph.Null,
+		1: 1, 6: 1, 7: 2, 13: 2, 14: 3, 17: 3, 18: 4, 24: 4,
+		25: 5, 34: 5, 35: 6, 44: 6, 45: 7, 54: 7, 55: 8, 64: 8,
+		65: 9, 79: 9, 80: 10, 99: 10,
+	}
+	for age, want := range cases {
+		if got := ageBucket(age); got != want {
+			t.Errorf("ageBucket(%d) = %d, want %d", age, got, want)
+		}
+	}
+}
+
+func TestNormalizeWords(t *testing.T) {
+	got := normalizeWords("Vysoká ŠKOLA 2. stupňa!")
+	// Non-ASCII letters are dropped by the simple normaliser; ASCII words
+	// survive lowercased.
+	joined := strings.Join(got, " ")
+	if strings.ContainsAny(joined, "0123456789!.") {
+		t.Errorf("normalizeWords kept punctuation/digits: %q", got)
+	}
+	if normalizeWords("") != nil && len(normalizeWords("")) != 0 {
+		t.Error("empty text must produce no words")
+	}
+	if w := normalizeWords("ABC def"); len(w) != 2 || w[0] != "abc" || w[1] != "def" {
+		t.Errorf("normalizeWords = %q", w)
+	}
+}

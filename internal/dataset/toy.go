@@ -1,0 +1,105 @@
+// Package dataset provides ready-made networks: the paper's Figure 1 toy
+// dating network and helpers for loading real datasets from disk.
+package dataset
+
+import "grminer/internal/graph"
+
+// Toy dating network value constants (Figure 1b).
+const (
+	SexF = 1
+	SexM = 2
+
+	RaceAsian  = 1
+	RaceLatino = 2
+	RaceWhite  = 3
+
+	EduHighSchool = 1
+	EduCollege    = 2
+	EduGrad       = 3
+
+	TypeDates = 1
+)
+
+// Toy node attribute indices.
+const (
+	ToySex = iota
+	ToyRace
+	ToyEdu
+)
+
+// ToySchema returns the schema of the toy dating network: SEX (non-
+// homophily, as dating can be between same or opposite sex), RACE and EDU
+// (homophily, Section III-B).
+func ToySchema() *graph.Schema {
+	s, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "SEX", Domain: 2, Labels: []string{"∅", "F", "M"}},
+			{Name: "RACE", Domain: 3, Homophily: true, Labels: []string{"∅", "Asian", "Latino", "White"}},
+			{Name: "EDU", Domain: 3, Homophily: true, Labels: []string{"∅", "HighSchool", "College", "Grad"}},
+		},
+		[]graph.Attribute{
+			{Name: "TYPE", Domain: 1, Labels: []string{"∅", "dates"}},
+		},
+	)
+	if err != nil {
+		panic(err) // static definition; cannot fail
+	}
+	return s
+}
+
+// ToyDating builds the Figure 1 toy online-dating network. The paper prints
+// the node table (Figure 1b) but the topology figure does not survive as
+// text, so the 15 dyadic ties below are reconstructed to satisfy every
+// measurement the paper reports about this network:
+//
+//	GR1 (SEX:M) -> (SEX:F, RACE:Asian):          supp 7/15, conf 7/14
+//	GR2 (SEX:M, RACE:Asian) -> (SEX:F, RACE:Asian): supp 0,  conf 0
+//	GR3 (SEX:F, EDU:Grad) -> (SEX:M, EDU:Grad):  supp 4/15, conf 4/6
+//	GR4 (SEX:F, EDU:Grad) -> (SEX:M, EDU:College): supp 2/15, conf 2/6, nhp 100%
+//
+// Each undirected dyad is stored as two directed edges (Section III), so the
+// graph has 30 directed edges; the paper's x/15 supports count dyads. In the
+// directed representation supp(GR1) = 7 because exactly one direction of an
+// M–F dyad has a male source.
+func ToyDating() *graph.Graph {
+	g := graph.MustNew(ToySchema(), 14)
+	// Node ids are paper ids minus one. (SEX, RACE, EDU) per Figure 1b.
+	rows := [][3]graph.Value{
+		{SexF, RaceAsian, EduGrad},        // 1
+		{SexF, RaceLatino, EduGrad},       // 2
+		{SexF, RaceWhite, EduGrad},        // 3
+		{SexF, RaceAsian, EduCollege},     // 4
+		{SexF, RaceWhite, EduCollege},     // 5
+		{SexF, RaceAsian, EduHighSchool},  // 6
+		{SexF, RaceLatino, EduHighSchool}, // 7
+		{SexM, RaceAsian, EduGrad},        // 8
+		{SexM, RaceLatino, EduGrad},       // 9
+		{SexM, RaceWhite, EduGrad},        // 10
+		{SexM, RaceLatino, EduCollege},    // 11
+		{SexM, RaceWhite, EduCollege},     // 12
+		{SexM, RaceAsian, EduHighSchool},  // 13
+		{SexM, RaceWhite, EduHighSchool},  // 14
+	}
+	for n, r := range rows {
+		if err := g.SetNodeValues(n, r[0], r[1], r[2]); err != nil {
+			panic(err)
+		}
+	}
+	// 15 dyads (paper ids): 14 male–female ties plus one female–female tie.
+	dyads := [][2]int{
+		{1, 9}, {1, 10}, {1, 11}, // Asian F grad with non-Asian grads/college
+		{2, 8}, {2, 12},
+		{3, 9},
+		{4, 12}, {4, 14},
+		{6, 10}, {6, 14},
+		{5, 8}, {5, 13},
+		{7, 13}, {7, 12},
+		{5, 7}, // the single same-sex tie
+	}
+	for _, d := range dyads {
+		if err := g.AddUndirected(d[0]-1, d[1]-1, TypeDates); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"testing"
+
+	"grminer/internal/graph"
+)
+
+func TestToySchema(t *testing.T) {
+	s := ToySchema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Node) != 3 || len(s.Edge) != 1 {
+		t.Fatalf("schema shape: %d node, %d edge attrs", len(s.Node), len(s.Edge))
+	}
+	if s.Node[ToySex].Homophily {
+		t.Error("SEX must not be a homophily attribute (dating crosses sexes)")
+	}
+	if !s.Node[ToyRace].Homophily || !s.Node[ToyEdu].Homophily {
+		t.Error("RACE and EDU must be homophily attributes")
+	}
+	if s.Node[ToyEdu].Label(EduGrad) != "Grad" {
+		t.Errorf("EDU label = %q", s.Node[ToyEdu].Label(EduGrad))
+	}
+}
+
+func TestToyDatingStructure(t *testing.T) {
+	g := ToyDating()
+	if g.NumNodes() != 14 {
+		t.Fatalf("nodes = %d, want 14 (Figure 1b)", g.NumNodes())
+	}
+	// 15 dyads -> 30 directed edges.
+	if g.NumEdges() != 30 {
+		t.Fatalf("edges = %d, want 30", g.NumEdges())
+	}
+	// Figure 1b row checks (paper ids 1, 8, 14 -> nodes 0, 7, 13).
+	checks := []struct {
+		node           int
+		sex, race, edu graph.Value
+	}{
+		{0, SexF, RaceAsian, EduGrad},
+		{7, SexM, RaceAsian, EduGrad},
+		{13, SexM, RaceWhite, EduHighSchool},
+	}
+	for _, c := range checks {
+		if g.NodeValue(c.node, ToySex) != c.sex ||
+			g.NodeValue(c.node, ToyRace) != c.race ||
+			g.NodeValue(c.node, ToyEdu) != c.edu {
+			t.Errorf("node %d attributes = %v", c.node, g.NodeValues(c.node))
+		}
+	}
+	// Every edge has its reverse twin and the dates type.
+	for e := 0; e < g.NumEdges(); e += 2 {
+		if g.Src(e) != g.Dst(e+1) || g.Dst(e) != g.Src(e+1) {
+			t.Fatalf("edge %d lacks reverse twin", e)
+		}
+		if g.EdgeValue(e, 0) != TypeDates {
+			t.Fatalf("edge %d type = %d", e, g.EdgeValue(e, 0))
+		}
+	}
+	// Exactly 7 females and 7 males.
+	var f, m int
+	for n := 0; n < g.NumNodes(); n++ {
+		switch g.NodeValue(n, ToySex) {
+		case SexF:
+			f++
+		case SexM:
+			m++
+		}
+	}
+	if f != 7 || m != 7 {
+		t.Errorf("gender counts: %dF %dM", f, m)
+	}
+	// 14 edges originate from males (GR1's conf denominator).
+	maleSrc := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.NodeValue(g.Src(e), ToySex) == SexM {
+			maleSrc++
+		}
+	}
+	if maleSrc != 14 {
+		t.Errorf("male-source edges = %d, want 14", maleSrc)
+	}
+}

@@ -1,0 +1,313 @@
+// Package gr models group relationships (GRs), the pattern language of
+// "Mining Social Ties Beyond Homophily": l -w-> r where l and r are node
+// descriptors over edge sources and destinations and w is an edge descriptor
+// (Definition 1). It provides the homophily machinery of Section III-B:
+// the β attribute set, the homophily effect l -w-> l[β], triviality, and the
+// generality order and ranking used by Definition 5.
+package gr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grminer/internal/graph"
+)
+
+// Cond is one (attribute : value) pair of a descriptor. Attr indexes the
+// schema's node or edge attribute list depending on where the condition is
+// used; Val is never the null value in a well-formed descriptor.
+type Cond struct {
+	Attr int
+	Val  graph.Value
+}
+
+// Descriptor is a set of conditions, sorted by attribute index with no
+// duplicate attributes. The zero value is the empty descriptor.
+type Descriptor []Cond
+
+// D builds a descriptor from (attr, val, attr, val, ...) pairs; it panics on
+// malformed input and is intended for fixtures and tests.
+func D(pairs ...int) Descriptor {
+	if len(pairs)%2 != 0 {
+		panic("gr: D requires attr/value pairs")
+	}
+	var d Descriptor
+	for i := 0; i < len(pairs); i += 2 {
+		d = d.With(pairs[i], graph.Value(pairs[i+1]))
+	}
+	return d
+}
+
+// Get returns the value for attr and whether attr is constrained.
+func (d Descriptor) Get(attr int) (graph.Value, bool) {
+	i := sort.Search(len(d), func(i int) bool { return d[i].Attr >= attr })
+	if i < len(d) && d[i].Attr == attr {
+		return d[i].Val, true
+	}
+	return graph.Null, false
+}
+
+// Has reports whether attr is constrained.
+func (d Descriptor) Has(attr int) bool {
+	_, ok := d.Get(attr)
+	return ok
+}
+
+// With returns a copy of d with (attr : val) added or replaced, keeping the
+// sorted invariant. d itself is never mutated.
+func (d Descriptor) With(attr int, val graph.Value) Descriptor {
+	i := sort.Search(len(d), func(i int) bool { return d[i].Attr >= attr })
+	out := make(Descriptor, 0, len(d)+1)
+	out = append(out, d[:i]...)
+	if i < len(d) && d[i].Attr == attr {
+		out = append(out, Cond{attr, val})
+		out = append(out, d[i+1:]...)
+		return out
+	}
+	out = append(out, Cond{attr, val})
+	out = append(out, d[i:]...)
+	return out
+}
+
+// Without returns a copy of d with attr removed (no-op if absent).
+func (d Descriptor) Without(attr int) Descriptor {
+	out := make(Descriptor, 0, len(d))
+	for _, c := range d {
+		if c.Attr != attr {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (d Descriptor) Clone() Descriptor {
+	return append(Descriptor(nil), d...)
+}
+
+// SubsetOf reports whether every condition of d appears in other with the
+// same value.
+func (d Descriptor) SubsetOf(other Descriptor) bool {
+	j := 0
+	for _, c := range d {
+		for j < len(other) && other[j].Attr < c.Attr {
+			j++
+		}
+		if j >= len(other) || other[j].Attr != c.Attr || other[j].Val != c.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports descriptor equality.
+func (d Descriptor) Equal(other Descriptor) bool {
+	if len(d) != len(other) {
+		return false
+	}
+	for i := range d {
+		if d[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid checks sortedness, uniqueness, non-null values and domain bounds
+// against the given attribute set.
+func (d Descriptor) Valid(attrs []graph.Attribute) error {
+	for i, c := range d {
+		if i > 0 && d[i-1].Attr >= c.Attr {
+			return fmt.Errorf("gr: descriptor not sorted/unique at %d", i)
+		}
+		if c.Attr < 0 || c.Attr >= len(attrs) {
+			return fmt.Errorf("gr: attribute %d out of range", c.Attr)
+		}
+		if c.Val == graph.Null {
+			return fmt.Errorf("gr: null value for attribute %s", attrs[c.Attr].Name)
+		}
+		if int(c.Val) > attrs[c.Attr].Domain {
+			return fmt.Errorf("gr: value %d out of domain of %s", c.Val, attrs[c.Attr].Name)
+		}
+	}
+	return nil
+}
+
+// format renders the descriptor with schema labels, e.g. "(SEX:F, EDU:Grad)".
+func (d Descriptor) format(attrs []graph.Attribute) string {
+	if len(d) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		if c.Attr >= 0 && c.Attr < len(attrs) {
+			a := &attrs[c.Attr]
+			parts[i] = fmt.Sprintf("%s:%s", a.Name, a.Label(c.Val))
+		} else {
+			parts[i] = fmt.Sprintf("?%d:%d", c.Attr, c.Val)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// GR is a group relationship l -w-> r (Definition 1). L and R are node
+// descriptors, W an edge descriptor.
+type GR struct {
+	L Descriptor
+	W Descriptor
+	R Descriptor
+}
+
+// Clone returns a deep copy.
+func (g GR) Clone() GR {
+	return GR{L: g.L.Clone(), W: g.W.Clone(), R: g.R.Clone()}
+}
+
+// Valid checks all three descriptors against the schema and that the RHS is
+// non-empty (a GR must assert something about destinations).
+func (g GR) Valid(s *graph.Schema) error {
+	if len(g.R) == 0 {
+		return fmt.Errorf("gr: empty RHS")
+	}
+	if err := g.L.Valid(s.Node); err != nil {
+		return fmt.Errorf("gr: LHS: %w", err)
+	}
+	if err := g.W.Valid(s.Edge); err != nil {
+		return fmt.Errorf("gr: W: %w", err)
+	}
+	if err := g.R.Valid(s.Node); err != nil {
+		return fmt.Errorf("gr: RHS: %w", err)
+	}
+	return nil
+}
+
+// Beta returns β (Equation 4): the homophily attributes constrained on both
+// sides with different values. The result is sorted by attribute index.
+func (g GR) Beta(s *graph.Schema) []int {
+	var beta []int
+	for _, rc := range g.R {
+		if !s.Node[rc.Attr].Homophily {
+			continue
+		}
+		if lv, ok := g.L.Get(rc.Attr); ok && lv != rc.Val {
+			beta = append(beta, rc.Attr)
+		}
+	}
+	return beta
+}
+
+// HomophilyEffect returns the homophily-effect GR l -w-> l[β] (Equation 5)
+// and whether β is non-empty. When β = ∅ the first result is the zero GR.
+func (g GR) HomophilyEffect(s *graph.Schema) (GR, bool) {
+	beta := g.Beta(s)
+	if len(beta) == 0 {
+		return GR{}, false
+	}
+	var r Descriptor
+	for _, a := range beta {
+		lv, _ := g.L.Get(a)
+		r = r.With(a, lv)
+	}
+	return GR{L: g.L.Clone(), W: g.W.Clone(), R: r}, true
+}
+
+// Trivial reports whether the GR is trivial (Section III-B): every value in
+// r is from a homophily attribute and appears in l with the same value. A
+// trivial GR is fully expected from the homophily principle.
+func (g GR) Trivial(s *graph.Schema) bool {
+	if len(g.R) == 0 {
+		return false
+	}
+	for _, rc := range g.R {
+		if !s.Node[rc.Attr].Homophily {
+			return false
+		}
+		lv, ok := g.L.Get(rc.Attr)
+		if !ok || lv != rc.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// MoreGeneral reports whether a is more general than b (Section III-C):
+// a.L ⊆ b.L, a.W ⊆ b.W and a.R = b.R. A GR is more general than itself.
+func MoreGeneral(a, b GR) bool {
+	return a.L.SubsetOf(b.L) && a.W.SubsetOf(b.W) && a.R.Equal(b.R)
+}
+
+// StrictlyMoreGeneral is MoreGeneral excluding equality.
+func StrictlyMoreGeneral(a, b GR) bool {
+	if !MoreGeneral(a, b) {
+		return false
+	}
+	return len(a.L) < len(b.L) || len(a.W) < len(b.W)
+}
+
+// Key returns a canonical, schema-independent encoding used for maps and for
+// the deterministic "alphabetical" tie-break of Definition 5.
+func (g GR) Key() string {
+	var b strings.Builder
+	writeDesc := func(tag byte, d Descriptor) {
+		b.WriteByte(tag)
+		for _, c := range d {
+			fmt.Fprintf(&b, "%d:%d;", c.Attr, c.Val)
+		}
+	}
+	writeDesc('L', g.L)
+	writeDesc('W', g.W)
+	writeDesc('R', g.R)
+	return b.String()
+}
+
+// RHSKey canonically encodes only the RHS; the generality filter groups
+// candidate blockers by identical RHS.
+func (g GR) RHSKey() string {
+	var b strings.Builder
+	for _, c := range g.R {
+		fmt.Fprintf(&b, "%d:%d;", c.Attr, c.Val)
+	}
+	return b.String()
+}
+
+// Format renders the GR with schema labels, e.g.
+// "(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)" or, with edge conditions,
+// "(A:DB) -[S:often]-> (A:DM)".
+func (g GR) Format(s *graph.Schema) string {
+	arrow := " -> "
+	if len(g.W) > 0 {
+		arrow = " -[" + strings.Trim(g.W.format(s.Edge), "()") + "]-> "
+	}
+	return g.L.format(s.Node) + arrow + g.R.format(s.Node)
+}
+
+// String renders the GR with raw attribute indices (no schema needed).
+func (g GR) String() string {
+	return fmt.Sprintf("L%v W%v R%v", g.L, g.W, g.R)
+}
+
+// Scored pairs a GR with its measurements for ranking and reporting.
+type Scored struct {
+	GR    GR
+	Supp  int     // absolute support |E(l ∧ w ∧ r)|
+	Score float64 // primary ranking metric (nhp by default)
+	Conf  float64 // standard confidence, kept for comparison output
+}
+
+// Less orders Scored GRs by Definition 5 rank: score (nhp) descending, then
+// support descending, then canonical key ascending.
+func Less(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Supp != b.Supp {
+		return a.Supp > b.Supp
+	}
+	return a.GR.Key() < b.GR.Key()
+}
+
+// Sort sorts rs into Definition 5 rank order.
+func Sort(rs []Scored) {
+	sort.Slice(rs, func(i, j int) bool { return Less(rs[i], rs[j]) })
+}

@@ -1,0 +1,323 @@
+package gr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"grminer/internal/graph"
+)
+
+func schema(t *testing.T) *graph.Schema {
+	t.Helper()
+	s, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "SEX", Domain: 2, Labels: []string{"∅", "F", "M"}},
+			{Name: "RACE", Domain: 3, Homophily: true},
+			{Name: "EDU", Domain: 3, Homophily: true, Labels: []string{"∅", "HighSchool", "College", "Grad"}},
+		},
+		[]graph.Attribute{{Name: "TYPE", Domain: 2, Labels: []string{"∅", "dates", "friends"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDescriptorWithGet(t *testing.T) {
+	var d Descriptor
+	d = d.With(2, 3).With(0, 1).With(5, 2)
+	if len(d) != 3 || d[0].Attr != 0 || d[1].Attr != 2 || d[2].Attr != 5 {
+		t.Fatalf("sorted invariant broken: %v", d)
+	}
+	if v, ok := d.Get(2); !ok || v != 3 {
+		t.Errorf("Get(2) = %d, %v", v, ok)
+	}
+	if _, ok := d.Get(4); ok {
+		t.Error("Get(4) found missing attr")
+	}
+	d2 := d.With(2, 1) // replace
+	if v, _ := d2.Get(2); v != 1 {
+		t.Errorf("replace failed: %d", v)
+	}
+	if v, _ := d.Get(2); v != 3 {
+		t.Error("With mutated receiver")
+	}
+	d3 := d.Without(2)
+	if d3.Has(2) || len(d3) != 2 {
+		t.Errorf("Without failed: %v", d3)
+	}
+}
+
+func TestDescriptorSubsetEqual(t *testing.T) {
+	a := D(0, 1, 2, 3)
+	b := D(0, 1, 1, 2, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !Descriptor(nil).SubsetOf(a) {
+		t.Error("empty should be subset of anything")
+	}
+	if !a.SubsetOf(a) || !a.Equal(a.Clone()) {
+		t.Error("reflexivity broken")
+	}
+	c := D(0, 2, 2, 3)
+	if a.SubsetOf(c) { // same attr, different value
+		t.Error("subset ignored value mismatch")
+	}
+	if a.Equal(c) {
+		t.Error("Equal ignored value mismatch")
+	}
+}
+
+func TestDescriptorValid(t *testing.T) {
+	s := schema(t)
+	if err := D(0, 1, 2, 3).Valid(s.Node); err != nil {
+		t.Errorf("valid descriptor rejected: %v", err)
+	}
+	bad := []Descriptor{
+		{{Attr: 0, Val: 0}},         // null value
+		{{Attr: 9, Val: 1}},         // attr out of range
+		{{Attr: 0, Val: 9}},         // value out of domain
+		{{Attr: 1, Val: 1}, {0, 1}}, // unsorted
+		{{Attr: 1, Val: 1}, {1, 2}}, // duplicate attr
+		{{Attr: -1, Val: 1}},        // negative attr
+	}
+	for i, d := range bad {
+		if err := d.Valid(s.Node); err == nil {
+			t.Errorf("case %d: invalid descriptor %v accepted", i, d)
+		}
+	}
+}
+
+// Paper Example 2 / Section III-B: GR4 = (SEX:F, EDU:Grad) -> (SEX:M,
+// EDU:College) has β = {EDU} and homophily effect (SEX:F, EDU:Grad) ->
+// (EDU:Grad).
+func TestBetaAndHomophilyEffect(t *testing.T) {
+	s := schema(t)
+	gr4 := GR{
+		L: D(0, 1, 2, 3), // SEX:F, EDU:Grad
+		R: D(0, 2, 2, 2), // SEX:M, EDU:College
+	}
+	beta := gr4.Beta(s)
+	if len(beta) != 1 || beta[0] != 2 {
+		t.Fatalf("β = %v, want [EDU]", beta)
+	}
+	eff, ok := gr4.HomophilyEffect(s)
+	if !ok {
+		t.Fatal("homophily effect missing")
+	}
+	if !eff.L.Equal(gr4.L) || !eff.R.Equal(D(2, 3)) {
+		t.Errorf("effect = %v", eff)
+	}
+	if !eff.Trivial(s) {
+		t.Error("homophily effect must be trivial")
+	}
+
+	// GR3 = (SEX:F, EDU:Grad) -> (SEX:M, EDU:Grad): EDU matches, so β = ∅
+	// (SEX is non-homophily and never enters β).
+	gr3 := GR{L: D(0, 1, 2, 3), R: D(0, 2, 2, 3)}
+	if len(gr3.Beta(s)) != 0 {
+		t.Errorf("GR3 β = %v, want empty", gr3.Beta(s))
+	}
+	if _, ok := gr3.HomophilyEffect(s); ok {
+		t.Error("GR3 should have no homophily effect")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := schema(t)
+	cases := []struct {
+		name string
+		g    GR
+		want bool
+	}{
+		{"matching homophily value", GR{L: D(2, 3), R: D(2, 3)}, true},
+		{"two matching values", GR{L: D(1, 2, 2, 3), R: D(1, 2, 2, 3)}, true},
+		{"different value", GR{L: D(2, 3), R: D(2, 2)}, false},
+		{"non-homophily attr in RHS", GR{L: D(0, 1), R: D(0, 1)}, false},
+		{"RHS attr missing from LHS", GR{L: D(0, 1), R: D(2, 3)}, false},
+		{"mixed trivial+nontrivial", GR{L: D(2, 3), R: D(0, 1, 2, 3)}, false},
+		{"empty RHS", GR{L: D(2, 3)}, false},
+		{"with edge attr", GR{L: D(2, 3), W: D(0, 1), R: D(2, 3)}, true},
+	}
+	for _, c := range cases {
+		if got := c.g.Trivial(s); got != c.want {
+			t.Errorf("%s: Trivial = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMoreGeneral(t *testing.T) {
+	g1 := GR{L: D(0, 1), R: D(2, 3)}
+	g2 := GR{L: D(0, 1, 1, 2), W: D(0, 1), R: D(2, 3)}
+	g3 := GR{L: D(0, 1), R: D(2, 2)} // different RHS
+	if !MoreGeneral(g1, g2) || !StrictlyMoreGeneral(g1, g2) {
+		t.Error("g1 should be (strictly) more general than g2")
+	}
+	if MoreGeneral(g2, g1) {
+		t.Error("g2 is not more general than g1")
+	}
+	if MoreGeneral(g1, g3) {
+		t.Error("different RHS cannot be comparable")
+	}
+	if !MoreGeneral(g1, g1) || StrictlyMoreGeneral(g1, g1) {
+		t.Error("reflexive generality wrong")
+	}
+}
+
+func TestValidGR(t *testing.T) {
+	s := schema(t)
+	good := GR{L: D(0, 1), W: D(0, 1), R: D(2, 3)}
+	if err := good.Valid(s); err != nil {
+		t.Errorf("valid GR rejected: %v", err)
+	}
+	if err := (GR{L: D(0, 1)}).Valid(s); err == nil {
+		t.Error("empty RHS accepted")
+	}
+	if err := (GR{R: D(0, 9)}).Valid(s); err == nil {
+		t.Error("out-of-domain RHS accepted")
+	}
+	if err := (GR{W: D(5, 1), R: D(0, 1)}).Valid(s); err == nil {
+		t.Error("bad edge attr accepted")
+	}
+}
+
+func TestFormatAndKey(t *testing.T) {
+	s := schema(t)
+	g := GR{L: D(0, 1, 2, 3), R: D(0, 2, 2, 2)}
+	want := "(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)"
+	if got := g.Format(s); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	gw := GR{L: D(1, 1), W: D(0, 1), R: D(1, 2)}
+	if got := gw.Format(s); got != "(RACE:1) -[TYPE:dates]-> (RACE:2)" {
+		t.Errorf("Format with edge = %q", got)
+	}
+	if got := (GR{R: D(0, 1)}).Format(s); got != "() -> (SEX:F)" {
+		t.Errorf("empty LHS Format = %q", got)
+	}
+	if g.Key() == gw.Key() {
+		t.Error("distinct GRs share a key")
+	}
+	if g.Key() != g.Clone().Key() {
+		t.Error("clone changed key")
+	}
+	if g.RHSKey() != (GR{L: D(1, 1), R: D(0, 2, 2, 2)}).RHSKey() {
+		t.Error("RHSKey should ignore LHS")
+	}
+}
+
+func TestScoredOrdering(t *testing.T) {
+	a := Scored{GR: GR{R: D(0, 1)}, Supp: 10, Score: 0.9}
+	b := Scored{GR: GR{R: D(0, 2)}, Supp: 99, Score: 0.8}
+	c := Scored{GR: GR{R: D(0, 2)}, Supp: 99, Score: 0.9}
+	d := Scored{GR: GR{R: D(1, 1)}, Supp: 10, Score: 0.9}
+	if !Less(a, b) {
+		t.Error("higher score must rank first")
+	}
+	if !Less(c, a) {
+		t.Error("equal score: higher supp must rank first")
+	}
+	if !Less(a, d) {
+		t.Error("equal score+supp: key order must break ties")
+	}
+	rs := []Scored{b, d, a, c}
+	Sort(rs)
+	if !Less(rs[0], rs[1]) || !Less(rs[1], rs[2]) || !Less(rs[2], rs[3]) {
+		t.Errorf("Sort order wrong: %v", rs)
+	}
+}
+
+func randomDescriptor(r *rand.Rand, nAttrs, maxDomain int) Descriptor {
+	var d Descriptor
+	for a := 0; a < nAttrs; a++ {
+		if r.Intn(2) == 0 {
+			d = d.With(a, graph.Value(1+r.Intn(maxDomain)))
+		}
+	}
+	return d
+}
+
+// Property: SubsetOf agrees with a naive map-based implementation.
+func TestSubsetOfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomDescriptor(r, 5, 3)
+		b := randomDescriptor(r, 5, 3)
+		m := make(map[int]graph.Value)
+		for _, c := range b {
+			m[c.Attr] = c.Val
+		}
+		naive := true
+		for _, c := range a {
+			if m[c.Attr] != c.Val {
+				naive = false
+				break
+			}
+		}
+		return a.SubsetOf(b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: With keeps descriptors sorted and unique, and Get returns what
+// was last written.
+func TestWithInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var d Descriptor
+		last := make(map[int]graph.Value)
+		for _, op := range ops {
+			attr := int(op % 8)
+			val := graph.Value(op%5 + 1)
+			d = d.With(attr, val)
+			last[attr] = val
+		}
+		if !sort.SliceIsSorted(d, func(i, j int) bool { return d[i].Attr < d[j].Attr }) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range d {
+			if seen[c.Attr] {
+				return false
+			}
+			seen[c.Attr] = true
+			if last[c.Attr] != c.Val {
+				return false
+			}
+		}
+		return len(d) == len(last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the homophily effect is always trivial and its β is empty.
+func TestHomophilyEffectProperty(t *testing.T) {
+	s := schema(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := GR{
+			L: randomDescriptor(r, len(s.Node), 2),
+			R: randomDescriptor(r, len(s.Node), 2),
+		}
+		if len(g.R) == 0 {
+			return true
+		}
+		eff, ok := g.HomophilyEffect(s)
+		if !ok {
+			return len(g.Beta(s)) == 0
+		}
+		return eff.Trivial(s) && len(eff.Beta(s)) == 0 && len(eff.R) == len(g.Beta(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

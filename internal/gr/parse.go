@@ -1,0 +1,101 @@
+package gr
+
+import (
+	"fmt"
+	"strings"
+
+	"grminer/internal/graph"
+)
+
+// ParseGR parses the textual GR form produced by Format:
+//
+//	(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)
+//	(A:DB) -[S:often]-> (A:DM)
+//	() -> (G:Female)
+//
+// Attribute names and value labels are resolved against the schema; bare
+// integers are accepted as values for unlabeled attributes.
+func ParseGR(s *graph.Schema, text string) (GR, error) {
+	text = strings.TrimSpace(text)
+	arrow := strings.Index(text, "->")
+	if arrow < 0 {
+		return GR{}, fmt.Errorf("gr: missing '->' in %q", text)
+	}
+	lhsText := strings.TrimSpace(text[:arrow])
+	rhsText := strings.TrimSpace(text[arrow+2:])
+
+	// An edge descriptor rides on the arrow as "-[...]->", so the LHS text
+	// ends with "-[...]" when present.
+	var wText string
+	if strings.HasSuffix(lhsText, "]") {
+		open := strings.LastIndex(lhsText, "-[")
+		if open < 0 {
+			return GR{}, fmt.Errorf("gr: unmatched ']' in %q", text)
+		}
+		wText = lhsText[open+2 : len(lhsText)-1]
+		lhsText = strings.TrimSpace(lhsText[:open])
+	}
+
+	l, err := ParseDescriptor(s.Node, lhsText)
+	if err != nil {
+		return GR{}, fmt.Errorf("gr: LHS: %w", err)
+	}
+	r, err := ParseDescriptor(s.Node, rhsText)
+	if err != nil {
+		return GR{}, fmt.Errorf("gr: RHS: %w", err)
+	}
+	var w Descriptor
+	if wText != "" {
+		w, err = ParseDescriptor(s.Edge, "("+wText+")")
+		if err != nil {
+			return GR{}, fmt.Errorf("gr: edge descriptor: %w", err)
+		}
+	}
+	g := GR{L: l, W: w, R: r}
+	if err := g.Valid(s); err != nil {
+		return GR{}, err
+	}
+	return g, nil
+}
+
+// ParseDescriptor parses "(Name:Label, Name:Label)" (or "()" for the empty
+// descriptor) against the given attribute set.
+func ParseDescriptor(attrs []graph.Attribute, text string) (Descriptor, error) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "(") || !strings.HasSuffix(text, ")") {
+		return nil, fmt.Errorf("descriptor %q must be parenthesised", text)
+	}
+	inner := strings.TrimSpace(text[1 : len(text)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	var d Descriptor
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		colon := strings.Index(part, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("condition %q missing ':'", part)
+		}
+		name := strings.TrimSpace(part[:colon])
+		label := strings.TrimSpace(part[colon+1:])
+		attr := -1
+		for i := range attrs {
+			if attrs[i].Name == name {
+				attr = i
+				break
+			}
+		}
+		if attr < 0 {
+			return nil, fmt.Errorf("unknown attribute %q", name)
+		}
+		v, ok := attrs[attr].ValueOf(label)
+		if !ok || v == graph.Null {
+			return nil, fmt.Errorf("unknown value %q for attribute %s", label, name)
+		}
+		if d.Has(attr) {
+			return nil, fmt.Errorf("duplicate attribute %q", name)
+		}
+		d = d.With(attr, v)
+	}
+	return d, nil
+}

@@ -1,0 +1,87 @@
+package gr
+
+import (
+	"testing"
+
+	"grminer/internal/graph"
+)
+
+func parseSchema(t *testing.T) *graph.Schema {
+	t.Helper()
+	s, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "SEX", Domain: 2, Labels: []string{"∅", "F", "M"}},
+			{Name: "EDU", Domain: 3, Homophily: true, Labels: []string{"∅", "HighSchool", "College", "Grad"}},
+		},
+		[]graph.Attribute{{Name: "S", Domain: 3, Labels: []string{"∅", "occasional", "moderate", "often"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseGRRoundTrip(t *testing.T) {
+	s := parseSchema(t)
+	cases := []GR{
+		{L: D(0, 1, 1, 3), R: D(0, 2, 1, 2)},
+		{L: D(1, 1), W: D(0, 3), R: D(1, 2)},
+		{R: D(0, 2)},
+		{L: D(0, 1), W: D(0, 1), R: D(0, 2, 1, 1)},
+	}
+	for _, want := range cases {
+		text := want.Format(s)
+		got, err := ParseGR(s, text)
+		if err != nil {
+			t.Fatalf("ParseGR(%q): %v", text, err)
+		}
+		if got.Key() != want.Key() {
+			t.Errorf("round trip %q: got %s want %s", text, got.Key(), want.Key())
+		}
+	}
+}
+
+func TestParseGRNumericValues(t *testing.T) {
+	s := parseSchema(t)
+	g, err := ParseGR(s, "(EDU:2) -> (EDU:3)")
+	if err != nil {
+		t.Fatalf("numeric parse: %v", err)
+	}
+	if v, _ := g.L.Get(1); v != 2 {
+		t.Errorf("numeric LHS value = %d", v)
+	}
+}
+
+func TestParseGRWhitespace(t *testing.T) {
+	s := parseSchema(t)
+	g, err := ParseGR(s, "  ( SEX:F , EDU:Grad )  ->  ( SEX:M )  ")
+	if err != nil {
+		t.Fatalf("whitespace parse: %v", err)
+	}
+	if len(g.L) != 2 || len(g.R) != 1 {
+		t.Errorf("parsed %v", g)
+	}
+}
+
+func TestParseGRErrors(t *testing.T) {
+	s := parseSchema(t)
+	bad := []string{
+		"",                             // no arrow
+		"(SEX:F) (SEX:M)",              // no arrow
+		"(SEX:F) -> ()",                // empty RHS
+		"(SEX:X) -> (SEX:M)",           // unknown label
+		"(NOPE:1) -> (SEX:M)",          // unknown attribute
+		"(SEX:F -> (SEX:M)",            // unbalanced parens
+		"(SEX:F) -[S:never]-> (SEX:M)", // unknown edge label
+		"(SEX:F) -[X:1]-> (SEX:M)",     // unknown edge attribute
+		"(SEX:F, SEX:M) -> (EDU:Grad)", // duplicate attribute
+		"(SEX:0) -> (SEX:M)",           // null value
+		"(SEX) -> (SEX:M)",             // missing colon
+		"(SEX:9) -> (SEX:M)",           // out of domain
+	}
+	for _, text := range bad {
+		if _, err := ParseGR(s, text); err == nil {
+			t.Errorf("ParseGR accepted %q", text)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package graph
+
+import "fmt"
+
+// Graph is a directed multigraph with attributed nodes and edges. Node and
+// edge attribute values are stored in flat row-major arrays so that large
+// networks stay cache- and GC-friendly. An undirected relationship is
+// represented, as in the paper, by two directed edges in opposite directions.
+type Graph struct {
+	schema   *Schema
+	numNodes int
+	nodeVals []Value // numNodes * len(schema.Node), row-major
+	src      []int32
+	dst      []int32
+	edgeVals []Value // numEdges * len(schema.Edge), row-major
+}
+
+// New creates a graph with numNodes nodes (all attribute values null) and no
+// edges. The schema must be valid.
+func New(schema *Schema, numNodes int) (*Graph, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if numNodes < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", numNodes)
+	}
+	return &Graph{
+		schema:   schema,
+		numNodes: numNodes,
+		nodeVals: make([]Value, numNodes*len(schema.Node)),
+	}, nil
+}
+
+// MustNew is New panicking on error; for tests and static fixtures.
+func MustNew(schema *Schema, numNodes int) *Graph {
+	g, err := New(schema, numNodes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Schema returns the graph's schema. Callers must not mutate it.
+func (g *Graph) Schema() *Schema { return g.schema }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.src) }
+
+// SetNodeValue sets node n's value for node attribute attr.
+func (g *Graph) SetNodeValue(n, attr int, v Value) error {
+	if n < 0 || n >= g.numNodes {
+		return fmt.Errorf("graph: node %d out of range [0, %d)", n, g.numNodes)
+	}
+	if attr < 0 || attr >= len(g.schema.Node) {
+		return fmt.Errorf("graph: node attribute %d out of range", attr)
+	}
+	if int(v) > g.schema.Node[attr].Domain {
+		return fmt.Errorf("graph: value %d out of domain of node attribute %s (|A|=%d)",
+			v, g.schema.Node[attr].Name, g.schema.Node[attr].Domain)
+	}
+	g.nodeVals[n*len(g.schema.Node)+attr] = v
+	return nil
+}
+
+// SetNodeValues sets all attribute values of node n at once.
+func (g *Graph) SetNodeValues(n int, vals ...Value) error {
+	if len(vals) != len(g.schema.Node) {
+		return fmt.Errorf("graph: node %d: %d values for %d attributes", n, len(vals), len(g.schema.Node))
+	}
+	for a, v := range vals {
+		if err := g.SetNodeValue(n, a, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeValue returns node n's value for node attribute attr.
+func (g *Graph) NodeValue(n, attr int) Value {
+	return g.nodeVals[n*len(g.schema.Node)+attr]
+}
+
+// NodeValues returns the attribute row of node n. The returned slice aliases
+// graph storage; callers must not mutate it.
+func (g *Graph) NodeValues(n int) []Value {
+	w := len(g.schema.Node)
+	return g.nodeVals[n*w : n*w+w]
+}
+
+// AddEdge appends a directed edge src -> dst with the given edge attribute
+// values and returns its index.
+func (g *Graph) AddEdge(src, dst int, vals ...Value) (int, error) {
+	if src < 0 || src >= g.numNodes {
+		return -1, fmt.Errorf("graph: edge source %d out of range [0, %d)", src, g.numNodes)
+	}
+	if dst < 0 || dst >= g.numNodes {
+		return -1, fmt.Errorf("graph: edge destination %d out of range [0, %d)", dst, g.numNodes)
+	}
+	if len(vals) != len(g.schema.Edge) {
+		return -1, fmt.Errorf("graph: edge %d->%d: %d values for %d edge attributes",
+			src, dst, len(vals), len(g.schema.Edge))
+	}
+	for a, v := range vals {
+		if int(v) > g.schema.Edge[a].Domain {
+			return -1, fmt.Errorf("graph: value %d out of domain of edge attribute %s (|A|=%d)",
+				v, g.schema.Edge[a].Name, g.schema.Edge[a].Domain)
+		}
+	}
+	e := len(g.src)
+	g.src = append(g.src, int32(src))
+	g.dst = append(g.dst, int32(dst))
+	g.edgeVals = append(g.edgeVals, vals...)
+	return e, nil
+}
+
+// AddUndirected adds the pair of opposite directed edges between a and b.
+func (g *Graph) AddUndirected(a, b int, vals ...Value) error {
+	if _, err := g.AddEdge(a, b, vals...); err != nil {
+		return err
+	}
+	_, err := g.AddEdge(b, a, vals...)
+	return err
+}
+
+// Src returns the source node of edge e.
+func (g *Graph) Src(e int) int { return int(g.src[e]) }
+
+// Dst returns the destination node of edge e.
+func (g *Graph) Dst(e int) int { return int(g.dst[e]) }
+
+// EdgeValue returns edge e's value for edge attribute attr.
+func (g *Graph) EdgeValue(e, attr int) Value {
+	return g.edgeVals[e*len(g.schema.Edge)+attr]
+}
+
+// EdgeValues returns the attribute row of edge e. The returned slice aliases
+// graph storage; callers must not mutate it.
+func (g *Graph) EdgeValues(e int) []Value {
+	w := len(g.schema.Edge)
+	if w == 0 {
+		return nil
+	}
+	return g.edgeVals[e*w : e*w+w]
+}
+
+// OutDegrees returns the out-degree of every node.
+func (g *Graph) OutDegrees() []int32 {
+	deg := make([]int32, g.numNodes)
+	for _, s := range g.src {
+		deg[s]++
+	}
+	return deg
+}
+
+// InDegrees returns the in-degree of every node.
+func (g *Graph) InDegrees() []int32 {
+	deg := make([]int32, g.numNodes)
+	for _, d := range g.dst {
+		deg[d]++
+	}
+	return deg
+}
+
+// Stats summarises a graph for reports and logs.
+type Stats struct {
+	Nodes         int
+	Edges         int
+	NodeAttrs     int
+	EdgeAttrs     int
+	SourceNodes   int // nodes with out-degree > 0
+	SinkNodes     int // nodes with in-degree > 0
+	NullNodeCells int // node attribute cells holding the null value
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	st := Stats{
+		Nodes:     g.numNodes,
+		Edges:     len(g.src),
+		NodeAttrs: len(g.schema.Node),
+		EdgeAttrs: len(g.schema.Edge),
+	}
+	outSeen := make([]bool, g.numNodes)
+	inSeen := make([]bool, g.numNodes)
+	for i := range g.src {
+		outSeen[g.src[i]] = true
+		inSeen[g.dst[i]] = true
+	}
+	for n := 0; n < g.numNodes; n++ {
+		if outSeen[n] {
+			st.SourceNodes++
+		}
+		if inSeen[n] {
+			st.SinkNodes++
+		}
+	}
+	for _, v := range g.nodeVals {
+		if v == Null {
+			st.NullNodeCells++
+		}
+	}
+	return st
+}
+
+// Restrict returns a copy of g whose node attribute set is limited to the
+// given attribute indices (in the given order). Edges and edge attributes are
+// preserved. It is used by the dimensionality sweep of Figure 4d.
+func (g *Graph) Restrict(nodeAttrs []int) (*Graph, error) {
+	node := make([]Attribute, len(nodeAttrs))
+	for i, a := range nodeAttrs {
+		if a < 0 || a >= len(g.schema.Node) {
+			return nil, fmt.Errorf("graph: restrict: node attribute %d out of range", a)
+		}
+		node[i] = g.schema.Node[a]
+	}
+	schema, err := NewSchema(node, append([]Attribute(nil), g.schema.Edge...))
+	if err != nil {
+		return nil, err
+	}
+	out, err := New(schema, g.numNodes)
+	if err != nil {
+		return nil, err
+	}
+	for n := 0; n < g.numNodes; n++ {
+		row := g.NodeValues(n)
+		for i, a := range nodeAttrs {
+			out.nodeVals[n*len(node)+i] = row[a]
+		}
+	}
+	out.src = append([]int32(nil), g.src...)
+	out.dst = append([]int32(nil), g.dst...)
+	out.edgeVals = append([]Value(nil), g.edgeVals...)
+	return out, nil
+}

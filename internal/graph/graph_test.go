@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		[]Attribute{
+			{Name: "SEX", Domain: 2, Labels: []string{"∅", "F", "M"}},
+			{Name: "EDU", Domain: 3, Homophily: true},
+		},
+		[]Attribute{{Name: "TYPE", Domain: 2}},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schema
+	}{
+		{"no node attrs", Schema{}},
+		{"empty name", Schema{Node: []Attribute{{Name: "", Domain: 2}}}},
+		{"zero domain", Schema{Node: []Attribute{{Name: "A", Domain: 0}}}},
+		{"oversize domain", Schema{Node: []Attribute{{Name: "A", Domain: MaxDomain + 1}}}},
+		{"label count", Schema{Node: []Attribute{{Name: "A", Domain: 2, Labels: []string{"x"}}}}},
+		{"dup node names", Schema{Node: []Attribute{{Name: "A", Domain: 2}, {Name: "A", Domain: 2}}}},
+		{"dup edge names", Schema{
+			Node: []Attribute{{Name: "A", Domain: 2}},
+			Edge: []Attribute{{Name: "W", Domain: 2}, {Name: "W", Domain: 3}},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid schema", c.name)
+		}
+	}
+	if err := testSchema(t).Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestAttributeLabels(t *testing.T) {
+	s := testSchema(t)
+	sex := &s.Node[0]
+	if got := sex.Label(2); got != "M" {
+		t.Errorf("Label(2) = %q, want M", got)
+	}
+	if got := sex.Label(0); got != "∅" {
+		t.Errorf("Label(0) = %q, want ∅", got)
+	}
+	edu := &s.Node[1]
+	if got := edu.Label(3); got != "3" {
+		t.Errorf("unlabeled Label(3) = %q, want 3", got)
+	}
+	if v, ok := sex.ValueOf("M"); !ok || v != 2 {
+		t.Errorf("ValueOf(M) = %d, %v", v, ok)
+	}
+	if v, ok := edu.ValueOf("2"); !ok || v != 2 {
+		t.Errorf("numeric ValueOf(2) = %d, %v", v, ok)
+	}
+	if _, ok := edu.ValueOf("nope"); ok {
+		t.Error("ValueOf accepted unknown label")
+	}
+	if _, ok := edu.ValueOf("99"); ok {
+		t.Error("ValueOf accepted out-of-domain numeric")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := MustNew(testSchema(t), 3)
+	if err := g.SetNodeValues(0, 1, 2); err != nil {
+		t.Fatalf("SetNodeValues: %v", err)
+	}
+	if err := g.SetNodeValues(1, 2, 1); err != nil {
+		t.Fatalf("SetNodeValues: %v", err)
+	}
+	if g.NodeValue(0, 1) != 2 || g.NodeValue(1, 0) != 2 {
+		t.Errorf("node values wrong: %v %v", g.NodeValues(0), g.NodeValues(1))
+	}
+	e, err := g.AddEdge(0, 1, 1)
+	if err != nil || e != 0 {
+		t.Fatalf("AddEdge: %d, %v", e, err)
+	}
+	if err := g.AddUndirected(1, 2, 2); err != nil {
+		t.Fatalf("AddUndirected: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.Src(1) != 1 || g.Dst(1) != 2 || g.EdgeValue(1, 0) != 2 {
+		t.Errorf("edge 1 = %d->%d val %d", g.Src(1), g.Dst(1), g.EdgeValue(1, 0))
+	}
+	if g.Src(2) != 2 || g.Dst(2) != 1 {
+		t.Errorf("reverse edge = %d->%d", g.Src(2), g.Dst(2))
+	}
+	out, in := g.OutDegrees(), g.InDegrees()
+	if out[0] != 1 || out[1] != 1 || out[2] != 1 {
+		t.Errorf("out degrees %v", out)
+	}
+	if in[0] != 0 || in[1] != 2 || in[2] != 1 {
+		t.Errorf("in degrees %v", in)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := MustNew(testSchema(t), 2)
+	if err := g.SetNodeValue(5, 0, 1); err == nil {
+		t.Error("SetNodeValue accepted out-of-range node")
+	}
+	if err := g.SetNodeValue(0, 9, 1); err == nil {
+		t.Error("SetNodeValue accepted out-of-range attribute")
+	}
+	if err := g.SetNodeValue(0, 0, 3); err == nil {
+		t.Error("SetNodeValue accepted out-of-domain value")
+	}
+	if err := g.SetNodeValues(0, 1); err == nil {
+		t.Error("SetNodeValues accepted wrong arity")
+	}
+	if _, err := g.AddEdge(0, 7, 1); err == nil {
+		t.Error("AddEdge accepted dangling destination")
+	}
+	if _, err := g.AddEdge(7, 0, 1); err == nil {
+		t.Error("AddEdge accepted dangling source")
+	}
+	if _, err := g.AddEdge(0, 1); err == nil {
+		t.Error("AddEdge accepted missing edge values")
+	}
+	if _, err := g.AddEdge(0, 1, 9); err == nil {
+		t.Error("AddEdge accepted out-of-domain edge value")
+	}
+	if _, err := New(testSchema(t), -1); err == nil {
+		t.Error("New accepted negative node count")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := MustNew(testSchema(t), 4)
+	g.SetNodeValues(0, 1, 1)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	st := g.Stats()
+	if st.Nodes != 4 || st.Edges != 2 || st.SourceNodes != 1 || st.SinkNodes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.NullNodeCells != 6 { // nodes 1,2,3 all-null
+		t.Errorf("NullNodeCells = %d, want 6", st.NullNodeCells)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	g := MustNew(testSchema(t), 2)
+	g.SetNodeValues(0, 1, 3)
+	g.SetNodeValues(1, 2, 2)
+	g.AddEdge(0, 1, 2)
+	r, err := g.Restrict([]int{1})
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if len(r.Schema().Node) != 1 || r.Schema().Node[0].Name != "EDU" {
+		t.Fatalf("restricted schema = %+v", r.Schema().Node)
+	}
+	if r.NodeValue(0, 0) != 3 || r.NodeValue(1, 0) != 2 {
+		t.Errorf("restricted values: %d %d", r.NodeValue(0, 0), r.NodeValue(1, 0))
+	}
+	if r.NumEdges() != 1 || r.EdgeValue(0, 0) != 2 {
+		t.Errorf("restricted edges lost: %d", r.NumEdges())
+	}
+	if _, err := g.Restrict([]int{5}); err == nil {
+		t.Error("Restrict accepted bad attribute index")
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := testSchema(t)
+	c := s.Clone()
+	c.Node[0].Name = "CHANGED"
+	c.Node[0].Labels[1] = "X"
+	if s.Node[0].Name != "SEX" || s.Node[0].Labels[1] != "F" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatalf("WriteSchema: %v", err)
+	}
+	got, err := ParseSchema(&buf)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if len(got.Node) != 2 || len(got.Edge) != 1 {
+		t.Fatalf("round trip lost attributes: %+v", got)
+	}
+	if !got.Node[1].Homophily {
+		t.Error("homophily flag lost")
+	}
+	if got.Node[0].Labels[2] != "M" {
+		t.Error("labels lost")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":    "node A",
+		"bad domain":    "node A x",
+		"unknown kind":  "vertex A 2",
+		"unknown field": "node A 2 wat",
+		"edge hom":      "node A 2\nedge W 2 hom",
+		"invalid":       "node A 0",
+	}
+	for name, text := range cases {
+		if _, err := ParseSchema(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseSchema accepted %q", name, text)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, err := ParseSchema(strings.NewReader("# c\n\nnode A 2\n")); err != nil {
+		t.Errorf("ParseSchema rejected comments: %v", err)
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := MustNew(testSchema(t), 3)
+	g.SetNodeValues(0, 1, 2)
+	g.SetNodeValues(2, 2, 3)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 0, 2)
+
+	var nodes, edges bytes.Buffer
+	if err := WriteNodes(&nodes, g); err != nil {
+		t.Fatalf("WriteNodes: %v", err)
+	}
+	if err := WriteEdges(&edges, g); err != nil {
+		t.Fatalf("WriteEdges: %v", err)
+	}
+	got, err := ReadGraph(g.Schema(), -1, &nodes, &edges)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("round trip: %d nodes %d edges", got.NumNodes(), got.NumEdges())
+	}
+	for n := 0; n < 3; n++ {
+		for a := 0; a < 2; a++ {
+			if got.NodeValue(n, a) != g.NodeValue(n, a) {
+				t.Errorf("node %d attr %d: %d != %d", n, a, got.NodeValue(n, a), g.NodeValue(n, a))
+			}
+		}
+	}
+	if got.EdgeValue(1, 0) != 2 {
+		t.Errorf("edge value lost: %d", got.EdgeValue(1, 0))
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		name         string
+		nodes, edges string
+	}{
+		{"node arity", "0\t1", ""},
+		{"node bad id", "x\t1\t1", ""},
+		{"node bad value", "0\ty\t1", ""},
+		{"node out of domain", "0\t9\t1", ""},
+		{"edge arity", "", "0\t1"},
+		{"edge bad endpoint", "", "a\t1\t1"},
+		{"edge bad value", "", "0\t1\tz"},
+		{"edge out of domain", "", "0\t1\t9"},
+	}
+	for _, c := range cases {
+		_, err := ReadGraph(s, -1, strings.NewReader(c.nodes), strings.NewReader(c.edges))
+		if err == nil {
+			t.Errorf("%s: ReadGraph accepted bad input", c.name)
+		}
+	}
+	// Fixed node count: edge beyond range must fail.
+	_, err := ReadGraph(s, 2, strings.NewReader(""), strings.NewReader("0\t5\t1"))
+	if err == nil {
+		t.Error("ReadGraph accepted edge beyond fixed node count")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := MustNew(testSchema(t), 2)
+	g.SetNodeValues(0, 1, 1)
+	g.SetNodeValues(1, 2, 2)
+	g.AddEdge(0, 1, 1)
+	sp, np, ep := dir+"/schema.txt", dir+"/nodes.tsv", dir+"/edges.tsv"
+	if err := SaveFiles(g, sp, np, ep); err != nil {
+		t.Fatalf("SaveFiles: %v", err)
+	}
+	got, err := LoadFiles(sp, np, ep)
+	if err != nil {
+		t.Fatalf("LoadFiles: %v", err)
+	}
+	if got.NumNodes() != 2 || got.NumEdges() != 1 || got.NodeValue(1, 1) != 2 {
+		t.Errorf("LoadFiles mismatch: %d nodes, %d edges", got.NumNodes(), got.NumEdges())
+	}
+	if _, err := LoadFiles(dir+"/missing", np, ep); err == nil {
+		t.Error("LoadFiles accepted missing schema file")
+	}
+}
+
+// Property: every stored value is returned unchanged for arbitrary in-domain
+// writes (round-trip through the flat storage indexing).
+func TestNodeValueRoundTripProperty(t *testing.T) {
+	s := testSchema(t)
+	f := func(node uint8, attr uint8, raw uint8) bool {
+		g := MustNew(s, 16)
+		n := int(node) % 16
+		a := int(attr) % len(s.Node)
+		v := Value(int(raw) % (s.Node[a].Domain + 1))
+		if err := g.SetNodeValue(n, a, v); err != nil {
+			return false
+		}
+		return g.NodeValue(n, a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

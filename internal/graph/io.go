@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text formats below are deliberately simple, line-oriented and
+// stdlib-only so real datasets (for example the SNAP Pokec dump after the
+// paper's preprocessing) can be fed to the miner.
+//
+// Schema file: one attribute per line,
+//
+//	node <Name> <Domain> [hom] [labels=l0|l1|...|lD]
+//	edge <Name> <Domain> [labels=...]
+//
+// Node file: tab-separated "<id>\t<v1>\t<v2>..." with ids 0..N-1 in any
+// order; missing nodes keep all-null values.
+//
+// Edge file: tab-separated "<src>\t<dst>\t<v1>...".
+// Lines starting with '#' and blank lines are ignored in all three files.
+
+// ParseSchema reads a schema definition.
+func ParseSchema(r io.Reader) (*Schema, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var s Schema
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph: schema line %d: want at least 3 fields, got %q", lineNo, line)
+		}
+		kind := fields[0]
+		var a Attribute
+		a.Name = fields[1]
+		domain, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graph: schema line %d: bad domain %q: %v", lineNo, fields[2], err)
+		}
+		a.Domain = domain
+		for _, f := range fields[3:] {
+			switch {
+			case f == "hom":
+				a.Homophily = true
+			case strings.HasPrefix(f, "labels="):
+				a.Labels = strings.Split(strings.TrimPrefix(f, "labels="), "|")
+			default:
+				return nil, fmt.Errorf("graph: schema line %d: unknown field %q", lineNo, f)
+			}
+		}
+		switch kind {
+		case "node":
+			s.Node = append(s.Node, a)
+		case "edge":
+			if a.Homophily {
+				return nil, fmt.Errorf("graph: schema line %d: edge attribute %s cannot be homophilous", lineNo, a.Name)
+			}
+			s.Edge = append(s.Edge, a)
+		default:
+			return nil, fmt.Errorf("graph: schema line %d: unknown kind %q (want node or edge)", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading schema: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteSchema writes the schema in the format accepted by ParseSchema.
+func WriteSchema(w io.Writer, s *Schema) error {
+	bw := bufio.NewWriter(w)
+	emit := func(kind string, a *Attribute) {
+		fmt.Fprintf(bw, "%s %s %d", kind, a.Name, a.Domain)
+		if a.Homophily {
+			fmt.Fprint(bw, " hom")
+		}
+		if a.Labels != nil {
+			fmt.Fprintf(bw, " labels=%s", strings.Join(a.Labels, "|"))
+		}
+		fmt.Fprintln(bw)
+	}
+	for i := range s.Node {
+		emit("node", &s.Node[i])
+	}
+	for i := range s.Edge {
+		emit("edge", &s.Edge[i])
+	}
+	return bw.Flush()
+}
+
+// ReadGraph reads a graph given its schema and node/edge streams. numNodes
+// may be -1, in which case it is inferred as 1 + the largest node id seen in
+// either file (requiring two passes is avoided by growing lazily).
+func ReadGraph(schema *Schema, numNodes int, nodes, edges io.Reader) (*Graph, error) {
+	g := &Graph{schema: schema}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	grow := func(n int) {
+		if n < g.numNodes {
+			return
+		}
+		need := (n + 1) * len(schema.Node)
+		for len(g.nodeVals) < need {
+			g.nodeVals = append(g.nodeVals, Null)
+		}
+		g.numNodes = n + 1
+	}
+	if numNodes >= 0 {
+		g.numNodes = numNodes
+		g.nodeVals = make([]Value, numNodes*len(schema.Node))
+	}
+
+	sc := bufio.NewScanner(nodes)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 1+len(schema.Node) {
+			return nil, fmt.Errorf("graph: nodes line %d: %d fields, want %d", lineNo, len(fields), 1+len(schema.Node))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("graph: nodes line %d: bad node id %q", lineNo, fields[0])
+		}
+		if numNodes < 0 {
+			grow(id)
+		}
+		for a := 0; a < len(schema.Node); a++ {
+			v, err := strconv.Atoi(fields[1+a])
+			if err != nil {
+				return nil, fmt.Errorf("graph: nodes line %d: bad value %q: %v", lineNo, fields[1+a], err)
+			}
+			if err := g.SetNodeValue(id, a, Value(v)); err != nil {
+				return nil, fmt.Errorf("graph: nodes line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading nodes: %w", err)
+	}
+
+	sc = bufio.NewScanner(edges)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo = 0
+	vals := make([]Value, len(schema.Edge))
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 2+len(schema.Edge) {
+			return nil, fmt.Errorf("graph: edges line %d: %d fields, want %d", lineNo, len(fields), 2+len(schema.Edge))
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: edges line %d: bad endpoints %q %q", lineNo, fields[0], fields[1])
+		}
+		if numNodes < 0 {
+			grow(src)
+			grow(dst)
+		}
+		for a := 0; a < len(schema.Edge); a++ {
+			v, err := strconv.Atoi(fields[2+a])
+			if err != nil {
+				return nil, fmt.Errorf("graph: edges line %d: bad value %q: %v", lineNo, fields[2+a], err)
+			}
+			vals[a] = Value(v)
+		}
+		if _, err := g.AddEdge(src, dst, vals...); err != nil {
+			return nil, fmt.Errorf("graph: edges line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edges: %w", err)
+	}
+	return g, nil
+}
+
+// WriteNodes writes the node file for g.
+func WriteNodes(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for n := 0; n < g.NumNodes(); n++ {
+		fmt.Fprintf(bw, "%d", n)
+		for a := 0; a < len(g.schema.Node); a++ {
+			fmt.Fprintf(bw, "\t%d", g.NodeValue(n, a))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteEdges writes the edge file for g.
+func WriteEdges(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < g.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d\t%d", g.Src(e), g.Dst(e))
+		for a := 0; a < len(g.schema.Edge); a++ {
+			fmt.Fprintf(bw, "\t%d", g.EdgeValue(e, a))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// SaveFiles writes schema, nodes, and edges files under the given paths.
+func SaveFiles(g *Graph, schemaPath, nodesPath, edgesPath string) error {
+	write := func(path string, f func(io.Writer) error) error {
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f(file); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	if err := write(schemaPath, func(w io.Writer) error { return WriteSchema(w, g.schema) }); err != nil {
+		return err
+	}
+	if err := write(nodesPath, func(w io.Writer) error { return WriteNodes(w, g) }); err != nil {
+		return err
+	}
+	return write(edgesPath, func(w io.Writer) error { return WriteEdges(w, g) })
+}
+
+// LoadFiles reads a graph from schema, nodes, and edges files.
+func LoadFiles(schemaPath, nodesPath, edgesPath string) (*Graph, error) {
+	sf, err := os.Open(schemaPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	schema, err := ParseSchema(sf)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return ReadGraph(schema, -1, nf, ef)
+}

@@ -1,0 +1,181 @@
+// Package graph defines the attributed, directed social-network model used
+// throughout the repository: nodes and edges carry values over fixed sets of
+// discrete attributes, exactly as in Section III of "Mining Social Ties
+// Beyond Homophily" (ICDE 2016). Every attribute has a discrete domain
+// {0, 1, ..., Domain} where 0 is the null value.
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a single attribute value. 0 is the null value (Null); valid
+// non-null values for an attribute A range over 1..A.Domain.
+type Value uint16
+
+// Null is the null attribute value. Null never appears in a GR descriptor.
+const Null Value = 0
+
+// MaxDomain is the largest supported attribute domain size. It bounds the
+// counting-sort bucket arrays used by the partitioner.
+const MaxDomain = 1<<16 - 1
+
+// Attribute describes one node or edge attribute.
+type Attribute struct {
+	// Name is the attribute name, unique within its attribute set.
+	Name string
+	// Domain is the domain size |A|: valid values are 1..Domain, with 0 null.
+	Domain int
+	// Homophily marks a homophily attribute (Section III-B). Only meaningful
+	// for node attributes; individuals sharing a value on a homophily
+	// attribute are more likely to connect.
+	Homophily bool
+	// Labels optionally names the values. When set it must have Domain+1
+	// entries; Labels[0] labels the null value.
+	Labels []string
+}
+
+// Label returns a human-readable label for value v: the configured label if
+// present, "∅" for null, and the decimal value otherwise.
+func (a *Attribute) Label(v Value) string {
+	if int(v) < len(a.Labels) && a.Labels[v] != "" {
+		return a.Labels[v]
+	}
+	if v == Null {
+		return "∅"
+	}
+	return strconv.Itoa(int(v))
+}
+
+// ValueOf resolves a label back to its value. Decimal strings are accepted
+// for unlabeled attributes. The second result reports whether the label was
+// resolved to a valid (possibly null) value.
+func (a *Attribute) ValueOf(label string) (Value, bool) {
+	for v, l := range a.Labels {
+		if l == label {
+			return Value(v), true
+		}
+	}
+	n, err := strconv.Atoi(label)
+	if err != nil || n < 0 || n > a.Domain {
+		return Null, false
+	}
+	return Value(n), true
+}
+
+// Validate checks the attribute definition.
+func (a *Attribute) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("graph: attribute with empty name")
+	}
+	if a.Domain < 1 || a.Domain > MaxDomain {
+		return fmt.Errorf("graph: attribute %s: domain %d out of range [1, %d]", a.Name, a.Domain, MaxDomain)
+	}
+	if a.Labels != nil && len(a.Labels) != a.Domain+1 {
+		return fmt.Errorf("graph: attribute %s: %d labels for domain %d (want %d)",
+			a.Name, len(a.Labels), a.Domain, a.Domain+1)
+	}
+	return nil
+}
+
+// Schema fixes the node and edge attribute sets of a network.
+type Schema struct {
+	Node []Attribute
+	Edge []Attribute
+}
+
+// NewSchema validates and returns a schema.
+func NewSchema(node, edge []Attribute) (*Schema, error) {
+	s := &Schema{Node: node, Edge: edge}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks all attributes and name uniqueness within each set.
+func (s *Schema) Validate() error {
+	if len(s.Node) == 0 {
+		return fmt.Errorf("graph: schema has no node attributes")
+	}
+	for _, set := range [][]Attribute{s.Node, s.Edge} {
+		seen := make(map[string]bool, len(set))
+		for i := range set {
+			a := &set[i]
+			if err := a.Validate(); err != nil {
+				return err
+			}
+			if seen[a.Name] {
+				return fmt.Errorf("graph: duplicate attribute name %q", a.Name)
+			}
+			seen[a.Name] = true
+		}
+	}
+	return nil
+}
+
+// NodeAttr returns the index of the named node attribute.
+func (s *Schema) NodeAttr(name string) (int, bool) {
+	for i := range s.Node {
+		if s.Node[i].Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// EdgeAttr returns the index of the named edge attribute.
+func (s *Schema) EdgeAttr(name string) (int, bool) {
+	for i := range s.Edge {
+		if s.Edge[i].Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// HomophilyNodeAttrs returns the indices of homophily node attributes.
+func (s *Schema) HomophilyNodeAttrs() []int {
+	var out []int
+	for i := range s.Node {
+		if s.Node[i].Homophily {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NonHomophilyNodeAttrs returns the indices of non-homophily node attributes.
+func (s *Schema) NonHomophilyNodeAttrs() []int {
+	var out []int
+	for i := range s.Node {
+		if !s.Node[i].Homophily {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema. Mutating the copy (for example
+// restricting attributes for a dimensionality sweep) leaves the original
+// untouched.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		Node: make([]Attribute, len(s.Node)),
+		Edge: make([]Attribute, len(s.Edge)),
+	}
+	copy(c.Node, s.Node)
+	copy(c.Edge, s.Edge)
+	for i := range c.Node {
+		if c.Node[i].Labels != nil {
+			c.Node[i].Labels = append([]string(nil), c.Node[i].Labels...)
+		}
+	}
+	for i := range c.Edge {
+		if c.Edge[i].Labels != nil {
+			c.Edge[i].Labels = append([]string(nil), c.Edge[i].Labels...)
+		}
+	}
+	return c
+}

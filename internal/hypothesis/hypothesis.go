@@ -1,0 +1,169 @@
+// Package hypothesis implements the analyst workflow of the paper's Remark
+// 3: "the human analyst starts with top-k GRs found, forms new hypothesis
+// through varying the GRs found, and compares such hypothesis as well as
+// data distribution". A Workbench answers exact supp/conf/nhp queries for
+// arbitrary GRs (the paper's P5 and P207 case studies) and offers the
+// variation operators used there: substituting a value, swapping a
+// condition between sides, and dropping or adding conditions.
+package hypothesis
+
+import (
+	"fmt"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+)
+
+// Report carries every measurement of one GR.
+type Report struct {
+	GR      gr.GR
+	Counts  metrics.Counts
+	Supp    int     // absolute support
+	RelSupp float64 // supp / |E|
+	Conf    float64
+	Nhp     float64
+	Trivial bool
+}
+
+// Workbench evaluates hypotheses against one network.
+type Workbench struct {
+	g *graph.Graph
+}
+
+// New returns a workbench over g.
+func New(g *graph.Graph) *Workbench {
+	return &Workbench{g: g}
+}
+
+// Graph returns the underlying network.
+func (w *Workbench) Graph() *graph.Graph { return w.g }
+
+// Query measures a GR exactly (single scan).
+func (w *Workbench) Query(g gr.GR) (Report, error) {
+	if err := g.Valid(w.g.Schema()); err != nil {
+		return Report{}, err
+	}
+	c := metrics.Eval(w.g, g)
+	return Report{
+		GR:      g,
+		Counts:  c,
+		Supp:    c.LWR,
+		RelSupp: metrics.Supp(c),
+		Conf:    metrics.Conf(c),
+		Nhp:     metrics.Nhp(c),
+		Trivial: g.Trivial(w.g.Schema()),
+	}, nil
+}
+
+// QueryText parses the textual GR form and measures it.
+func (w *Workbench) QueryText(text string) (Report, error) {
+	g, err := gr.ParseGR(w.g.Schema(), text)
+	if err != nil {
+		return Report{}, err
+	}
+	return w.Query(g)
+}
+
+// ReplaceL returns the GR with the LHS condition on attr substituted (the
+// paper's P207 study replaces Male with Female on the LHS).
+func ReplaceL(g gr.GR, attr int, val graph.Value) gr.GR {
+	out := g.Clone()
+	out.L = out.L.With(attr, val)
+	return out
+}
+
+// ReplaceR substitutes an RHS condition.
+func ReplaceR(g gr.GR, attr int, val graph.Value) gr.GR {
+	out := g.Clone()
+	out.R = out.R.With(attr, val)
+	return out
+}
+
+// AddL adds (or overwrites) an LHS condition (the paper's P5 study adds
+// G:Male to the LHS of (L:Sexual Partner) -> (G:Female)).
+func AddL(g gr.GR, attr int, val graph.Value) gr.GR { return ReplaceL(g, attr, val) }
+
+// AddR adds (or overwrites) an RHS condition.
+func AddR(g gr.GR, attr int, val graph.Value) gr.GR { return ReplaceR(g, attr, val) }
+
+// DropL removes an LHS condition, generalising the hypothesis.
+func DropL(g gr.GR, attr int) gr.GR {
+	out := g.Clone()
+	out.L = out.L.Without(attr)
+	return out
+}
+
+// DropR removes an RHS condition.
+func DropR(g gr.GR, attr int) gr.GR {
+	out := g.Clone()
+	out.R = out.R.Without(attr)
+	return out
+}
+
+// Compare evaluates a set of variations side by side, preserving order.
+func (w *Workbench) Compare(grs ...gr.GR) ([]Report, error) {
+	out := make([]Report, 0, len(grs))
+	for _, g := range grs {
+		r, err := w.Query(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Distribution returns the edge-destination distribution of one node
+// attribute: how many edges point at nodes holding each value. The paper's
+// analysts use value distributions to tell genuine preferences from data
+// skew (the P2 and D1 discussions).
+func (w *Workbench) Distribution(attr int) ([]int, error) {
+	if attr < 0 || attr >= len(w.g.Schema().Node) {
+		return nil, fmt.Errorf("hypothesis: node attribute %d out of range", attr)
+	}
+	counts := make([]int, w.g.Schema().Node[attr].Domain+1)
+	for e := 0; e < w.g.NumEdges(); e++ {
+		counts[w.g.NodeValue(w.g.Dst(e), attr)]++
+	}
+	return counts, nil
+}
+
+// NodeDistribution returns the population distribution of one node
+// attribute over nodes (not edge-weighted).
+func (w *Workbench) NodeDistribution(attr int) ([]int, error) {
+	if attr < 0 || attr >= len(w.g.Schema().Node) {
+		return nil, fmt.Errorf("hypothesis: node attribute %d out of range", attr)
+	}
+	counts := make([]int, w.g.Schema().Node[attr].Domain+1)
+	for n := 0; n < w.g.NumNodes(); n++ {
+		counts[w.g.NodeValue(n, attr)]++
+	}
+	return counts, nil
+}
+
+// MatchingEdges returns up to limit edge ids satisfying l ∧ w ∧ r — the
+// drill-down from a pattern to the concrete ties behind it (limit ≤ 0 means
+// all).
+func (w *Workbench) MatchingEdges(g gr.GR, limit int) ([]int, error) {
+	if err := g.Valid(w.g.Schema()); err != nil {
+		return nil, err
+	}
+	var out []int
+	for e := 0; e < w.g.NumEdges(); e++ {
+		if metrics.MatchEdge(w.g, e, g) {
+			out = append(out, e)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders a report the way the paper prints its case studies, e.g.
+// "(G:Male, L:Sexual Partner) -> (G:Female)  nhp = 68.1%; supp = 392652".
+func (r Report) String(s *graph.Schema) string {
+	return fmt.Sprintf("%s  nhp = %.1f%%; supp = %d (conf = %.1f%%)",
+		r.GR.Format(s), 100*r.Nhp, r.Supp, 100*r.Conf)
+}

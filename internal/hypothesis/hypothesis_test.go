@@ -1,0 +1,154 @@
+package hypothesis
+
+import (
+	"strings"
+	"testing"
+
+	"grminer/internal/dataset"
+	"grminer/internal/gr"
+)
+
+func TestQueryToyGR4(t *testing.T) {
+	w := New(dataset.ToyDating())
+	rep, err := w.QueryText("(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Supp != 2 || rep.Counts.LW != 6 {
+		t.Errorf("GR4 supp=%d LW=%d, want 2, 6", rep.Supp, rep.Counts.LW)
+	}
+	if rep.Nhp != 1.0 {
+		t.Errorf("GR4 nhp = %v, want 1.0", rep.Nhp)
+	}
+	if rep.Conf < 0.33 || rep.Conf > 0.34 {
+		t.Errorf("GR4 conf = %v, want 1/3", rep.Conf)
+	}
+	if rep.Trivial {
+		t.Error("GR4 flagged trivial")
+	}
+}
+
+func TestQueryInvalid(t *testing.T) {
+	w := New(dataset.ToyDating())
+	if _, err := w.QueryText("(SEX:F) -> ()"); err == nil {
+		t.Error("empty RHS accepted")
+	}
+	if _, err := w.Query(gr.GR{L: gr.D(0, 1)}); err == nil {
+		t.Error("invalid GR accepted")
+	}
+}
+
+// The paper's hypothesis cycle: vary a seed GR and compare. Here the toy
+// stands in; the dating example runs the real P5/P207 studies.
+func TestVariationOperators(t *testing.T) {
+	w := New(dataset.ToyDating())
+	seed, err := gr.ParseGR(w.Graph().Schema(), "(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swapped := ReplaceL(seed, dataset.ToySex, dataset.SexM)
+	if v, _ := swapped.L.Get(dataset.ToySex); v != dataset.SexM {
+		t.Error("ReplaceL failed")
+	}
+	if v, _ := seed.L.Get(dataset.ToySex); v != dataset.SexF {
+		t.Error("ReplaceL mutated the seed")
+	}
+
+	dropped := DropR(seed, dataset.ToySex)
+	if dropped.R.Has(dataset.ToySex) || !dropped.R.Has(dataset.ToyEdu) {
+		t.Error("DropR failed")
+	}
+
+	added := AddR(seed, dataset.ToyRace, dataset.RaceAsian)
+	if !added.R.Has(dataset.ToyRace) {
+		t.Error("AddR failed")
+	}
+	if !DropL(seed, dataset.ToyEdu).L.Equal(gr.D(dataset.ToySex, dataset.SexF)) {
+		t.Error("DropL failed")
+	}
+
+	reports, err := w.Compare(seed, swapped, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("Compare returned %d reports", len(reports))
+	}
+	// Dropping the SEX:M condition can only gain support.
+	if reports[2].Supp < reports[0].Supp {
+		t.Error("generalisation lost support")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	w := New(dataset.ToyDating())
+	nodeDist, err := w.NodeDistribution(dataset.ToyEdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1b: 4 HighSchool, 4 College, 6 Grad.
+	if nodeDist[dataset.EduHighSchool] != 4 || nodeDist[dataset.EduCollege] != 4 || nodeDist[dataset.EduGrad] != 6 {
+		t.Errorf("node EDU distribution = %v", nodeDist)
+	}
+	edgeDist, err := w.Distribution(dataset.ToySex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 directed edges: 14 point at males, 16 at females (the F–F dyad).
+	if edgeDist[dataset.SexM] != 14 || edgeDist[dataset.SexF] != 16 {
+		t.Errorf("edge SEX distribution = %v", edgeDist)
+	}
+	if _, err := w.Distribution(99); err == nil {
+		t.Error("Distribution accepted bad attribute")
+	}
+	if _, err := w.NodeDistribution(-1); err == nil {
+		t.Error("NodeDistribution accepted bad attribute")
+	}
+}
+
+func TestMatchingEdges(t *testing.T) {
+	w := New(dataset.ToyDating())
+	g, err := gr.ParseGR(w.Graph().Schema(), "(SEX:M) -> (SEX:F, RACE:Asian)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := w.MatchingEdges(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 7 { // GR1's support
+		t.Fatalf("matched %d edges, want 7", len(edges))
+	}
+	graph := w.Graph()
+	for _, e := range edges {
+		if graph.NodeValue(graph.Src(e), dataset.ToySex) != dataset.SexM {
+			t.Errorf("edge %d source is not male", e)
+		}
+		if graph.NodeValue(graph.Dst(e), dataset.ToyRace) != dataset.RaceAsian {
+			t.Errorf("edge %d destination is not Asian", e)
+		}
+	}
+	limited, err := w.MatchingEdges(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 {
+		t.Errorf("limit ignored: %d edges", len(limited))
+	}
+	if _, err := w.MatchingEdges(gr.GR{}, 0); err == nil {
+		t.Error("invalid GR accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	w := New(dataset.ToyDating())
+	rep, err := w.QueryText("(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String(w.Graph().Schema())
+	if !strings.Contains(s, "nhp = 100.0%") || !strings.Contains(s, "supp = 2") {
+		t.Errorf("report string = %q", s)
+	}
+}

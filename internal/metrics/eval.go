@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+)
+
+// The scan evaluator computes exact Counts for arbitrary GRs by a single
+// pass over the edge list. It is the reference implementation used by the
+// brute-force oracle, the hypothesis workbench (Remark 3), and the on-demand
+// homophily-effect computation. The miner itself uses the partitioned data
+// model instead; tests assert the two agree.
+
+// MatchNode reports whether node n of g satisfies descriptor d.
+func MatchNode(g *graph.Graph, n int, d gr.Descriptor) bool {
+	row := g.NodeValues(n)
+	for _, c := range d {
+		if row[c.Attr] != c.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchEdgeAttrs reports whether edge e of g satisfies edge descriptor d.
+func MatchEdgeAttrs(g *graph.Graph, e int, d gr.Descriptor) bool {
+	for _, c := range d {
+		if g.EdgeValue(e, c.Attr) != c.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchEdge reports whether edge e satisfies l ∧ w ∧ r.
+func MatchEdge(g *graph.Graph, e int, r gr.GR) bool {
+	return MatchNode(g, g.Src(e), r.L) &&
+		MatchEdgeAttrs(g, e, r.W) &&
+		MatchNode(g, g.Dst(e), r.R)
+}
+
+// Eval scans the whole edge list and returns the Counts of r, including the
+// homophily-effect support (β handling per Equation 4-5) and Counts.R.
+func Eval(g *graph.Graph, r gr.GR) Counts {
+	eff, hasBeta := r.HomophilyEffect(g.Schema())
+	c := Counts{E: g.NumEdges()}
+	for e := 0; e < g.NumEdges(); e++ {
+		srcOK := MatchNode(g, g.Src(e), r.L) && MatchEdgeAttrs(g, e, r.W)
+		if srcOK {
+			c.LW++
+			if MatchNode(g, g.Dst(e), r.R) {
+				c.LWR++
+			}
+			if hasBeta && MatchNode(g, g.Dst(e), eff.R) {
+				c.Hom++
+			}
+		}
+		if MatchNode(g, g.Dst(e), r.R) {
+			c.R++
+		}
+	}
+	return c
+}
+
+// EvalSubset is Eval restricted to the given edge ids; Counts.E is still the
+// full edge count so relative supports stay comparable.
+func EvalSubset(g *graph.Graph, edges []int32, r gr.GR) Counts {
+	eff, hasBeta := r.HomophilyEffect(g.Schema())
+	c := Counts{E: g.NumEdges()}
+	for _, e32 := range edges {
+		e := int(e32)
+		srcOK := MatchNode(g, g.Src(e), r.L) && MatchEdgeAttrs(g, e, r.W)
+		if srcOK {
+			c.LW++
+			if MatchNode(g, g.Dst(e), r.R) {
+				c.LWR++
+			}
+			if hasBeta && MatchNode(g, g.Dst(e), eff.R) {
+				c.Hom++
+			}
+		}
+		if MatchNode(g, g.Dst(e), r.R) {
+			c.R++
+		}
+	}
+	return c
+}
+
+// Score evaluates r under metric m by a full scan.
+func Score(g *graph.Graph, r gr.GR, m Metric) (gr.Scored, Counts) {
+	c := Eval(g, r)
+	return gr.Scored{GR: r, Supp: c.LWR, Score: m.Score(c), Conf: Conf(c)}, c
+}

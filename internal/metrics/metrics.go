@@ -1,0 +1,165 @@
+// Package metrics implements the interestingness measures of "Mining Social
+// Ties Beyond Homophily": support and confidence (Definitions 2-3), the
+// paper's non-homophily preference (Definition 4), and the alternative
+// metrics of Section VII (laplace, gain, Piatetsky-Shapiro, conviction,
+// lift). All metrics are pure functions of a small set of absolute supports,
+// which is what makes them pluggable into the same mining framework.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counts carries the absolute supports a metric may need for one GR
+// l -w-> r. All counts are edge counts.
+type Counts struct {
+	LWR int // |E(l ∧ w ∧ r)|, the support of the GR
+	LW  int // |E(l ∧ w)|
+	Hom int // |E(l -w-> l[β])|, the homophily effect; 0 when β = ∅
+	R   int // |E(r)|, edges whose destination matches r (lift family only)
+	E   int // |E|
+}
+
+// Supp returns relative support supp(l -w-> r) = LWR / E (Definition 2).
+func Supp(c Counts) float64 {
+	if c.E == 0 {
+		return 0
+	}
+	return float64(c.LWR) / float64(c.E)
+}
+
+// Conf returns confidence P(r | l ∧ w) (Definition 3); 0 when LW = 0.
+func Conf(c Counts) float64 {
+	if c.LW == 0 {
+		return 0
+	}
+	return float64(c.LWR) / float64(c.LW)
+}
+
+// Nhp returns the non-homophily preference (Definition 4):
+//
+//	nhp = supp(l -w-> r) / (supp(l ∧ w) − supp(l -w-> l[β]))
+//
+// When β = ∅, Hom must be 0 and nhp degenerates to confidence (Remark 1).
+// Theorem 1 guarantees the denominator is positive whenever LWR > 0; a zero
+// denominator with LWR = 0 yields 0.
+func Nhp(c Counts) float64 {
+	den := c.LW - c.Hom
+	if den <= 0 {
+		return 0
+	}
+	return float64(c.LWR) / float64(den)
+}
+
+// Laplace returns the laplace accuracy (Equation 10) with smoothing constant
+// k (k > 1 per the paper; callers typically use the domain size of the RHS).
+func Laplace(c Counts, k int) float64 {
+	return float64(c.LWR+1) / float64(c.LW+k)
+}
+
+// Gain returns the gain metric (Equation 11) with fractional θ ∈ (0, 1),
+// normalised by |E| so values are comparable across datasets.
+func Gain(c Counts, theta float64) float64 {
+	if c.E == 0 {
+		return 0
+	}
+	return (float64(c.LWR) - theta*float64(c.LW)) / float64(c.E)
+}
+
+// PiatetskyShapiro returns supp(l -w-> r) − supp(l ∧ w)·supp(r)
+// (Equation 12, stated over relative supports).
+func PiatetskyShapiro(c Counts) float64 {
+	if c.E == 0 {
+		return 0
+	}
+	e := float64(c.E)
+	return float64(c.LWR)/e - (float64(c.LW)/e)*(float64(c.R)/e)
+}
+
+// Conviction returns (|E| − supp(r)) / (|E|·(1 − conf)) (Equation 13).
+// It is +Inf when conf = 1 and the rule never fails.
+func Conviction(c Counts) float64 {
+	if c.E == 0 {
+		return 0
+	}
+	conf := Conf(c)
+	if conf >= 1 {
+		return math.Inf(1)
+	}
+	return (float64(c.E) - float64(c.R)) / (float64(c.E) * (1 - conf))
+}
+
+// Lift returns |E|·conf / supp(r) (Equation 14); 0 when supp(r) = 0.
+func Lift(c Counts) float64 {
+	if c.R == 0 {
+		return 0
+	}
+	return float64(c.E) * Conf(c) / float64(c.R)
+}
+
+// Metric is a pluggable interestingness measure for the mining framework
+// (Section VII). Score must be a pure function of Counts.
+type Metric struct {
+	// Name identifies the metric in CLIs and reports.
+	Name string
+	// Score computes the metric value.
+	Score func(Counts) float64
+	// RHSAntiMonotone reports whether the metric never increases when a
+	// value is added to the RHS under the SFDF dynamic ordering. Only such
+	// metrics support threshold pruning during RHS expansion; the others
+	// fall back to support-only pruning plus post-ranking (Section VII).
+	RHSAntiMonotone bool
+	// NeedsR reports whether Score reads Counts.R (support of the RHS over
+	// all edges), which costs an extra counting pass.
+	NeedsR bool
+	// NeedsHom reports whether Score reads Counts.Hom (the homophily-effect
+	// support); only nhp does, and only then does the miner pay for the
+	// β-restricted counting scan.
+	NeedsHom bool
+}
+
+// Builtin metrics, keyed by name.
+var (
+	// NhpMetric is the paper's default ranking metric.
+	NhpMetric = Metric{Name: "nhp", Score: Nhp, RHSAntiMonotone: true, NeedsHom: true}
+	// ConfMetric is standard confidence; used by the Table II comparison.
+	ConfMetric = Metric{Name: "conf", Score: Conf, RHSAntiMonotone: true}
+	// LaplaceMetric uses k = 2, the smallest integer the paper allows.
+	LaplaceMetric = Metric{
+		Name:            "laplace",
+		Score:           func(c Counts) float64 { return Laplace(c, 2) },
+		RHSAntiMonotone: true,
+	}
+	// GainMetric uses θ = 0.5.
+	GainMetric = Metric{
+		Name:            "gain",
+		Score:           func(c Counts) float64 { return Gain(c, 0.5) },
+		RHSAntiMonotone: true,
+	}
+	// PSMetric is Piatetsky-Shapiro; not RHS anti-monotone.
+	PSMetric = Metric{Name: "piatetsky-shapiro", Score: PiatetskyShapiro, NeedsR: true}
+	// ConvictionMetric is not RHS anti-monotone.
+	ConvictionMetric = Metric{Name: "conviction", Score: Conviction, NeedsR: true}
+	// LiftMetric reduces the influence of RHS popularity skew (the paper's
+	// D1 discussion); not RHS anti-monotone.
+	LiftMetric = Metric{Name: "lift", Score: Lift, NeedsR: true}
+)
+
+// All lists every builtin metric.
+func All() []Metric {
+	return []Metric{
+		NhpMetric, ConfMetric, LaplaceMetric, GainMetric,
+		PSMetric, ConvictionMetric, LiftMetric,
+	}
+}
+
+// ByName looks up a builtin metric.
+func ByName(name string) (Metric, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Metric{}, fmt.Errorf("metrics: unknown metric %q", name)
+}

@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grminer/internal/dataset"
+	"grminer/internal/gr"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// The four motivating GRs of Examples 1-2 on the Figure 1 toy network. The
+// assertions pin the exact numbers the paper reports.
+func TestToyNetworkExamples(t *testing.T) {
+	g := dataset.ToyDating()
+	if g.NumEdges() != 30 {
+		t.Fatalf("toy network has %d directed edges, want 30", g.NumEdges())
+	}
+
+	gr1 := gr.GR{L: gr.D(dataset.ToySex, dataset.SexM), R: gr.D(dataset.ToySex, dataset.SexF, dataset.ToyRace, dataset.RaceAsian)}
+	c1 := Eval(g, gr1)
+	if c1.LWR != 7 || c1.LW != 14 {
+		t.Errorf("GR1 counts = %+v, want LWR=7 LW=14", c1)
+	}
+	if !almost(Conf(c1), 7.0/14) {
+		t.Errorf("GR1 conf = %v, want 1/2", Conf(c1))
+	}
+
+	gr2 := gr.GR{
+		L: gr.D(dataset.ToySex, dataset.SexM, dataset.ToyRace, dataset.RaceAsian),
+		R: gr.D(dataset.ToySex, dataset.SexF, dataset.ToyRace, dataset.RaceAsian),
+	}
+	c2 := Eval(g, gr2)
+	if c2.LWR != 0 || Conf(c2) != 0 {
+		t.Errorf("GR2 counts = %+v, want supp 0", c2)
+	}
+
+	gr3 := gr.GR{
+		L: gr.D(dataset.ToySex, dataset.SexF, dataset.ToyEdu, dataset.EduGrad),
+		R: gr.D(dataset.ToySex, dataset.SexM, dataset.ToyEdu, dataset.EduGrad),
+	}
+	c3 := Eval(g, gr3)
+	if c3.LWR != 4 || c3.LW != 6 {
+		t.Errorf("GR3 counts = %+v, want LWR=4 LW=6", c3)
+	}
+	if !almost(Conf(c3), 4.0/6) {
+		t.Errorf("GR3 conf = %v, want 2/3", Conf(c3))
+	}
+
+	gr4 := gr.GR{
+		L: gr.D(dataset.ToySex, dataset.SexF, dataset.ToyEdu, dataset.EduGrad),
+		R: gr.D(dataset.ToySex, dataset.SexM, dataset.ToyEdu, dataset.EduCollege),
+	}
+	c4 := Eval(g, gr4)
+	if c4.LWR != 2 || c4.LW != 6 || c4.Hom != 4 {
+		t.Errorf("GR4 counts = %+v, want LWR=2 LW=6 Hom=4", c4)
+	}
+	if !almost(Conf(c4), 2.0/6) {
+		t.Errorf("GR4 conf = %v, want 1/3", Conf(c4))
+	}
+	// The paper's headline: excluding the homophily effect, GR4 holds 100%.
+	if !almost(Nhp(c4), 1.0) {
+		t.Errorf("GR4 nhp = %v, want 1.0", Nhp(c4))
+	}
+	// GR3 has β = ∅ so nhp degenerates to conf (Remark 1).
+	if !almost(Nhp(c3), Conf(c3)) {
+		t.Errorf("GR3 nhp = %v, conf = %v; must be equal when β = ∅", Nhp(c3), Conf(c3))
+	}
+}
+
+func TestEvalWithEdgeDescriptor(t *testing.T) {
+	g := dataset.ToyDating()
+	// All toy edges have TYPE:dates, so adding the condition changes nothing.
+	base := gr.GR{L: gr.D(dataset.ToySex, dataset.SexM), R: gr.D(dataset.ToySex, dataset.SexF)}
+	withW := gr.GR{L: base.L, W: gr.D(0, dataset.TypeDates), R: base.R}
+	cb, cw := Eval(g, base), Eval(g, withW)
+	if cb != cw {
+		t.Errorf("edge descriptor changed counts: %+v vs %+v", cb, cw)
+	}
+}
+
+func TestEvalSubset(t *testing.T) {
+	g := dataset.ToyDating()
+	r := gr.GR{L: gr.D(dataset.ToySex, dataset.SexM), R: gr.D(dataset.ToySex, dataset.SexF)}
+	all := make([]int32, g.NumEdges())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if Eval(g, r) != EvalSubset(g, all, r) {
+		t.Error("EvalSubset over all edges differs from Eval")
+	}
+	half := all[:15]
+	ch := EvalSubset(g, half, r)
+	if ch.LW > 15 || ch.LWR > ch.LW {
+		t.Errorf("subset counts out of bounds: %+v", ch)
+	}
+	if ch.E != g.NumEdges() {
+		t.Errorf("EvalSubset must keep global E, got %d", ch.E)
+	}
+}
+
+func TestMetricFormulas(t *testing.T) {
+	c := Counts{LWR: 20, LW: 50, Hom: 10, R: 100, E: 400}
+	if !almost(Supp(c), 0.05) {
+		t.Errorf("Supp = %v", Supp(c))
+	}
+	if !almost(Conf(c), 0.4) {
+		t.Errorf("Conf = %v", Conf(c))
+	}
+	if !almost(Nhp(c), 0.5) {
+		t.Errorf("Nhp = %v", Nhp(c))
+	}
+	if !almost(Laplace(c, 2), 21.0/52) {
+		t.Errorf("Laplace = %v", Laplace(c, 2))
+	}
+	if !almost(Gain(c, 0.5), (20-0.5*50)/400) {
+		t.Errorf("Gain = %v", Gain(c, 0.5))
+	}
+	if !almost(PiatetskyShapiro(c), 0.05-0.125*0.25) {
+		t.Errorf("PS = %v", PiatetskyShapiro(c))
+	}
+	if !almost(Conviction(c), (400.0-100)/(400*(1-0.4))) {
+		t.Errorf("Conviction = %v", Conviction(c))
+	}
+	if !almost(Lift(c), 400*0.4/100) {
+		t.Errorf("Lift = %v", Lift(c))
+	}
+}
+
+func TestMetricEdgeCases(t *testing.T) {
+	zero := Counts{}
+	for _, m := range All() {
+		v := m.Score(zero)
+		if m.Name == "laplace" {
+			// Laplace smoothing deliberately scores 1/k on empty evidence.
+			if !almost(v, 0.5) {
+				t.Errorf("laplace(zero) = %v, want 0.5", v)
+			}
+			continue
+		}
+		if v != 0 {
+			t.Errorf("%s(zero) = %v, want 0", m.Name, v)
+		}
+	}
+	perfect := Counts{LWR: 10, LW: 10, R: 10, E: 100}
+	if !math.IsInf(Conviction(perfect), 1) {
+		t.Errorf("Conviction of conf=1 rule = %v, want +Inf", Conviction(perfect))
+	}
+	if Lift(Counts{LWR: 5, LW: 10, R: 0, E: 100}) != 0 {
+		t.Error("Lift with empty RHS population must be 0")
+	}
+	// Degenerate denominator: LW == Hom can only happen with LWR == 0
+	// (Theorem 1); the implementation must not divide by zero.
+	if Nhp(Counts{LWR: 0, LW: 5, Hom: 5, E: 10}) != 0 {
+		t.Error("Nhp with zero denominator must be 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Errorf("ByName(%s): %v", m.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown metric")
+	}
+	if !NhpMetric.RHSAntiMonotone || !ConfMetric.RHSAntiMonotone ||
+		!LaplaceMetric.RHSAntiMonotone || !GainMetric.RHSAntiMonotone {
+		t.Error("laplace/gain/nhp/conf must be flagged RHS anti-monotone")
+	}
+	if PSMetric.RHSAntiMonotone || ConvictionMetric.RHSAntiMonotone || LiftMetric.RHSAntiMonotone {
+		t.Error("PS/conviction/lift must not be flagged anti-monotone")
+	}
+}
+
+// randomCounts builds internally consistent Counts: LWR ≤ LW ≤ E, Hom ≤ LW,
+// LWR + Hom ≤ LW (disjoint link sets, Theorem 1(ii)), R ≤ E.
+func randomCounts(lwr, lw, hom, r, e uint8) (Counts, bool) {
+	c := Counts{LWR: int(lwr), LW: int(lw), Hom: int(hom), R: int(r), E: int(e)}
+	if c.E == 0 {
+		return c, false
+	}
+	if c.LW > c.E || c.R > c.E || c.LWR+c.Hom > c.LW {
+		return c, false
+	}
+	return c, true
+}
+
+// Theorem 1: for consistent counts with LWR > 0 and Hom modelling a
+// non-empty β, nhp ∈ [0, 1] and the denominator is positive.
+func TestNhpBoundsProperty(t *testing.T) {
+	f := func(lwr, lw, hom, r, e uint8) bool {
+		c, ok := randomCounts(lwr, lw, hom, r, e)
+		if !ok || c.LWR == 0 {
+			return true
+		}
+		v := Nhp(c)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Remark 1: with β ≠ ∅ (Hom > 0), nhp ≥ conf; with Hom = 0, nhp = conf.
+func TestNhpVsConfProperty(t *testing.T) {
+	f := func(lwr, lw, hom, r, e uint8) bool {
+		c, ok := randomCounts(lwr, lw, hom, r, e)
+		if !ok {
+			return true
+		}
+		if c.Hom == 0 {
+			return almost(Nhp(c), Conf(c))
+		}
+		return Nhp(c) >= Conf(c)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Laplace and gain are monotone in LWR for fixed LW (the property their
+// RHS anti-monotonicity relies on: adding RHS values can only shrink LWR).
+func TestLaplaceGainMonotoneProperty(t *testing.T) {
+	f := func(lwr, lw, e uint8) bool {
+		if e == 0 || lw > e || lwr > lw || lwr == 0 {
+			return true
+		}
+		c1 := Counts{LWR: int(lwr), LW: int(lw), E: int(e)}
+		c2 := c1
+		c2.LWR-- // RHS extension shrank the support
+		return Laplace(c2, 2) <= Laplace(c1, 2) && Gain(c2, 0.5) <= Gain(c1, 0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

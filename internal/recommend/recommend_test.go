@@ -1,0 +1,154 @@
+package recommend
+
+import (
+	"testing"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+)
+
+// fixture: the Example 3 world in miniature. JOB (non-homophily) and
+// PRODUCT (homophily). Lawyers with Stocks befriend Bonds owners; target
+// nodes 8 and 9 own nothing interesting yet.
+func fixture(t *testing.T) (*graph.Graph, []gr.Scored) {
+	t.Helper()
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "JOB", Domain: 2, Labels: []string{"∅", "Lawyer", "Other"}},
+			{Name: "PRODUCT", Domain: 3, Homophily: true, Labels: []string{"∅", "Savings", "Stocks", "Bonds"}},
+		},
+		[]graph.Attribute{{Name: "T", Domain: 2, Labels: []string{"∅", "friend", "colleague"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.MustNew(schema, 10)
+	// 0-3: lawyers with stocks; 4-5: others with bonds; 6-7: others with
+	// savings; 8-9: targets with savings.
+	for n := 0; n <= 3; n++ {
+		g.SetNodeValues(n, 1, 2)
+	}
+	for n := 4; n <= 5; n++ {
+		g.SetNodeValues(n, 2, 3)
+	}
+	for n := 6; n <= 9; n++ {
+		g.SetNodeValues(n, 2, 1)
+	}
+	// Lawyers-with-stocks point at target 8 (three of them) and at 9 (one).
+	g.AddEdge(0, 8, 1)
+	g.AddEdge(1, 8, 1)
+	g.AddEdge(2, 8, 1)
+	g.AddEdge(3, 9, 1)
+	// A bonds owner also points at 8 via a colleague tie.
+	g.AddEdge(4, 8, 2)
+	// Node 5 (bonds) points at 4 (already owns bonds: no suggestion).
+	g.AddEdge(5, 4, 1)
+
+	rules := []gr.Scored{
+		{ // (JOB:Lawyer, PRODUCT:Stocks) -[T:friend]-> (PRODUCT:Bonds), nhp 0.8
+			GR: gr.GR{
+				L: gr.D(0, 1, 1, 2),
+				W: gr.D(0, 1),
+				R: gr.D(1, 3),
+			},
+			Score: 0.8, Supp: 100,
+		},
+		{ // (PRODUCT:Bonds) -> (PRODUCT:Savings), nhp 0.3
+			GR:    gr.GR{L: gr.D(1, 3), R: gr.D(1, 1)},
+			Score: 0.3, Supp: 50,
+		},
+		{ // trivial: must be dropped by New
+			GR:    gr.GR{L: gr.D(1, 2), R: gr.D(1, 2)},
+			Score: 0.9, Supp: 10,
+		},
+	}
+	return g, rules
+}
+
+func TestNewDropsTrivial(t *testing.T) {
+	g, rules := fixture(t)
+	r := New(g, rules)
+	if r.Rules() != 2 {
+		t.Errorf("kept %d rules, want 2 (trivial dropped)", r.Rules())
+	}
+}
+
+func TestForNode(t *testing.T) {
+	g, rules := fixture(t)
+	r := New(g, rules)
+
+	sugg, err := r.ForNode(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions for node 8")
+	}
+	top := sugg[0]
+	if v, ok := top.R.Get(1); !ok || v != 3 {
+		t.Fatalf("top suggestion = %v, want PRODUCT:Bonds", top.R)
+	}
+	// Three lawyer-friends matched the bonds rule: score 3 × 0.8.
+	if top.Evidence != 3 || top.Score < 2.39 || top.Score > 2.41 {
+		t.Errorf("bonds suggestion = %+v, want evidence 3 score 2.4", top)
+	}
+	// The colleague edge from the bonds owner must NOT count for the
+	// friend-only rule, but the savings rule doesn't apply either (node 8
+	// would have to not own savings).
+	for _, s := range sugg {
+		if v, _ := s.R.Get(1); v == 1 {
+			t.Errorf("savings suggested to a savings owner: %+v", s)
+		}
+	}
+
+	// Node 9 has one lawyer friend.
+	sugg9, err := r.ForNode(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg9) != 1 || sugg9[0].Evidence != 1 {
+		t.Fatalf("node 9 suggestions = %+v", sugg9)
+	}
+
+	// Node 4 already owns bonds: the bonds rule must not fire.
+	sugg4, err := r.ForNode(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugg4 {
+		if v, _ := s.R.Get(1); v == 3 {
+			t.Errorf("bonds suggested to a bonds owner")
+		}
+	}
+
+	if _, err := r.ForNode(-1, 0); err == nil {
+		t.Error("bad node accepted")
+	}
+}
+
+func TestCampaign(t *testing.T) {
+	g, rules := fixture(t)
+	r := New(g, rules)
+	prospects, err := r.Campaign(gr.D(1, 3), 0) // PRODUCT:Bonds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prospects) != 2 {
+		t.Fatalf("prospects = %+v, want nodes 8 and 9", prospects)
+	}
+	if prospects[0].Node != 8 || prospects[0].Evidence != 3 {
+		t.Errorf("best prospect = %+v, want node 8 with evidence 3", prospects[0])
+	}
+	if prospects[1].Node != 9 {
+		t.Errorf("second prospect = %+v, want node 9", prospects[1])
+	}
+	// topN truncation.
+	one, err := r.Campaign(gr.D(1, 3), 1)
+	if err != nil || len(one) != 1 {
+		t.Errorf("topN: %v, %v", one, err)
+	}
+	// Invalid descriptor.
+	if _, err := r.Campaign(gr.Descriptor{{Attr: 9, Val: 1}}, 0); err == nil {
+		t.Error("bad RHS accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package store implements the compact data model of Section IV-A: node and
+// edge attribute information is stored separately in LArray (edge sources),
+// EArray (edges, grouped by source, with pointers into RArray), and RArray
+// (edge destinations), avoiding the |E| × 2 × #AttrV blow-up of the single
+// table a frequent-set miner would build. The package also provides that
+// single-table layout (used by baseline BL1) and the cell-count accounting
+// the paper uses to compare the two.
+package store
+
+import (
+	"fmt"
+
+	"grminer/internal/graph"
+)
+
+// Store is the three-array compact model over a graph. All per-edge
+// accessors take an edge id in 0..NumEdges-1; edges are laid out in EArray
+// grouped by source (the CSR layout of Figure 2), and EdgeID maps back to
+// the original graph edge.
+type Store struct {
+	g *graph.Graph
+
+	// LArray: one row per node with out-degree > 0.
+	lNode []int32       // LArray row -> graph node id
+	lVals []graph.Value // row-major node attribute values, len = rows * #AttrV
+	lOut  []int32       // out-degree of the row's node
+	lInd  []int32       // first EArray position of the row's outgoing edges
+
+	// EArray: one row per edge, grouped by source.
+	eSrc  []int32       // EArray row -> LArray row of the source
+	ePtr  []int32       // EArray row -> RArray row of the destination
+	eVals []graph.Value // row-major edge attribute values
+	eID   []int32       // EArray row -> original graph edge id
+
+	// RArray: one row per node with in-degree > 0.
+	rNode []int32
+	rVals []graph.Value
+}
+
+// Build constructs the compact model for g.
+func Build(g *graph.Graph) *Store {
+	s := &Store{g: g}
+	nv := len(g.Schema().Node)
+	ne := len(g.Schema().Edge)
+	n := g.NumNodes()
+	m := g.NumEdges()
+
+	outDeg := g.OutDegrees()
+	inDeg := g.InDegrees()
+
+	// Assign LArray and RArray rows; nodes with zero out-degree (in-degree)
+	// do not appear in LArray (RArray) — Section IV-A notes this saving.
+	lRow := make([]int32, n)
+	rRow := make([]int32, n)
+	for i := range lRow {
+		lRow[i], rRow[i] = -1, -1
+	}
+	for v := 0; v < n; v++ {
+		if outDeg[v] > 0 {
+			lRow[v] = int32(len(s.lNode))
+			s.lNode = append(s.lNode, int32(v))
+		}
+		if inDeg[v] > 0 {
+			rRow[v] = int32(len(s.rNode))
+			s.rNode = append(s.rNode, int32(v))
+		}
+	}
+	s.lVals = make([]graph.Value, len(s.lNode)*nv)
+	for row, v := range s.lNode {
+		copy(s.lVals[row*nv:(row+1)*nv], g.NodeValues(int(v)))
+	}
+	s.rVals = make([]graph.Value, len(s.rNode)*nv)
+	for row, v := range s.rNode {
+		copy(s.rVals[row*nv:(row+1)*nv], g.NodeValues(int(v)))
+	}
+
+	// CSR over sources: Ind/Out per LArray row, edges scattered into EArray.
+	s.lOut = make([]int32, len(s.lNode))
+	s.lInd = make([]int32, len(s.lNode))
+	for row, v := range s.lNode {
+		s.lOut[row] = outDeg[v]
+	}
+	var off int32
+	for row := range s.lInd {
+		s.lInd[row] = off
+		off += s.lOut[row]
+	}
+	s.eSrc = make([]int32, m)
+	s.ePtr = make([]int32, m)
+	s.eID = make([]int32, m)
+	if ne > 0 {
+		s.eVals = make([]graph.Value, m*ne)
+	}
+	cursor := make([]int32, len(s.lNode))
+	copy(cursor, s.lInd)
+	for e := 0; e < m; e++ {
+		src := g.Src(e)
+		row := lRow[src]
+		pos := cursor[row]
+		cursor[row]++
+		s.eSrc[pos] = row
+		s.ePtr[pos] = rRow[g.Dst(e)]
+		s.eID[pos] = int32(e)
+		if ne > 0 {
+			copy(s.eVals[int(pos)*ne:(int(pos)+1)*ne], g.EdgeValues(e))
+		}
+	}
+	return s
+}
+
+// Graph returns the underlying graph.
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// NumEdges returns the number of EArray rows.
+func (s *Store) NumEdges() int { return len(s.ePtr) }
+
+// NumLRows and NumRRows return the LArray and RArray row counts.
+func (s *Store) NumLRows() int { return len(s.lNode) }
+
+// NumRRows returns the RArray row count.
+func (s *Store) NumRRows() int { return len(s.rNode) }
+
+// LVal returns the source-node value of edge e for node attribute attr.
+func (s *Store) LVal(e int32, attr int) graph.Value {
+	nv := len(s.g.Schema().Node)
+	return s.lVals[int(s.eSrc[e])*nv+attr]
+}
+
+// EVal returns edge e's value for edge attribute attr.
+func (s *Store) EVal(e int32, attr int) graph.Value {
+	ne := len(s.g.Schema().Edge)
+	return s.eVals[int(e)*ne+attr]
+}
+
+// RVal returns the destination-node value of edge e for node attribute attr.
+func (s *Store) RVal(e int32, attr int) graph.Value {
+	nv := len(s.g.Schema().Node)
+	return s.rVals[int(s.ePtr[e])*nv+attr]
+}
+
+// EdgeID maps an EArray row back to the original graph edge id.
+func (s *Store) EdgeID(e int32) int32 { return s.eID[e] }
+
+// SrcNode and DstNode return the endpoints (graph node ids) of EArray row e.
+func (s *Store) SrcNode(e int32) int32 { return s.lNode[s.eSrc[e]] }
+
+// DstNode returns the destination graph node id of EArray row e.
+func (s *Store) DstNode(e int32) int32 { return s.rNode[s.ePtr[e]] }
+
+// AllEdges returns a fresh slice of every EArray row id, the root partition
+// for the miner.
+func (s *Store) AllEdges() []int32 {
+	ids := make([]int32, s.NumEdges())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// Validate cross-checks the store against its graph; used by tests and as a
+// guard after Build on huge inputs.
+func (s *Store) Validate() error {
+	if s.NumEdges() != s.g.NumEdges() {
+		return fmt.Errorf("store: %d EArray rows for %d edges", s.NumEdges(), s.g.NumEdges())
+	}
+	nv := len(s.g.Schema().Node)
+	ne := len(s.g.Schema().Edge)
+	for e := int32(0); int(e) < s.NumEdges(); e++ {
+		orig := int(s.eID[e])
+		if int(s.SrcNode(e)) != s.g.Src(orig) || int(s.DstNode(e)) != s.g.Dst(orig) {
+			return fmt.Errorf("store: edge %d endpoints mismatch", e)
+		}
+		for a := 0; a < nv; a++ {
+			if s.LVal(e, a) != s.g.NodeValue(s.g.Src(orig), a) {
+				return fmt.Errorf("store: edge %d LVal attr %d mismatch", e, a)
+			}
+			if s.RVal(e, a) != s.g.NodeValue(s.g.Dst(orig), a) {
+				return fmt.Errorf("store: edge %d RVal attr %d mismatch", e, a)
+			}
+		}
+		for a := 0; a < ne; a++ {
+			if s.EVal(e, a) != s.g.EdgeValue(orig, a) {
+				return fmt.Errorf("store: edge %d EVal attr %d mismatch", e, a)
+			}
+		}
+	}
+	return nil
+}
+
+// CompactSizeCells returns the cell count of the compact model per Section
+// IV-A: |V|×(#AttrV+2) + |E|×(#AttrE+1) + |V|×#AttrV, with |V| counted as
+// the actual LArray/RArray row counts (zero-degree nodes are dropped).
+func (s *Store) CompactSizeCells() int {
+	nv := len(s.g.Schema().Node)
+	ne := len(s.g.Schema().Edge)
+	return s.NumLRows()*(nv+2) + s.NumEdges()*(ne+1) + s.NumRRows()*nv
+}
+
+// SingleTableSizeCells returns the cell count of the single-table layout the
+// paper's baseline BL1 materialises: |E| × (2×#AttrV + #AttrE).
+func SingleTableSizeCells(g *graph.Graph) int {
+	return g.NumEdges() * (2*len(g.Schema().Node) + len(g.Schema().Edge))
+}
+
+// FlatTable is the single-table representation: one row per edge holding the
+// source node attributes, the edge attributes, and the destination node
+// attributes — the layout whose |E|×2×#AttrV term the compact model avoids.
+// Baseline BL1 mines over this table.
+type FlatTable struct {
+	NodeAttrs int
+	EdgeAttrs int
+	Width     int
+	Rows      int
+	vals      []graph.Value
+}
+
+// Flatten materialises the single table for g.
+func Flatten(g *graph.Graph) *FlatTable {
+	nv := len(g.Schema().Node)
+	ne := len(g.Schema().Edge)
+	t := &FlatTable{
+		NodeAttrs: nv,
+		EdgeAttrs: ne,
+		Width:     2*nv + ne,
+		Rows:      g.NumEdges(),
+	}
+	t.vals = make([]graph.Value, t.Rows*t.Width)
+	for e := 0; e < t.Rows; e++ {
+		row := t.vals[e*t.Width : (e+1)*t.Width]
+		copy(row[:nv], g.NodeValues(g.Src(e)))
+		copy(row[nv:nv+ne], g.EdgeValues(e))
+		copy(row[nv+ne:], g.NodeValues(g.Dst(e)))
+	}
+	return t
+}
+
+// LCol, WCol, RCol map attribute indices to flat-table column indices.
+func (t *FlatTable) LCol(attr int) int { return attr }
+
+// WCol maps an edge attribute to its flat-table column.
+func (t *FlatTable) WCol(attr int) int { return t.NodeAttrs + attr }
+
+// RCol maps a destination node attribute to its flat-table column.
+func (t *FlatTable) RCol(attr int) int { return t.NodeAttrs + t.EdgeAttrs + attr }
+
+// Value returns the value at (row, col).
+func (t *FlatTable) Value(row int32, col int) graph.Value {
+	return t.vals[int(row)*t.Width+col]
+}
