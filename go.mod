@@ -1,0 +1,3 @@
+module grminer
+
+go 1.24
