@@ -1,5 +1,8 @@
-// Command grbench regenerates the paper's tables and figures (see DESIGN.md
-// §5 for the experiment index and EXPERIMENTS.md for recorded runs).
+// Command grbench regenerates the paper's tables and figures. DESIGN.md §5
+// carries the experiment index (one entry per -exp name, implemented in
+// internal/bench/experiments.go and internal/bench/scaling.go); experiments
+// with machine-readable output drop BENCH_*.json snapshots next to their
+// text reports.
 //
 // Usage:
 //
@@ -7,6 +10,7 @@
 //	grbench -exp fig4a -pokec-nodes 50000 -pokec-deg 15
 //	grbench -exp tableIIb
 //	grbench -exp fig4d -skip-baselines
+//	grbench -exp scaling -procs 8 -auto
 package main
 
 import (
@@ -30,6 +34,9 @@ func main() {
 	flag.Float64Var(&cfg.MinNhp, "minnhp", cfg.MinNhp, "default minNhp for sweeps")
 	flag.IntVar(&cfg.K, "k", cfg.K, "default top-k for sweeps")
 	flag.BoolVar(&cfg.SkipBaselines, "skip-baselines", cfg.SkipBaselines, "omit BL1/BL2 from figure sweeps")
+	flag.IntVar(&cfg.Procs, "procs", cfg.Procs, "worker-count cap for the scaling experiment (0 = all cores)")
+	flag.BoolVar(&cfg.Auto, "auto", cfg.Auto, "add the AutoTune-planned point to the scaling experiment")
+	flag.StringVar(&cfg.JSONDir, "json-dir", ".", "directory for BENCH_*.json snapshots (empty = skip)")
 	flag.Parse()
 
 	if err := bench.Run(*exp, os.Stdout, cfg); err != nil {

@@ -6,6 +6,7 @@
 //
 //	grminer -data toy
 //	grminer -data pokec -nodes 20000 -minsupp 500 -minnhp 0.5 -k 20
+//	grminer -data pokec -nodes 200000 -auto -stats
 //	grminer -schema s.txt -nodes-file n.tsv -edges-file e.tsv -minsupp 50
 //	grminer -data dblp -query "(A:DB) -[S:often]-> (A:DM)"
 //
@@ -40,7 +41,9 @@ func main() {
 		showStats = flag.Bool("stats", false, "print search statistics")
 		out       = flag.String("out", "", "also write results to this file")
 		format    = flag.String("format", "tsv", "output file format: tsv | json")
-		workers   = flag.Int("workers", 0, "parallel mining workers (0 = sequential)")
+		workers   = flag.Int("workers", 0, "parallel mining workers (0 = sequential unless -auto)")
+		auto      = flag.Bool("auto", false, "auto-tune workers and descriptor caps from the input size")
+		procs     = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -49,9 +52,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grminer:", err)
 		os.Exit(1)
 	}
-	st := g.Stats()
+	gs := g.Stats()
 	fmt.Printf("network: %d nodes, %d edges, %d node attrs, %d edge attrs\n",
-		st.Nodes, st.Edges, st.NodeAttrs, st.EdgeAttrs)
+		gs.Nodes, gs.Edges, gs.NodeAttrs, gs.EdgeAttrs)
 
 	if *query != "" {
 		wb := grminer.NewWorkbench(g)
@@ -69,7 +72,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grminer:", err)
 		os.Exit(1)
 	}
-	res, err := grminer.Mine(g, grminer.Options{
+	opt := grminer.Options{
 		MinSupp:        *minSupp,
 		MinScore:       *minScore,
 		K:              *k,
@@ -77,7 +80,14 @@ func main() {
 		Metric:         m,
 		IncludeTrivial: *trivial,
 		Parallelism:    *workers,
-	})
+	}
+	st := grminer.BuildStore(g)
+	if *auto {
+		plan := grminer.AutoPlan(st, *procs, opt)
+		opt = plan.Apply(opt)
+		fmt.Println(plan)
+	}
+	res, err := grminer.MineStore(st, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grminer:", err)
 		os.Exit(1)

@@ -61,6 +61,9 @@ type (
 	Result = core.Result
 	// Stats reports the work a mining run performed.
 	Stats = core.Stats
+	// Plan is the execution strategy AutoTune selects from the input size
+	// (worker count, descriptor caps, sequential/parallel crossover).
+	Plan = core.Plan
 	// Metric is a pluggable interestingness measure (Section VII).
 	Metric = metrics.Metric
 	// Counts carries the absolute supports metrics are computed from.
@@ -111,6 +114,20 @@ func BuildStore(g *Graph) *Store { return store.Build(g) }
 
 // MineStore is Mine over a pre-built store.
 func MineStore(st *Store, opt Options) (*Result, error) { return core.MineStore(st, opt) }
+
+// MineAuto is Mine with the AutoTune planner applied first: zero-valued
+// execution knobs (Parallelism, MaxL/MaxW/MaxR) are filled from the input's
+// edge count, attribute arity, and the machine's CPU count; small inputs
+// stay sequential, large ones fan out over the lock-light parallel engine.
+func MineAuto(g *Graph, opt Options) (*Result, error) { return core.MineAuto(g, opt) }
+
+// MineAutoStore is MineAuto over a pre-built store.
+func MineAutoStore(st *Store, opt Options) (*Result, error) { return core.MineAutoStore(st, opt) }
+
+// AutoPlan previews the execution strategy MineAuto would choose for st
+// under a given CPU budget (procs 0 = all cores) without mining. Apply the
+// returned plan to an Options value with Plan.Apply.
+func AutoPlan(st *Store, procs int, opt Options) Plan { return core.PlanFor(st, procs, opt) }
 
 // ParseGR parses the textual GR form, e.g. "(SEX:F, EDU:Grad) -> (SEX:M)".
 func ParseGR(s *Schema, text string) (GR, error) { return gr.ParseGR(s, text) }

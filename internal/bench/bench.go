@@ -3,8 +3,8 @@
 // datasets, printing rows/series in the same format the paper reports.
 // Absolute numbers differ from the paper (different data scale, Go instead
 // of C++, different hardware); the curves' shapes are the reproduction
-// target. See DESIGN.md §5 for the per-experiment index and EXPERIMENTS.md
-// for recorded runs.
+// target. See DESIGN.md §5 for the per-experiment index; experiments with
+// machine-readable output drop BENCH_*.json snapshots (Config.JSONDir).
 package bench
 
 import (
@@ -40,6 +40,14 @@ type Config struct {
 	// SkipBaselines drops BL1/BL2 from the figure sweeps (they dominate
 	// the runtime, exactly as the paper reports).
 	SkipBaselines bool
+	// Procs caps the worker counts the scaling experiment sweeps
+	// (0 = runtime.NumCPU()).
+	Procs int
+	// Auto adds an AutoTune-planned point to the scaling experiment.
+	Auto bool
+	// JSONDir, when non-empty, is where experiments drop machine-readable
+	// BENCH_*.json snapshots alongside their text reports.
+	JSONDir string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -86,7 +94,7 @@ func (cfg Config) pokec4() (*graph.Graph, error) {
 var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
-	"dblp-time", "metrics", "storesize", "ablation",
+	"dblp-time", "metrics", "storesize", "ablation", "scaling",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -114,6 +122,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return StoreSize(w, cfg)
 	case "ablation":
 		return Ablation(w, cfg)
+	case "scaling":
+		return Scaling(w, cfg)
 	case "all":
 		for _, n := range Names {
 			if err := Run(n, w, cfg); err != nil {

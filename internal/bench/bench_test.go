@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,47 @@ func TestEveryExperimentRuns(t *testing.T) {
 		if buf.Len() == 0 {
 			t.Errorf("%s produced no output", name)
 		}
+	}
+}
+
+// The scaling experiment must produce identical parallel results and a
+// well-formed BENCH_scaling.json snapshot.
+func TestScalingReport(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = 4
+	cfg.Auto = true
+	cfg.JSONDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := Scaling(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("scaling run diverged from sequential:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_scaling.json"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var rep ScalingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if rep.SequentialStatic <= 0 || rep.SequentialDynamic <= 0 || len(rep.Points) == 0 {
+		t.Errorf("snapshot incomplete: %+v", rep)
+	}
+	seenFloors := map[string]bool{}
+	for _, pt := range rep.Points {
+		if !pt.Identical {
+			t.Errorf("worker count %d (%s floor) diverged from sequential", pt.Workers, pt.Floor)
+		}
+		if pt.Workers < 2 {
+			t.Errorf("parallel point with %d workers", pt.Workers)
+		}
+		seenFloors[pt.Floor] = true
+	}
+	if !seenFloors["static"] || !seenFloors["dynamic"] {
+		t.Errorf("missing floor mode in %v", seenFloors)
 	}
 }
 

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The shared floor must be monotonically non-decreasing under concurrent
+// raises and must converge to the maximum value offered. Run with -race.
+func TestParFloorMonotonicConcurrent(t *testing.T) {
+	f := newParFloor()
+	if f.load() != math.Inf(-1) {
+		t.Fatalf("initial floor %v, want -Inf", f.load())
+	}
+
+	const raisers = 8
+	const perRaiser = 2000
+	// Deterministic but interleaved values, including negatives (gain and
+	// Piatetsky-Shapiro scores can be negative).
+	value := func(r, i int) float64 { return float64((i*raisers+r)%1000)/500 - 1 }
+
+	stop := make(chan struct{})
+	monotone := true
+	var observer sync.WaitGroup
+	observer.Add(1)
+	go func() {
+		defer observer.Done()
+		last := math.Inf(-1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := f.load()
+			if v < last {
+				monotone = false
+				return
+			}
+			last = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < raisers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				f.raise(value(r, i))
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	observer.Wait()
+
+	if !monotone {
+		t.Fatal("observed the floor decreasing")
+	}
+	maxOffered := math.Inf(-1)
+	for r := 0; r < raisers; r++ {
+		for i := 0; i < perRaiser; i++ {
+			if v := value(r, i); v > maxOffered {
+				maxOffered = v
+			}
+		}
+	}
+	if final := f.load(); final != maxOffered {
+		t.Fatalf("final floor %v, want max offered %v", final, maxOffered)
+	}
+
+	// Raising to a lower value must be a no-op.
+	final := f.load()
+	f.raise(final - 1)
+	if f.load() != final {
+		t.Error("raise with a lower value moved the floor")
+	}
+}
+
+// Sequential raise sequence: every intermediate load is the running max.
+func TestParFloorRunningMax(t *testing.T) {
+	f := newParFloor()
+	seq := []float64{-0.5, 0.2, 0.1, 0.2, 0.9, 0.3, 1.5, 1.5, -2}
+	running := math.Inf(-1)
+	for _, v := range seq {
+		f.raise(v)
+		if v > running {
+			running = v
+		}
+		if got := f.load(); got != running {
+			t.Fatalf("after raise(%v): floor %v, want %v", v, got, running)
+		}
+	}
+}

@@ -61,13 +61,17 @@ type Options struct {
 	// more GRs. `grbench -exp ablation` quantifies the cost.
 	StaticRHSOrder bool
 	// Parallelism > 1 mines first-level partitions on that many worker
-	// goroutines (see parallel.go for the decomposition and soundness
+	// goroutines, drained largest-partition-first from a lock-free task
+	// queue; workers keep private top-k lists and share only an atomic
+	// pruning floor (see parallel.go for the engine and soundness
 	// argument). Results are deterministic and equal to the sequential
 	// run's: with a static floor the workers collect candidates that a
 	// final generality-ordered merge filters exactly; with DynamicFloor,
 	// ExactGenerality is enabled automatically so blocking is
-	// order-independent and the shared floor stays sound. 0 and 1 mean
-	// sequential.
+	// order-independent and the shared floor stays sound (for patterns up
+	// to 20 conditions — see hasQualifyingGeneralization's fallback; cap
+	// MaxL/MaxW to stay inside it on extremely wide schemas). 0 and 1 mean
+	// sequential. AutoTune (plan.go) fills this from the input size.
 	Parallelism int
 }
 
@@ -165,6 +169,29 @@ type lwPair struct {
 	l, w gr.Descriptor
 }
 
+// blockerMap indexes recorded blockers by RHS key. It is the single
+// implementation of Definition 5 condition (2)'s subset test, shared by the
+// sequential walk, the parallel workers, and the coordinator's final merge
+// so blocking semantics cannot fork between them.
+type blockerMap map[string][]lwPair
+
+// blocks reports whether a recorded blocker generalises g: same RHS, LHS
+// and edge conditions subsets of g's.
+func (bm blockerMap) blocks(g gr.GR) bool {
+	for _, b := range bm[g.RHSKey()] {
+		if b.l.SubsetOf(g.L) && b.w.SubsetOf(g.W) {
+			return true
+		}
+	}
+	return false
+}
+
+// record registers g as a future generality blocker.
+func (bm blockerMap) record(g gr.GR) {
+	key := g.RHSKey()
+	bm[key] = append(bm[key], lwPair{l: g.L, w: g.W})
+}
+
 type miner struct {
 	st     *store.Store
 	schema *graph.Schema
@@ -175,10 +202,10 @@ type miner struct {
 	buffers   [][]int32
 	groupBufs [][]csort.Group
 	top       *topk.List
-	// blockers maps an RHS key to the (L, W) pairs of threshold-satisfying
-	// GRs seen so far; SFDF's subset-first property guarantees every
-	// generalisation is recorded before its specialisations arrive.
-	blockers map[string][]lwPair
+	// blockers holds the (L, W) pairs of threshold-satisfying GRs seen so
+	// far; SFDF's subset-first property guarantees every generalisation is
+	// recorded before its specialisations arrive.
+	blockers blockerMap
 	// rCounts caches |E(r)| per RHS key for metrics that need supp(r).
 	rCounts map[string]int
 	// qualCache memoises ExactGenerality verdicts per GR key.
@@ -189,10 +216,11 @@ type miner struct {
 	totalE  int
 	stats   Stats
 
-	// Parallel-worker state (nil in sequential mode): candidates are
-	// collected locally and merged after all workers finish; the shared
-	// state carries the dynamic floor. See parallel.go.
-	par       *parShared
+	// Parallel-worker state (nil in sequential mode): candidates live in
+	// the worker's private top list (DynamicFloor) or collected slice
+	// (static floor) and are merged once after all workers finish; the only
+	// shared mutable state is the atomic pruning floor. See parallel.go.
+	parF      *parFloor
 	collected []gr.Scored
 }
 
@@ -216,7 +244,7 @@ func newMiner(st *store.Store, opt Options) *miner {
 		metric:   opt.Metric,
 		part:     csort.New(maxDomain),
 		top:      topk.New(opt.K),
-		blockers: make(map[string][]lwPair),
+		blockers: make(blockerMap),
 		rCounts:  make(map[string]int),
 		slOrder:  lhsOrder(schema),
 		swOrder:  edgeOrder(schema),
@@ -460,13 +488,14 @@ func (m *miner) rightGroup(rc *rctx, part []int32, depth int, rhs2 gr.Descriptor
 
 // floor returns the effective pruning threshold: the user's MinScore,
 // upgraded to the k-th best score under GRMiner(k) semantics. Parallel
-// workers read the shared floor, which only ever rises and never exceeds
-// the final k-th best score, so pruning with it is sound.
+// workers read the shared atomic floor — a single lock-free load — which
+// only ever rises and never exceeds the final k-th best score, so pruning
+// with it is sound.
 func (m *miner) floor() float64 {
 	f := m.opt.MinScore
 	if m.opt.DynamicFloor {
-		if m.par != nil {
-			if fl, ok := m.par.floor(); ok && fl > f {
+		if m.parF != nil {
+			if fl := m.parF.load(); fl > f {
 				f = fl
 			}
 		} else if fl, ok := m.top.Floor(); ok && fl > f {
@@ -480,20 +509,36 @@ func (m *miner) floor() float64 {
 // general GR already satisfied condition (1) — then offers the survivor to
 // the top-k list and records it as a future blocker.
 //
-// Parallel workers instead collect candidates locally: with a static floor
-// the generality filter runs in the coordinator's final generality-ordered
-// merge (the collected set is complete, so the merge is exact); under
-// DynamicFloor the normalized options force ExactGenerality, making the
-// blocking decision order-independent so it can happen right here.
+// Parallel workers instead keep candidates private. With a static floor
+// they collect into a local slice and the generality filter runs in the
+// coordinator's final generality-ordered merge (the collected set is
+// complete, so the merge is exact). Under DynamicFloor the normalized
+// options force ExactGenerality, making the blocking decision
+// order-independent so it happens right here; survivors enter the worker's
+// private top-k list, and whenever that list's own floor rises the worker
+// tries to CAS-raise the shared atomic floor with it.
 func (m *miner) consider(s gr.Scored) {
-	if m.par != nil {
-		if !m.opt.NoGeneralityFilter && m.opt.ExactGenerality && m.hasQualifyingGeneralization(s.GR) {
-			m.stats.Blocked++
-			return
+	if m.parF != nil {
+		if !m.opt.NoGeneralityFilter && m.opt.ExactGenerality {
+			// The worker-local blocker map is a sound pre-filter before the
+			// exact (and expensive) generalisation scan: a recorded blocker
+			// is itself a qualifying generalisation, so a hit proves the
+			// verdict the scan would reach. Misses fall through to the scan
+			// because another worker may have enumerated the blocker.
+			if m.blockers.blocks(s.GR) || m.hasQualifyingGeneralization(s.GR) {
+				m.stats.Blocked++
+				return
+			}
+			m.blockers.record(s.GR)
 		}
-		m.collected = append(m.collected, s)
 		if m.opt.DynamicFloor {
-			m.par.offer(s)
+			if m.top.Consider(s) {
+				if fl, ok := m.top.Floor(); ok {
+					m.parF.raise(fl)
+				}
+			}
+		} else {
+			m.collected = append(m.collected, s)
 		}
 		return
 	}
@@ -501,18 +546,15 @@ func (m *miner) consider(s gr.Scored) {
 		m.top.Consider(s)
 		return
 	}
-	key := s.GR.RHSKey()
-	for _, b := range m.blockers[key] {
-		if b.l.SubsetOf(s.GR.L) && b.w.SubsetOf(s.GR.W) {
-			m.stats.Blocked++
-			return
-		}
+	if m.blockers.blocks(s.GR) {
+		m.stats.Blocked++
+		return
 	}
 	if m.opt.ExactGenerality && m.hasQualifyingGeneralization(s.GR) {
 		m.stats.Blocked++
 		return
 	}
-	m.blockers[key] = append(m.blockers[key], lwPair{l: s.GR.L, w: s.GR.W})
+	m.blockers.record(s.GR)
 	m.top.Consider(s)
 }
 
@@ -524,7 +566,12 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 	n := len(g.L) + len(g.W)
 	if n == 0 || n > 20 {
 		// No strict generalisation exists, or the enumeration would explode;
-		// fall back to the in-search blocker set.
+		// fall back to the in-search blocker set. In parallel mode that set
+		// is worker-local, so for GRs beyond 20 conditions the sequential-
+		// equality guarantee narrows to runs whose descriptor caps (MaxL +
+		// MaxW ≤ 20 — AutoTune's caps are far below this) keep patterns
+		// inside the exact check's reach; such runs are otherwise
+		// pathological (2^20 subset scans per candidate).
 		return false
 	}
 	if m.qualCache == nil {
@@ -548,7 +595,11 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 		qual, seen := m.qualCache[ck]
 		if !seen {
 			qual = false
-			if !cand.Trivial(m.schema) {
+			// A trivial generalisation can block only when IncludeTrivial
+			// admits trivial GRs as candidates — mirroring the blocker map,
+			// which records trivial candidates in exactly that mode. (Its β
+			// is empty, so Eval's score matches the in-search one.)
+			if !cand.Trivial(m.schema) || m.opt.IncludeTrivial {
 				c := metrics.Eval(graphG, cand)
 				qual = c.LWR >= m.opt.MinSupp && m.metric.Score(c) >= m.opt.MinScore
 			}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grminer/internal/gr"
@@ -17,99 +19,174 @@ import (
 // worker goroutines process with private miner state (partitioner, scratch
 // buffers, caches, statistics).
 //
-// Soundness:
+// The execution engine is lock-light. Workers share exactly one word of
+// mutable state: the pruning floor, an atomic.Uint64 holding float64 bits
+// that is CAS-raised (never lowered) when a worker's local k-th best score
+// beats it. Everything else is private: each worker accumulates candidates
+// into its own topk.List (DynamicFloor) or candidate slice (static floor),
+// and the coordinator merges the per-worker results exactly once after all
+// workers finish. Tasks are drained from a slice ordered largest-partition-
+// first through an atomic index, so the biggest subtrees start earliest and
+// stragglers do not tail the run; claiming a task is a single atomic add.
+//
+// Soundness (the sequential mergeCandidates argument carries over):
 //
 //   - the tasks partition the enumeration space exactly as the sequential
 //     walk does, so every GR is examined by exactly one worker;
 //   - supp pruning is local and unaffected;
 //   - with a static floor, workers prune only on MinScore, so the union of
-//     collected candidates is the complete set of GRs satisfying
+//     the per-worker candidate slices is the complete set of GRs satisfying
 //     Definition 5 condition (1); the coordinator then applies condition
 //     (2) in generality order (a complete candidate set makes the
-//     blocker-map filter exact) and condition (3) by rank;
+//     blocker-map filter exact) and condition (3) by rank — exactly what
+//     mergeCandidates did for the old shared-list coordinator, because that
+//     merge only ever consumed the union of collected candidates and never
+//     depended on *when* (or through which lock) candidates arrived;
 //   - with DynamicFloor, normalize() forces ExactGenerality so condition
-//     (2) is decided order-independently inside each worker, which makes
-//     the shared top-k floor hold only genuinely qualifying, unblocked
-//     candidates; the floor therefore never exceeds the final k-th best
-//     score and subtree pruning below it is sound. Floor *timing* varies
-//     across runs, affecting work done but never the result set: a pruned
-//     subtree only contains candidates scoring strictly below some floor
-//     value, hence strictly below the final k-th best score.
-type parShared struct {
-	mu  sync.Mutex
-	top *topk.List
+//     (2) is decided order-independently inside each worker; each local
+//     list therefore holds only genuinely qualifying, unblocked candidates.
+//     A worker's local k-th best score is a lower bound on the global k-th
+//     best (the best k of a superset dominate the best k of any subset), so
+//     the shared atomic floor — the maximum of local k-th bests published
+//     so far — never exceeds the final k-th best score and subtree pruning
+//     below it is sound. Floor *timing* varies across runs, affecting work
+//     done but never the result set: a pruned subtree only contains
+//     candidates scoring strictly below some floor value, hence strictly
+//     below the final k-th best score. Every global top-k entry survives in
+//     its worker's bound-k local list (it outranks the global k-th, so it
+//     can never be evicted), which makes the final topk.Merge of the local
+//     lists exact.
+
+// parFloor is the one piece of shared mutable state: the dynamic pruning
+// floor as atomic float64 bits. Reads are a single atomic load; raises are
+// a CAS loop comparing as floats (bit-pattern ordering would be wrong for
+// negative scores, which gain and Piatetsky-Shapiro can produce).
+type parFloor struct {
+	bits atomic.Uint64
 }
 
-func (p *parShared) offer(s gr.Scored) {
-	p.mu.Lock()
-	p.top.Consider(s)
-	p.mu.Unlock()
+func newParFloor() *parFloor {
+	f := &parFloor{}
+	f.bits.Store(math.Float64bits(math.Inf(-1)))
+	return f
 }
 
-func (p *parShared) floor() (float64, bool) {
-	p.mu.Lock()
-	f, ok := p.top.Floor()
-	p.mu.Unlock()
-	return f, ok
+// load returns the current floor (-Inf until the first raise).
+func (p *parFloor) load() float64 { return math.Float64frombits(p.bits.Load()) }
+
+// raise lifts the floor to s if s beats the current value. The floor is
+// monotonically non-decreasing: a stale competing CAS can only have
+// published a lower value, which the retry loop then overwrites.
+func (p *parFloor) raise(s float64) {
+	for {
+		old := p.bits.Load()
+		if s <= math.Float64frombits(old) {
+			return
+		}
+		if p.bits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
 }
 
-// parTask is one first-level subtree.
-type parTask func(w *miner)
+// parTask is one first-level subtree, tagged with its partition size so the
+// scheduler can start the largest subtrees first.
+type parTask struct {
+	size int
+	run  func(w *miner)
+}
 
 // mineParallel runs GRMiner with opt.Parallelism workers.
 func mineParallel(st *store.Store, opt Options) (*Result, error) {
 	start := time.Now()
-	shared := &parShared{top: topk.New(opt.K)}
 
 	// The coordinator miner builds the first-level partitions.
 	coord := newMiner(st, opt)
-	coord.par = shared
 	tasks := buildTasks(coord)
 
+	// With zero or one task there is nothing to run concurrently; spawning
+	// idle workers would only pay goroutine and merge overhead. Run the
+	// task (if any) on one sequential miner (parF nil, so consider() takes
+	// the sequential path; opt is already normalized, so the
+	// DynamicFloor/ExactGenerality semantics match the parallel path) and
+	// reuse the first-level work the coordinator already did rather than
+	// re-partitioning the full edge set.
+	if len(tasks) < 2 {
+		m := newMiner(st, opt)
+		for _, t := range tasks {
+			t.run(m)
+		}
+		stats := coord.stats
+		addStats(&stats, &m.stats)
+		stats.Duration = time.Since(start)
+		return &Result{TopK: m.top.Items(), Stats: stats, Options: opt, TotalEdges: st.NumEdges()}, nil
+	}
+
+	// Largest partitions first: first-level subtree cost grows with
+	// partition size, so scheduling big tasks early keeps the tail of the
+	// run filled with small ones. The stable sort keeps the build order for
+	// equal sizes, which keeps scheduling deterministic.
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].size > tasks[j].size })
+
 	workers := opt.Parallelism
-	if workers > len(tasks) && len(tasks) > 0 {
+	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	taskCh := make(chan parTask)
+	floor := newParFloor()
 	miners := make([]*miner, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		w := newMiner(st, opt)
-		w.par = shared
+		w.parF = floor
 		miners[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range taskCh {
-				t(w)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(tasks) {
+					return
+				}
+				tasks[t].run(w)
 			}
 		}()
 	}
-	for _, t := range tasks {
-		taskCh <- t
-	}
-	close(taskCh)
 	wg.Wait()
 
-	// Merge: coordinator's own collected candidates (none — it only built
-	// tasks) plus every worker's.
-	collected := coord.collected
+	// Merge once: coordinator stats (supp pruning observed while building
+	// tasks) plus every worker's results.
 	stats := coord.stats
+	var collected []gr.Scored
+	lists := make([]*topk.List, 0, workers)
 	for _, w := range miners {
 		collected = append(collected, w.collected...)
-		stats.PartitionCalls += w.stats.PartitionCalls
-		stats.Examined += w.stats.Examined
-		stats.TrivialSeen += w.stats.TrivialSeen
-		stats.PrunedSupp += w.stats.PrunedSupp
-		stats.PrunedScore += w.stats.PrunedScore
-		stats.Candidates += w.stats.Candidates
-		stats.Blocked += w.stats.Blocked
-		stats.HomScans += w.stats.HomScans
+		lists = append(lists, w.top)
+		addStats(&stats, &w.stats)
 	}
 
-	topList := mergeCandidates(collected, opt, &stats)
+	var topList []gr.Scored
+	if opt.DynamicFloor {
+		// Workers kept bound-k local lists (generality was already decided
+		// in-worker, order-independently); merging them is exact.
+		topList = topk.Merge(opt.K, lists...).Items()
+	} else {
+		topList = mergeCandidates(collected, opt, &stats)
+	}
 	stats.Duration = time.Since(start)
 	return &Result{TopK: topList, Stats: stats, Options: opt, TotalEdges: st.NumEdges()}, nil
+}
+
+// addStats accumulates one miner's counters (not Duration) into total.
+func addStats(total, s *Stats) {
+	total.PartitionCalls += s.PartitionCalls
+	total.Examined += s.Examined
+	total.TrivialSeen += s.TrivialSeen
+	total.PrunedSupp += s.PrunedSupp
+	total.PrunedScore += s.PrunedScore
+	total.Candidates += s.Candidates
+	total.Blocked += s.Blocked
+	total.HomScans += s.HomScans
 }
 
 // buildTasks materialises the first-level partitions. Each partition's id
@@ -139,16 +216,16 @@ func buildTasks(m *miner) []parTask {
 			if grp.Val == uint16(graph.Null) {
 				continue
 			}
-			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
-			if len(part) < m.opt.MinSupp {
+			if int(grp.Hi-grp.Lo) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
 				continue
 			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
 			rhs2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
-			tasks = append(tasks, func(w *miner) {
+			tasks = append(tasks, parTask{size: len(part), run: func(w *miner) {
 				rc := &rctx{base: all, sr: sr}
 				w.rightGroup(rc, part, 1, rhs2, pos)
-			})
+			}})
 		}
 	}
 
@@ -162,15 +239,15 @@ func buildTasks(m *miner) []parTask {
 			if grp.Val == uint16(graph.Null) {
 				continue
 			}
-			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
-			if len(part) < m.opt.MinSupp {
+			if int(grp.Hi-grp.Lo) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
 				continue
 			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
 			w2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
-			tasks = append(tasks, func(w *miner) {
+			tasks = append(tasks, parTask{size: len(part), run: func(w *miner) {
 				w.edgeGroup(part, 1, nil, w2, pos)
-			})
+			}})
 		}
 	}
 
@@ -184,15 +261,15 @@ func buildTasks(m *miner) []parTask {
 			if grp.Val == uint16(graph.Null) {
 				continue
 			}
-			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
-			if len(part) < m.opt.MinSupp {
+			if int(grp.Hi-grp.Lo) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
 				continue
 			}
+			part := append([]int32(nil), buf[grp.Lo:grp.Hi]...)
 			lhs2 := gr.Descriptor(nil).With(attr, graph.Value(grp.Val))
-			tasks = append(tasks, func(w *miner) {
+			tasks = append(tasks, parTask{size: len(part), run: func(w *miner) {
 				w.leftGroup(part, 1, lhs2, pos)
-			})
+			}})
 		}
 	}
 	return tasks
@@ -219,21 +296,13 @@ func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scor
 		}
 		return collected[i].GR.Key() < collected[j].GR.Key()
 	})
-	blockers := make(map[string][]lwPair)
+	blockers := make(blockerMap)
 	for _, s := range collected {
-		key := s.GR.RHSKey()
-		blocked := false
-		for _, b := range blockers[key] {
-			if b.l.SubsetOf(s.GR.L) && b.w.SubsetOf(s.GR.W) {
-				blocked = true
-				break
-			}
-		}
-		if blocked {
+		if blockers.blocks(s.GR) {
 			stats.Blocked++
 			continue
 		}
-		blockers[key] = append(blockers[key], lwPair{l: s.GR.L, w: s.GR.W})
+		blockers.record(s.GR)
 		list.Consider(s)
 	}
 	return list.Items()

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"grminer/internal/baseline"
@@ -8,6 +9,7 @@ import (
 	"grminer/internal/datagen"
 	"grminer/internal/dataset"
 	"grminer/internal/graph"
+	"grminer/internal/metrics"
 	"grminer/internal/store"
 )
 
@@ -102,6 +104,145 @@ func TestParallelOnToyAndEmpty(t *testing.T) {
 	}
 	if len(res.TopK) != 0 {
 		t.Error("parallel empty graph produced results")
+	}
+}
+
+// Stress matrix for the lock-light engine: sequential and parallel results
+// must agree for every combination of metric, K, floor mode, and worker
+// count 1–16. Run under -race this also exercises the atomic floor and the
+// task-queue draining for data races. The DynamicFloor reference runs with
+// ExactGenerality, the semantics the parallel engine guarantees.
+func TestParallelStressMatrix(t *testing.T) {
+	ms := []metrics.Metric{metrics.NhpMetric, metrics.ConfMetric, metrics.LiftMetric}
+	thresholds := map[string]float64{"nhp": 0.3, "conf": 0.3, "lift": 1.1}
+	workerCounts := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, seed%2 == 0, seed%3 != 0)
+		for _, m := range ms {
+			for _, k := range []int{0, 5} {
+				for _, dyn := range []bool{false, true} {
+					if dyn && k == 0 {
+						continue // DynamicFloor requires K > 0
+					}
+					label := m.Name
+					// Two sequential references: Parallelism ≤ 1 runs the
+					// paper-faithful plain floor, while Parallelism > 1
+					// auto-enables ExactGenerality under DynamicFloor (the
+					// documented parallel semantics).
+					refPlain, err := core.Mine(g, core.Options{
+						MinSupp: 1, MinScore: thresholds[m.Name], K: k, Metric: m,
+						DynamicFloor: dyn,
+					})
+					if err != nil {
+						t.Fatalf("%s seq: %v", label, err)
+					}
+					refExact, err := core.Mine(g, core.Options{
+						MinSupp: 1, MinScore: thresholds[m.Name], K: k, Metric: m,
+						DynamicFloor: dyn, ExactGenerality: dyn,
+					})
+					if err != nil {
+						t.Fatalf("%s seq exact: %v", label, err)
+					}
+					for _, workers := range workerCounts {
+						par, err := core.Mine(g, core.Options{
+							MinSupp: 1, MinScore: thresholds[m.Name], K: k, Metric: m,
+							DynamicFloor: dyn, Parallelism: workers,
+						})
+						if err != nil {
+							t.Fatalf("%s x%d: %v", label, workers, err)
+						}
+						want := refExact.TopK
+						if workers <= 1 {
+							want = refPlain.TopK
+						}
+						assertSameResults(t, label+"-stress", par.TopK, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Regression: under IncludeTrivial, trivial GRs are candidates and hence
+// generality blockers, and the exact generalisation check must honour
+// that. A trivial specialisation whose only qualifying generalisation is a
+// trivial GR enumerated by a *different* worker used to escape blocking in
+// parallel dynamic-floor runs (the exact scan skipped trivial candidates
+// unconditionally), diverging from the sequential results.
+func TestParallelIncludeTrivialDynamicFloor(t *testing.T) {
+	schema, err := graph.NewSchema([]graph.Attribute{
+		{Name: "A1", Domain: 3, Homophily: true},
+		{Name: "A2", Domain: 3, Homophily: true},
+		{Name: "A3", Domain: 2, Homophily: true},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(8)
+		g := graph.MustNew(schema, n)
+		for v := 0; v < n; v++ {
+			if err := g.SetNodeValues(v, graph.Value(r.Intn(3)), graph.Value(r.Intn(3)), graph.Value(r.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e, m := 0, 15+r.Intn(40); e < m; e++ {
+			if _, err := g.AddEdge(r.Intn(n), r.Intn(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, minScore := range []float64{0.2, 0.4} {
+			seq, err := core.Mine(g, core.Options{MinSupp: 1, MinScore: minScore, K: 30,
+				DynamicFloor: true, ExactGenerality: true, IncludeTrivial: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				par, err := core.Mine(g, core.Options{MinSupp: 1, MinScore: minScore, K: 30,
+					DynamicFloor: true, IncludeTrivial: true, Parallelism: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResults(t, "include-trivial-dynamic", par.TopK, seq.TopK)
+			}
+		}
+	}
+}
+
+// A graph whose only first-level partition is one RIGHT group (sources all
+// null, targets all one value) must short-circuit to the sequential path:
+// results and counters match the sequential run exactly even when many
+// workers were requested.
+func TestParallelSingleTaskShortCircuit(t *testing.T) {
+	schema, err := graph.NewSchema([]graph.Attribute{{Name: "A", Domain: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.MustNew(schema, 10)
+	for v := 5; v < 10; v++ {
+		if err := g.SetNodeValues(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 5; e++ {
+		if _, err := g.AddEdge(e, 5+e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := core.Mine(g, core.Options{MinSupp: 1, MinScore: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Mine(g, core.Options{MinSupp: 1, MinScore: 0, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "single-task", par.TopK, seq.TopK)
+	seqStats, parStats := seq.Stats, par.Stats
+	seqStats.Duration, parStats.Duration = 0, 0
+	if seqStats != parStats {
+		t.Errorf("short-circuit stats differ from sequential: %+v vs %+v", parStats, seqStats)
 	}
 }
 

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"grminer/internal/graph"
+	"grminer/internal/store"
+)
+
+// Size-aware execution planning. Mining cost scales with the edge count and
+// the attribute arity (every extra attribute multiplies the first-level
+// fan-out and deepens the SFDF tree), and the parallel engine only pays off
+// once each worker gets enough work to amortise goroutine spawn, per-task
+// partition copies, and the final merge. AutoTune turns those size features
+// into a filled Options value so callers do not have to hand-tune
+// Parallelism or descriptor caps per dataset.
+
+const (
+	// autoSeqWork is the crossover on edges×dims below which the parallel
+	// engine's fixed overhead beats its win and the planner stays
+	// sequential. One unit ≈ one edge visited once per search dimension at
+	// the first level.
+	autoSeqWork = 1 << 18
+	// autoWorkPerWorker is the work each additional worker must bring to be
+	// worth scheduling; the planner stops adding workers (before the CPU
+	// budget is reached) when tasks get thinner than this.
+	autoWorkPerWorker = autoSeqWork / 2
+	// autoWideNodeAttrs / autoWideEdgeAttrs mark schemas wide enough that
+	// unbounded descriptors explode the search space; beyond them the
+	// planner caps descriptor sizes the user left at 0.
+	autoWideNodeAttrs = 10
+	autoWideEdgeAttrs = 8
+	// autoCapLR / autoCapW are those caps (LHS and RHS node descriptors,
+	// edge descriptors). Patterns longer than this are rarely
+	// interpretable, which is what MaxL/MaxW/MaxR exist for.
+	autoCapLR = 6
+	autoCapW  = 4
+)
+
+// Plan is the execution strategy AutoTune selected for one input, kept as a
+// value so CLIs can display the decision before mining.
+type Plan struct {
+	// Edges, Dims, and Procs are the inputs the decision was made from:
+	// |E|, the search dimensionality 2·#AttrV+#AttrE, and the CPU budget.
+	Edges int
+	Dims  int
+	Procs int
+	// Tier names the size class: "small", "medium", or "large".
+	Tier string
+	// Parallelism is the chosen worker count (1 = sequential).
+	Parallelism int
+	// MaxL, MaxW, MaxR are the chosen descriptor caps (0 = unlimited);
+	// user-set caps pass through unchanged.
+	MaxL, MaxW, MaxR int
+}
+
+// PlanFor sizes a plan for mining st with opt. procs is the CPU budget
+// (0 = runtime.NumCPU()). Fields the user already set in opt win: the plan
+// never overrides a non-zero Parallelism, MaxL, MaxW, or MaxR.
+func PlanFor(st *store.Store, procs int, opt Options) Plan {
+	return PlanForSize(st.NumEdges(), st.Graph().Schema(), procs, opt)
+}
+
+// PlanForSize is PlanFor on explicit size features, usable without building
+// a store (e.g. to preview a strategy for a dataset about to be generated).
+func PlanForSize(edges int, schema *graph.Schema, procs int, opt Options) Plan {
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	dims := 2*len(schema.Node) + len(schema.Edge)
+	work := int64(edges) * int64(dims)
+
+	p := Plan{
+		Edges: edges, Dims: dims, Procs: procs,
+		Parallelism: opt.Parallelism,
+		MaxL:        opt.MaxL, MaxW: opt.MaxW, MaxR: opt.MaxR,
+	}
+	switch {
+	case work < autoSeqWork:
+		p.Tier = "small"
+	case work < 64*autoSeqWork:
+		p.Tier = "medium"
+	default:
+		p.Tier = "large"
+	}
+
+	// Wide schemas get descriptor caps regardless of tier: arity, not edge
+	// count, is what makes the pattern space explode.
+	if len(schema.Node) > autoWideNodeAttrs {
+		if p.MaxL == 0 {
+			p.MaxL = autoCapLR
+		}
+		if p.MaxR == 0 {
+			p.MaxR = autoCapLR
+		}
+	}
+	if len(schema.Edge) > autoWideEdgeAttrs && p.MaxW == 0 {
+		p.MaxW = autoCapW
+	}
+
+	if p.Parallelism == 0 {
+		if p.Tier == "small" || procs == 1 {
+			p.Parallelism = 1
+		} else {
+			workers := int(work / autoWorkPerWorker)
+			if workers > procs {
+				workers = procs
+			}
+			if workers < 2 {
+				workers = 2
+			}
+			p.Parallelism = workers
+		}
+	}
+	return p
+}
+
+// Apply copies the plan into opt, filling only the fields the user left at
+// zero so explicit settings always win.
+func (p Plan) Apply(opt Options) Options {
+	if opt.Parallelism == 0 {
+		opt.Parallelism = p.Parallelism
+	}
+	if opt.MaxL == 0 {
+		opt.MaxL = p.MaxL
+	}
+	if opt.MaxW == 0 {
+		opt.MaxW = p.MaxW
+	}
+	if opt.MaxR == 0 {
+		opt.MaxR = p.MaxR
+	}
+	return opt
+}
+
+// String renders the decision for CLI display.
+func (p Plan) String() string {
+	mode := "sequential"
+	if p.Parallelism > 1 {
+		mode = fmt.Sprintf("parallel ×%d", p.Parallelism)
+	}
+	return fmt.Sprintf("plan: |E|=%d dims=%d procs=%d tier=%s → %s, caps L/W/R=%d/%d/%d",
+		p.Edges, p.Dims, p.Procs, p.Tier, mode, p.MaxL, p.MaxW, p.MaxR)
+}
+
+// AutoTune fills opt's zero-valued execution knobs from the input size
+// using the full machine as CPU budget.
+func AutoTune(st *store.Store, opt Options) Options {
+	return PlanFor(st, 0, opt).Apply(opt)
+}
+
+// MineAuto is Mine with AutoTune applied first.
+func MineAuto(g *graph.Graph, opt Options) (*Result, error) {
+	return MineAutoStore(store.Build(g), opt)
+}
+
+// MineAutoStore is MineStore with AutoTune applied first.
+func MineAutoStore(st *store.Store, opt Options) (*Result, error) {
+	return MineStore(st, AutoTune(st, opt))
+}

@@ -66,3 +66,22 @@ func (l *List) Consider(s gr.Scored) bool {
 func (l *List) Items() []gr.Scored {
 	return append([]gr.Scored(nil), l.items...)
 }
+
+// Merge returns a new list of bound k holding the best entries across ls.
+// Merging bound-k lists that each saw a disjoint share of a candidate
+// stream is exact: any entry of the global top-k outranks the global k-th
+// entry, so it can never have been evicted from its own bound-k list. The
+// parallel miner relies on this to combine per-worker lists once at the
+// end of a run.
+func Merge(k int, ls ...*List) *List {
+	out := New(k)
+	for _, l := range ls {
+		if l == nil {
+			continue
+		}
+		for _, s := range l.items {
+			out.Consider(s)
+		}
+	}
+	return out
+}

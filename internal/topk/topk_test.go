@@ -97,6 +97,39 @@ func TestItemsIsCopy(t *testing.T) {
 	}
 }
 
+// Merging sharded bound-k lists must equal one list that saw every
+// candidate — the exactness property the parallel miner's final merge
+// relies on.
+func TestMergeEqualsSingleList(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		shards := make([]*List, 1+r.Intn(5))
+		for i := range shards {
+			shards[i] = New(k)
+		}
+		single := New(k)
+		for i := 0; i < 80; i++ {
+			s := scored(float64(r.Intn(6))/6, r.Intn(5), r.Intn(7))
+			single.Consider(s)
+			shards[r.Intn(len(shards))].Consider(s)
+		}
+		merged := Merge(k, shards...)
+		got, want := merged.Items(), single.Items()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: merged %d items, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Score != want[i].Score || got[i].Supp != want[i].Supp || got[i].GR.Key() != want[i].GR.Key() {
+				t.Fatalf("seed %d: rank %d: got %+v want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+	if Merge(3, nil, New(3)).Len() != 0 {
+		t.Error("merge of empty lists not empty")
+	}
+}
+
 // The bounded list must agree with sort-then-truncate on random inputs.
 func TestMatchesSortTruncate(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
