@@ -9,15 +9,30 @@
 //	grminer -data pokec -nodes 200000 -auto -stats
 //	grminer -schema s.txt -nodes-file n.tsv -edges-file e.tsv -minsupp 50
 //	grminer -data dblp -query "(A:DB) -[S:often]-> (A:DM)"
+//	grminer -data pokec -nodes 20000 -follow new-edges.tsv -batch 500
+//	generator | grminer -data toy -minsupp 2 -follow -
 //
 // With -query the tool reports supp/conf/nhp of one GR instead of mining
 // (the hypothesis-workbench mode of the paper's Remark 3).
+//
+// With -follow the tool mines the loaded network once, then ingests edge
+// insertions from a stream (a file, or stdin with "-") through the
+// incremental engine, reporting the maintained top-k's churn per batch.
+// Stream lines use the edge-file format ("src dst v1 v2...", whitespace
+// separated); a blank line commits the pending batch, -batch N also commits
+// every N edges, and EOF commits the remainder. Malformed lines and edges
+// the schema rejects abort the run with a non-zero exit before the bad
+// batch mutates anything.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"grminer"
 )
@@ -44,6 +59,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel mining workers (0 = sequential unless -auto)")
 		auto      = flag.Bool("auto", false, "auto-tune workers and descriptor caps from the input size")
 		procs     = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
+		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions from this file (\"-\" = stdin) through the incremental engine")
+		batchSize = flag.Int("batch", 0, "in -follow mode, commit a batch every N edges in addition to blank-line commits (0 = blank lines/EOF only)")
 	)
 	flag.Parse()
 
@@ -81,6 +98,18 @@ func main() {
 		IncludeTrivial: *trivial,
 		Parallelism:    *workers,
 	}
+	if *follow != "" {
+		if *auto {
+			plan := grminer.AutoPlanGraph(g, *procs, opt)
+			opt = plan.Apply(opt)
+			fmt.Println(plan)
+		}
+		if err := runFollow(g, opt, m, *follow, *batchSize, *showStats, *out, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	st := grminer.BuildStore(g)
 	if *auto {
 		plan := grminer.AutoPlan(st, *procs, opt)
@@ -92,11 +121,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grminer:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("top-%d GRs by %s (minSupp=%d, threshold=%.2f):\n", *k, m.Name, *minSupp, *minScore)
-	for i, s := range res.TopK {
-		fmt.Printf("%3d. %-60s %s=%6.2f%% supp=%-8d conf=%5.1f%%\n",
-			i+1, s.GR.Format(g.Schema()), m.Name, 100*s.Score, s.Supp, 100*s.Conf)
-	}
+	printTopK(res, g, m)
 	if *showStats {
 		fmt.Printf("stats: examined=%d trivial=%d prunedSupp=%d prunedScore=%d blocked=%d partitions=%d in %v\n",
 			res.Stats.Examined, res.Stats.TrivialSeen, res.Stats.PrunedSupp,
@@ -109,6 +134,145 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%s)\n", *out, *format)
 	}
+}
+
+func printTopK(res *grminer.Result, g *grminer.Graph, m grminer.Metric) {
+	fmt.Printf("top-%d GRs by %s (minSupp=%d, threshold=%.2f):\n",
+		res.Options.K, m.Name, res.Options.MinSupp, res.Options.MinScore)
+	for i, s := range res.TopK {
+		fmt.Printf("%3d. %-60s %s=%6.2f%% supp=%-8d conf=%5.1f%%\n",
+			i+1, s.GR.Format(g.Schema()), m.Name, 100*s.Score, s.Supp, 100*s.Conf)
+	}
+}
+
+// runFollow mines g once, then streams edge insertions from src through the
+// incremental engine. Any malformed line or schema-rejected edge aborts
+// with an error before its batch is applied — the engine validates batches
+// atomically, so no partial graph is ever mined.
+func runFollow(g *grminer.Graph, opt grminer.Options, m grminer.Metric, src string, batchSize int, showStats bool, outPath, outFormat string) error {
+	var in io.Reader
+	if src == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	inc, err := grminer.NewIncremental(g, opt)
+	if err != nil {
+		return err
+	}
+	res := inc.Result()
+	fmt.Printf("initial mine: |E|=%d, %d GRs tracked in top-%d\n",
+		res.TotalEdges, len(res.TopK), opt.K)
+
+	prev := res.TopK
+	batchNo := 0
+	commit := func(batch []grminer.EdgeInsert) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		batchNo++
+		r, bs, err := inc.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("batch %d rejected: %w", batchNo, err)
+		}
+		changed := grminer.TopKChanged(prev, r.TopK)
+		prev = r.TopK
+		work := fmt.Sprintf("remined %d/%d subtrees", bs.SubtreesRemined, bs.SubtreesTotal)
+		if bs.FullRemines > 0 {
+			work = "full re-mine (metric not delta-safe)"
+		}
+		fmt.Printf("batch %3d: +%d edges  |E|=%-8d top-k changed=%-3d %s  %v\n",
+			batchNo, bs.Edges, r.TotalEdges, changed, work, bs.Duration)
+		return nil
+	}
+
+	var batch []grminer.EdgeInsert
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	ne := len(g.Schema().Edge)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			if err := commit(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseEdgeLine(line, ne)
+		if err != nil {
+			return fmt.Errorf("follow line %d: %w", lineNo, err)
+		}
+		batch = append(batch, e)
+		if batchSize > 0 && len(batch) >= batchSize {
+			if err := commit(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading follow stream: %w", err)
+	}
+	if err := commit(batch); err != nil {
+		return err
+	}
+
+	final := inc.Result()
+	printTopK(final, g, m)
+	if showStats {
+		c := inc.Cumulative()
+		fmt.Printf("stats: batches=%d edges=%d tracked=%d recounted=%d dropped=%d remined=%d/%d full-remines=%d in %v\n",
+			c.Batches, c.Edges, c.Tracked, c.Recounted, c.Dropped,
+			c.SubtreesRemined, c.SubtreesTotal, c.FullRemines, c.Duration)
+	}
+	if outPath != "" {
+		if err := writeResults(final, g, outPath, outFormat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", outPath, outFormat)
+	}
+	return nil
+}
+
+// parseEdgeLine parses one stream line: "src dst v1 v2..." with exactly one
+// value per schema edge attribute, whitespace separated.
+func parseEdgeLine(line string, edgeAttrs int) (grminer.EdgeInsert, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2+edgeAttrs {
+		return grminer.EdgeInsert{}, fmt.Errorf("%d fields, want %d (src dst + %d edge values)",
+			len(fields), 2+edgeAttrs, edgeAttrs)
+	}
+	src, err1 := strconv.Atoi(fields[0])
+	dst, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil {
+		return grminer.EdgeInsert{}, fmt.Errorf("bad endpoints %q %q", fields[0], fields[1])
+	}
+	e := grminer.EdgeInsert{Src: src, Dst: dst}
+	for a := 0; a < edgeAttrs; a++ {
+		v, err := strconv.Atoi(fields[2+a])
+		if err != nil {
+			return grminer.EdgeInsert{}, fmt.Errorf("bad edge value %q: %v", fields[2+a], err)
+		}
+		// Reject values the uint16 conversion would silently wrap; the
+		// schema's domain check then runs when the batch is applied.
+		if v < 0 || v > 65535 {
+			return grminer.EdgeInsert{}, fmt.Errorf("edge value %d outside the attribute value range [0, 65535]", v)
+		}
+		e.Vals = append(e.Vals, grminer.Value(v))
+	}
+	return e, nil
 }
 
 func writeResults(res *grminer.Result, g *grminer.Graph, path, format string) error {

@@ -70,3 +70,103 @@ func TestWriteResults(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+func TestParseEdgeLine(t *testing.T) {
+	e, err := parseEdgeLine("3\t7\t1", 1)
+	if err != nil || e.Src != 3 || e.Dst != 7 || len(e.Vals) != 1 || e.Vals[0] != 1 {
+		t.Fatalf("parseEdgeLine: %+v, %v", e, err)
+	}
+	if _, err := parseEdgeLine("3 7 2 9", 2); err != nil {
+		t.Errorf("space-separated line rejected: %v", err)
+	}
+	// Out-of-range values must error, not wrap through the uint16
+	// conversion into a silently valid small value.
+	for _, bad := range []string{"3", "3 7", "3 x 1", "a 7 1", "3 7 z", "3 7 1 1",
+		"3 7 -65535", "3 7 -1", "3 7 65537"} {
+		if _, err := parseEdgeLine(bad, 1); err == nil {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}
+
+func TestRunFollowStream(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "edges.stream")
+	// Two batches: a blank-line commit, then an EOF commit; comments ignored.
+	if err := os.WriteFile(stream, []byte("# new dating edges\n0\t1\t1\n2\t3\t1\n\n4\t5\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := grminer.ToyDating()
+	opt := grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}
+	outPath := filepath.Join(dir, "final.json")
+	if err := runFollow(g, opt, grminer.NhpMetric, stream, 0, true, outPath, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 33 {
+		t.Errorf("followed graph has %d edges, want 33", g.NumEdges())
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Errorf("-out not honoured in follow mode: %v", err)
+	}
+}
+
+// Malformed streams must abort with an error — a bad line, and a
+// well-formed line the schema rejects — without applying the bad batch.
+func TestRunFollowRejectsMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-line.stream":   "0\t1\t1\nnot an edge\n",
+		"bad-edge.stream":   "0\t1\t9\n",  // edge value out of domain
+		"bad-node.stream":   "0\t99\t1\n", // destination out of range
+		"bad-fields.stream": "0\t1\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g := grminer.ToyDating()
+		edges := g.NumEdges()
+		if err := runFollow(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.NhpMetric, path, 0, false, "", ""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if g.NumEdges() != edges {
+			t.Errorf("%s: graph mutated to %d edges despite rejection", name, g.NumEdges())
+		}
+	}
+	g := grminer.ToyDating()
+	if err := runFollow(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.NhpMetric, filepath.Join(dir, "missing.stream"), 0, false, "", ""); err == nil {
+		t.Error("missing stream file accepted")
+	}
+}
+
+// Batch loading must fail loudly on malformed edge files instead of mining
+// the partial graph.
+func TestLoadGraphRejectsMalformedEdges(t *testing.T) {
+	dir := t.TempDir()
+	g := grminer.ToyDating()
+	sp := filepath.Join(dir, "s.txt")
+	np := filepath.Join(dir, "n.tsv")
+	ep := filepath.Join(dir, "e.tsv")
+	if err := grminer.SaveFiles(g, sp, np, ep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string]string{
+		"truncated": string(data) + "5\t6\n",
+		"garbage":   string(data) + "5\tsix\t1\n",
+		"domain":    string(data) + "5\t6\t42\n",
+		"wrap":      string(data) + "5\t6\t-65535\n", // would wrap to a valid 1
+	} {
+		bad := filepath.Join(dir, name+".tsv")
+		if err := os.WriteFile(bad, []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadGraph("", sp, np, bad, 0, 0, 1); err == nil {
+			t.Errorf("%s edge file accepted", name)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"grminer/internal/propagate"
 	"grminer/internal/recommend"
 	"grminer/internal/store"
+	"grminer/internal/topk"
 )
 
 // Re-exported model types. See the internal packages for full documentation.
@@ -64,6 +65,13 @@ type (
 	// Plan is the execution strategy AutoTune selects from the input size
 	// (worker count, descriptor caps, sequential/parallel crossover).
 	Plan = core.Plan
+	// Incremental maintains the top-k under edge insertions without full
+	// re-mines (tracked candidate pool + scoped subtree re-mining).
+	Incremental = core.Incremental
+	// EdgeInsert is one edge for Incremental.Apply.
+	EdgeInsert = core.EdgeInsert
+	// IncStats reports the work one incremental batch performed.
+	IncStats = core.IncStats
 	// Metric is a pluggable interestingness measure (Section VII).
 	Metric = metrics.Metric
 	// Counts carries the absolute supports metrics are computed from.
@@ -128,6 +136,28 @@ func MineAutoStore(st *Store, opt Options) (*Result, error) { return core.MineAu
 // under a given CPU budget (procs 0 = all cores) without mining. Apply the
 // returned plan to an Options value with Plan.Apply.
 func AutoPlan(st *Store, procs int, opt Options) Plan { return core.PlanFor(st, procs, opt) }
+
+// AutoPlanGraph is AutoPlan from the graph's size features alone, for
+// callers (like the incremental engine's consumers) that have no store yet.
+func AutoPlanGraph(g *Graph, procs int, opt Options) Plan {
+	return core.PlanForSize(g.NumEdges(), g.Schema(), procs, opt)
+}
+
+// NewIncremental seeds an incremental mining engine over g: the returned
+// engine maintains the same top-k a fresh Mine would produce while edge
+// batches are ingested with Apply, re-mining only the SFDF subtrees each
+// batch can actually change (a full re-mine per batch only for metrics
+// whose scores can rise with |E|, the lift family). The engine owns g —
+// Apply appends to it — and, like the parallel engine, a dynamic floor
+// forces ExactGenerality so the maintained result is order-independent
+// (Incremental.Options returns the effective settings).
+func NewIncremental(g *Graph, opt Options) (*Incremental, error) {
+	return core.NewIncremental(g, opt)
+}
+
+// TopKChanged counts entries of cur that are new or re-scored relative to
+// prev — the churn one ingested batch caused.
+func TopKChanged(prev, cur []Scored) int { return topk.ChangedFrom(prev, cur) }
 
 // ParseGR parses the textual GR form, e.g. "(SEX:F, EDU:Grad) -> (SEX:M)".
 func ParseGR(s *Schema, text string) (GR, error) { return gr.ParseGR(s, text) }

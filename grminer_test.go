@@ -122,3 +122,45 @@ func TestFacadeFileRoundTrip(t *testing.T) {
 		t.Error("file round trip lost data")
 	}
 }
+
+// The incremental facade must track a fresh batch mine as edges stream in.
+func TestFacadeIncremental(t *testing.T) {
+	g := grminer.ToyDating()
+	inc, err := grminer.NewIncremental(g, grminer.Options{
+		MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := inc.Result().TopK
+	res, bs, err := inc.Apply([]grminer.EdgeInsert{
+		{Src: 0, Dst: 1, Vals: []grminer.Value{1}},
+		{Src: 2, Dst: 3, Vals: []grminer.Value{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Edges != 2 || res.TotalEdges != 32 {
+		t.Fatalf("batch stats: %+v, total %d", bs, res.TotalEdges)
+	}
+	if grminer.TopKChanged(prev, res.TopK) == 0 && len(res.TopK) == 0 {
+		t.Error("no results maintained")
+	}
+	// The maintained result equals a fresh mine of the grown graph.
+	ref, err := grminer.Mine(g, inc.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.TopK) != len(res.TopK) {
+		t.Fatalf("incremental %d results vs fresh %d", len(res.TopK), len(ref.TopK))
+	}
+	for i := range ref.TopK {
+		if ref.TopK[i].GR.Key() != res.TopK[i].GR.Key() || ref.TopK[i].Score != res.TopK[i].Score {
+			t.Fatalf("rank %d diverges", i)
+		}
+	}
+	// Malformed batches are rejected wholesale.
+	if _, _, err := inc.Apply([]grminer.EdgeInsert{{Src: -1, Dst: 0, Vals: []grminer.Value{1}}}); err == nil {
+		t.Error("malformed batch accepted")
+	}
+}

@@ -95,6 +95,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
+	"incremental",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -124,6 +125,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Ablation(w, cfg)
 	case "scaling":
 		return Scaling(w, cfg)
+	case "incremental":
+		return Incremental(w, cfg)
 	case "all":
 		for _, n := range Names {
 			if err := Run(n, w, cfg); err != nil {

@@ -1,0 +1,431 @@
+// Incremental top-k GR mining under edge insertions.
+//
+// The batch miner re-enumerates the whole SFDF tree on every change; this
+// file maintains the same result while ingesting edge insertions in batches.
+// The engine rests on three pieces:
+//
+//  1. An append-friendly store: edges are appended to the graph and synced
+//     into the compact model with store.Append, which grows LArray/RArray
+//     rows as nodes become active and adds EArray rows in a tail segment.
+//
+//  2. A tracked candidate pool — the "guarded frontier": the exact counts
+//     (LWR, LW, Hom, R, E) of every GR currently satisfying Definition 5
+//     condition (1). The pool is a superset of the top-k (it also holds
+//     generality-blocked candidates, which insertions can unblock when
+//     their blocker's score decays below minScore), so conditions (2) and
+//     (3) can be re-applied exactly after every batch with the same
+//     most-general-first merge the parallel engine uses.
+//
+//  3. A scoped re-mine: insertions can promote GRs the pool has never seen
+//     (support crossing minSupp, or score rising past minScore). For
+//     DeltaSafe metrics a score can only *rise* when an inserted edge
+//     matches the GR's full descriptor l ∧ w ∧ r (see metrics.Metric), and
+//     such a GR's first-level SFDF subtree is then keyed by an
+//     (attribute, value) pair the inserted edge carries. Re-mining exactly
+//     the first-level subtrees whose key matches an inserted edge therefore
+//     discovers every possible riser; all other subtrees are provably
+//     unchanged-or-falling and are skipped. This is the same
+//     candidate-union soundness argument the parallel engine makes for its
+//     task decomposition (parallel.go), applied to the subset of tasks the
+//     batch touches. Metrics that are not DeltaSafe (the lift family, whose
+//     scores can rise when |E| grows) fall back to a full pool rebuild —
+//     still incremental on the store, not on the search.
+//
+// Exactness: after every Apply, the returned top-k equals a fresh batch
+// mine of the grown graph under the engine's effective options. Like the
+// parallel engine, a dynamic floor forces ExactGenerality so condition (2)
+// is order-independent; the oracle tests in incremental_test.go assert the
+// equivalence after every batch, for every metric, in both floor modes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+)
+
+// EdgeInsert is one edge to ingest: endpoints plus edge attribute values
+// (one per schema edge attribute, in order).
+type EdgeInsert struct {
+	Src, Dst int
+	Vals     []graph.Value
+}
+
+// IncStats describes the work one Apply batch performed (Cumulative sums
+// them over the engine's lifetime).
+type IncStats struct {
+	// Batches is 1 for a single Apply; cumulative totals sum it.
+	Batches int
+	// Edges is the number of edges ingested.
+	Edges int
+	// Tracked is the pool size after the batch.
+	Tracked int
+	// Recounted is the number of pool entries whose counts were
+	// delta-updated against the batch.
+	Recounted int
+	// Dropped counts pool entries whose score decayed below minScore.
+	Dropped int
+	// SubtreesRemined / SubtreesTotal report the scoped re-mine's
+	// selectivity over first-level SFDF subtrees (equal on a full rebuild).
+	SubtreesRemined int
+	SubtreesTotal   int
+	// FullRemines counts batches that rebuilt the pool from scratch
+	// (non-DeltaSafe metric or negative minScore).
+	FullRemines int
+	// Duration is the wall-clock Apply time.
+	Duration time.Duration
+}
+
+// add accumulates b into s.
+func (s *IncStats) add(b IncStats) {
+	s.Batches += b.Batches
+	s.Edges += b.Edges
+	s.Tracked = b.Tracked
+	s.Recounted += b.Recounted
+	s.Dropped += b.Dropped
+	s.SubtreesRemined += b.SubtreesRemined
+	s.SubtreesTotal += b.SubtreesTotal
+	s.FullRemines += b.FullRemines
+	s.Duration += b.Duration
+}
+
+// tracked is one pool entry: a condition-(1) GR with its exact counts.
+type tracked struct {
+	gr       gr.GR
+	c        metrics.Counts
+	score    float64
+	betaMask uint64
+}
+
+// Incremental maintains the top-k GRs of a growing network. It owns the
+// graph passed to NewIncremental (edges are appended to it) and is not safe
+// for concurrent use.
+type Incremental struct {
+	g      *graph.Graph
+	st     *store.Store
+	opt    Options
+	metric metrics.Metric
+	// deltaSafe gates the scoped path; see metrics.Metric.DeltaSafe.
+	deltaSafe bool
+	pool      map[string]*tracked
+	last      *Result
+	cum       IncStats
+}
+
+// NewIncremental builds the compact store for g, runs one full mine to seed
+// the tracked pool, and returns the engine. Options follow MineStore, with
+// the parallel engine's normalization: a dynamic floor forces
+// ExactGenerality so the maintained result is order-independent (the
+// batch-equivalent reference is a fresh mine under Options()).
+func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(g.Schema().Node); n > 64 {
+		return nil, fmt.Errorf("core: %d node attributes exceed the supported maximum of 64", n)
+	}
+	if opt.DynamicFloor && !opt.NoGeneralityFilter {
+		// Mirror the parallel engine: order-independent blocking is what
+		// makes "maintained result ≡ fresh mine" well-defined under a
+		// dynamic floor (see Options.ExactGenerality).
+		opt.ExactGenerality = true
+	}
+	inc := &Incremental{
+		g:      g,
+		st:     store.Build(g),
+		opt:    opt,
+		metric: opt.Metric,
+		deltaSafe: opt.Metric.DeltaSafe && !opt.Metric.NeedsR &&
+			opt.MinScore >= 0,
+		pool: make(map[string]*tracked),
+	}
+	var stats Stats
+	start := time.Now()
+	inc.rebuildPool(&stats)
+	inc.last = inc.assemble(&stats, time.Since(start))
+	inc.cum.Tracked = len(inc.pool)
+	return inc, nil
+}
+
+// Options returns the engine's effective (normalized) options — the options
+// a batch mine must use to reproduce the maintained result.
+func (inc *Incremental) Options() Options { return inc.opt }
+
+// Result returns the current top-k (the result of the last Apply, or the
+// seed mine). The returned value is shared; callers must not mutate it.
+func (inc *Incremental) Result() *Result { return inc.last }
+
+// Cumulative returns lifetime totals across all Apply calls.
+func (inc *Incremental) Cumulative() IncStats { return inc.cum }
+
+// Apply ingests one batch of edge insertions and returns the updated top-k.
+// The whole batch is validated against the schema before any state changes:
+// a malformed edge rejects the batch with an error and leaves the engine
+// (and the owned graph) untouched.
+func (inc *Incremental) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
+	start := time.Now()
+	for i, e := range edges {
+		if err := inc.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
+			return nil, IncStats{}, fmt.Errorf("core: batch edge %d: %w", i, err)
+		}
+	}
+	for _, e := range edges {
+		if _, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
+			// Unreachable after CheckEdge; kept as an invariant guard.
+			return nil, IncStats{}, err
+		}
+	}
+	newIDs := inc.st.Append()
+
+	bs := IncStats{Batches: 1, Edges: len(edges)}
+	var stats Stats
+	if len(newIDs) > 0 {
+		if inc.deltaSafe {
+			bs.Recounted, bs.Dropped = inc.recount(newIDs)
+			bs.SubtreesRemined, bs.SubtreesTotal = inc.remineAffected(newIDs, &stats)
+		} else {
+			// Full rebuild: the whole tree is re-walked, so no subtree
+			// selectivity is reported (SubtreesRemined/Total stay 0).
+			inc.rebuildPool(&stats)
+			bs.FullRemines = 1
+		}
+	}
+	inc.last = inc.assemble(&stats, time.Since(start))
+	bs.Tracked = len(inc.pool)
+	bs.Duration = inc.last.Stats.Duration
+	inc.cum.add(bs)
+	return inc.last, bs, nil
+}
+
+// captureOpts derives the options for pool-building mines: unbounded,
+// static floor, no generality machinery — the capture hook records every
+// condition-(1) candidate with its exact counts.
+func (inc *Incremental) captureOpts() Options {
+	o := inc.opt
+	o.K = 0
+	o.DynamicFloor = false
+	o.ExactGenerality = false
+	o.NoGeneralityFilter = false
+	o.Parallelism = 0
+	return o
+}
+
+// upsert is the capture hook target: record or refresh one pool entry.
+func (inc *Incremental) upsert(g gr.GR, c metrics.Counts, score float64) {
+	inc.pool[g.Key()] = &tracked{
+		gr: g, c: c, score: score,
+		betaMask: betaMaskOf(inc.g.Schema(), g.L, g.R),
+	}
+}
+
+// rebuildPool re-seeds the pool with a full capture mine over the current
+// store (seed mine, and the per-batch fallback for non-DeltaSafe metrics).
+func (inc *Incremental) rebuildPool(stats *Stats) {
+	inc.pool = make(map[string]*tracked, len(inc.pool))
+	m := newMiner(inc.st, inc.captureOpts())
+	m.capture = inc.upsert
+	m.run()
+	addStats(stats, &m.stats)
+}
+
+// recount delta-updates every pool entry against the inserted edges and
+// drops entries whose score decayed below minScore (their support cannot
+// have decayed, and a later score rise requires a full-descriptor match,
+// which re-discovers them through the scoped re-mine). Counts stay exact:
+// an inserted edge matching l ∧ w grows LW; matching r on top of that grows
+// LWR (and by the β-value conflict can never also match l[β]); matching
+// l[β] instead grows Hom alongside LW.
+func (inc *Incremental) recount(newIDs []int32) (recounted, dropped int) {
+	// NeedsR metrics are never DeltaSafe, so Counts.R needs no maintenance
+	// here — only the full-rebuild path serves them.
+	totalE := inc.st.NumEdges()
+	for key, t := range inc.pool {
+		changed := false
+		for _, e := range newIDs {
+			if !matchOn(inc.st.LVal, e, t.gr.L) || !matchOn(inc.st.EVal, e, t.gr.W) {
+				continue
+			}
+			t.c.LW++
+			changed = true
+			if matchOn(inc.st.RVal, e, t.gr.R) {
+				t.c.LWR++
+			} else if t.betaMask != 0 && inc.matchHom(e, t) {
+				t.c.Hom++
+			}
+		}
+		t.c.E = totalE
+		t.score = inc.metric.Score(t.c)
+		if changed {
+			recounted++
+		}
+		if t.score < inc.opt.MinScore {
+			delete(inc.pool, key)
+			dropped++
+		}
+	}
+	return recounted, dropped
+}
+
+// matchOn reports whether edge e satisfies every condition of d under the
+// given per-edge accessor (LVal, EVal, or RVal).
+func matchOn(val func(int32, int) graph.Value, e int32, d gr.Descriptor) bool {
+	for _, c := range d {
+		if val(e, c.Attr) != c.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// matchHom reports whether edge e (already known to match l ∧ w) counts
+// toward the homophily effect l -w-> l[β]: its destination carries the LHS
+// value on every β attribute.
+func (inc *Incremental) matchHom(e int32, t *tracked) bool {
+	for a := 0; a < len(inc.g.Schema().Node); a++ {
+		if t.betaMask&(1<<uint(a)) == 0 {
+			continue
+		}
+		lv, _ := t.gr.L.Get(a)
+		if inc.st.RVal(e, a) != lv {
+			return false
+		}
+	}
+	return true
+}
+
+// remineAffected re-mines exactly the first-level SFDF subtrees whose
+// (dimension, attribute, value) key appears on an inserted edge, upserting
+// every candidate found into the pool. The enumeration mirrors the
+// decomposition of parallel.go's buildTasks (root RIGHT, EDGE, and LEFT
+// blocks) so every GR of the full walk belongs to exactly one subtree.
+func (inc *Incremental) remineAffected(newIDs []int32, stats *Stats) (remined, total int) {
+	schema := inc.g.Schema()
+	nv, ne := len(schema.Node), len(schema.Edge)
+	affL := make([]map[graph.Value]bool, nv)
+	affR := make([]map[graph.Value]bool, nv)
+	affW := make([]map[graph.Value]bool, ne)
+	mark := func(sets []map[graph.Value]bool, a int, v graph.Value) {
+		if v == graph.Null {
+			return
+		}
+		if sets[a] == nil {
+			sets[a] = make(map[graph.Value]bool)
+		}
+		sets[a][v] = true
+	}
+	for _, e := range newIDs {
+		for a := 0; a < nv; a++ {
+			mark(affL, a, inc.st.LVal(e, a))
+			mark(affR, a, inc.st.RVal(e, a))
+		}
+		for a := 0; a < ne; a++ {
+			mark(affW, a, inc.st.EVal(e, a))
+		}
+	}
+
+	m := newMiner(inc.st, inc.captureOpts())
+	m.capture = inc.upsert
+	all := inc.st.AllEdges()
+	buf := m.buffer(1, len(all))
+
+	// Root RIGHT block: same dynamic tail order as run()'s empty-LHS rctx.
+	sr := rhsOrder(schema, gr.Descriptor(nil).Has)
+	if m.opt.StaticRHSOrder {
+		sr = staticRHSOrder(schema)
+	}
+	for pos := 0; pos < len(sr); pos++ {
+		attr := sr[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.RVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) || int(grp.Hi-grp.Lo) < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !affR[attr][graph.Value(grp.Val)] {
+				continue
+			}
+			remined++
+			rc := &rctx{base: all, sr: sr}
+			m.rightGroup(rc, buf[grp.Lo:grp.Hi], 1, gr.Descriptor(nil).With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+	// Root EDGE block.
+	for pos := 0; pos < len(m.swOrder); pos++ {
+		attr := m.swOrder[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.EVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) || int(grp.Hi-grp.Lo) < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !affW[attr][graph.Value(grp.Val)] {
+				continue
+			}
+			remined++
+			m.edgeGroup(buf[grp.Lo:grp.Hi], 1, nil, gr.Descriptor(nil).With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+	// Root LEFT block.
+	for pos := 0; pos < len(m.slOrder); pos++ {
+		attr := m.slOrder[pos]
+		groups := m.partition(1, all, func(e int32) uint16 {
+			return uint16(m.st.LVal(e, attr))
+		}, buf)
+		for _, grp := range groups {
+			if grp.Val == uint16(graph.Null) || int(grp.Hi-grp.Lo) < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !affL[attr][graph.Value(grp.Val)] {
+				continue
+			}
+			remined++
+			m.leftGroup(buf[grp.Lo:grp.Hi], 1, gr.Descriptor(nil).With(attr, graph.Value(grp.Val)), pos)
+		}
+	}
+	addStats(stats, &m.stats)
+	return remined, total
+}
+
+// assemble applies Definition 5 conditions (2) and (3) to the pool and
+// packages the result. The pool is the complete condition-(1) set, so the
+// most-general-first blocker merge is exact — the same argument
+// mergeCandidates makes for the static-floor parallel collection.
+func (inc *Incremental) assemble(stats *Stats, d time.Duration) *Result {
+	collected := make([]gr.Scored, 0, len(inc.pool))
+	for _, t := range inc.pool {
+		collected = append(collected, gr.Scored{
+			GR: t.gr, Supp: t.c.LWR, Score: t.score, Conf: metrics.Conf(t.c),
+		})
+	}
+	mergeOpt := inc.opt
+	mergeOpt.ExactGenerality = false // pool is complete: blocker-map merge is exact
+	top := mergeCandidates(collected, mergeOpt, stats)
+	stats.Candidates = int64(len(collected))
+	stats.Duration = d
+	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.st.NumEdges()}
+}
+
+// betaMaskOf computes β (Equation 4) as a node-attribute bitmask; shared by
+// the in-search miner (miner.betaMask) and the pool's delta recount.
+func betaMaskOf(schema *graph.Schema, lhs, rhs gr.Descriptor) uint64 {
+	var mask uint64
+	for _, rc := range rhs {
+		if !schema.Node[rc.Attr].Homophily {
+			continue
+		}
+		if lv, ok := lhs.Get(rc.Attr); ok && lv != rc.Val {
+			mask |= 1 << uint(rc.Attr)
+		}
+	}
+	return mask
+}

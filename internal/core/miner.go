@@ -208,8 +208,15 @@ type miner struct {
 	blockers blockerMap
 	// rCounts caches |E(r)| per RHS key for metrics that need supp(r).
 	rCounts map[string]int
-	// qualCache memoises ExactGenerality verdicts per GR key.
+	// qualCache memoises ExactGenerality verdicts per GR key (sequential
+	// mode); parallel workers share the sharded-by-RHS qualMemo instead.
 	qualCache map[string]bool
+	qualMemo  *qualMemo
+	// capture, when set, receives every candidate satisfying Definition 5
+	// condition (1) together with its exact counts, replacing the top-k and
+	// generality machinery; the incremental engine uses it to build its
+	// tracked candidate pool.
+	capture func(g gr.GR, c metrics.Counts, score float64)
 
 	slOrder []int
 	swOrder []int
@@ -437,7 +444,7 @@ func (m *miner) rightGroup(rc *rctx, part []int32, depth int, rhs2 gr.Descriptor
 			m.stats.Examined++
 			if score >= m.opt.MinScore {
 				m.stats.Candidates++
-				m.consider(gr.Scored{GR: g, Supp: len(part), Score: score, Conf: metrics.Conf(c)})
+				m.emit(g, c, score)
 			}
 			if m.metric.RHSAntiMonotone && !m.metric.NeedsHom && score < m.floor() {
 				m.stats.PrunedScore++
@@ -467,7 +474,7 @@ func (m *miner) rightGroup(rc *rctx, part []int32, depth int, rhs2 gr.Descriptor
 	// entering the top-k.
 	if score >= m.opt.MinScore {
 		m.stats.Candidates++
-		m.consider(gr.Scored{GR: g, Supp: len(part), Score: score, Conf: metrics.Conf(c)})
+		m.emit(g, c, score)
 	}
 	prunable := m.metric.RHSAntiMonotone
 	if m.opt.StaticRHSOrder && m.metric.NeedsHom && mask == 0 {
@@ -503,6 +510,18 @@ func (m *miner) floor() float64 {
 		}
 	}
 	return f
+}
+
+// emit routes a candidate meeting Definition 5 condition (1) either to the
+// capture hook (pool-building runs of the incremental engine, which need the
+// raw counts and no blocking) or through the regular generality filter and
+// top-k machinery.
+func (m *miner) emit(g gr.GR, c metrics.Counts, score float64) {
+	if m.capture != nil {
+		m.capture(g, c, score)
+		return
+	}
+	m.consider(gr.Scored{GR: g, Supp: c.LWR, Score: score, Conf: metrics.Conf(c)})
 }
 
 // consider applies Definition 5 condition (2) — drop a GR if a strictly more
@@ -574,7 +593,13 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 		// pathological (2^20 subset scans per candidate).
 		return false
 	}
-	if m.qualCache == nil {
+	// All probed generalisations share g's RHS, so in parallel mode one
+	// shard of the shared memo covers the whole enumeration; sequential
+	// runs keep a private unlocked map.
+	var shard *qualShard
+	if m.qualMemo != nil {
+		shard = m.qualMemo.shard(g.RHSKey())
+	} else if m.qualCache == nil {
 		m.qualCache = make(map[string]bool)
 	}
 	graphG := m.st.Graph()
@@ -592,7 +617,12 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 		}
 		cand := gr.GR{L: l, W: w, R: g.R}
 		ck := cand.Key()
-		qual, seen := m.qualCache[ck]
+		var qual, seen bool
+		if shard != nil {
+			qual, seen = shard.get(ck)
+		} else {
+			qual, seen = m.qualCache[ck]
+		}
 		if !seen {
 			qual = false
 			// A trivial generalisation can block only when IncludeTrivial
@@ -603,7 +633,11 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 				c := metrics.Eval(graphG, cand)
 				qual = c.LWR >= m.opt.MinSupp && m.metric.Score(c) >= m.opt.MinScore
 			}
-			m.qualCache[ck] = qual
+			if shard != nil {
+				shard.put(ck, qual)
+			} else {
+				m.qualCache[ck] = qual
+			}
 		}
 		if qual {
 			return true
@@ -617,16 +651,7 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 // values. Schemas are limited to 64 node attributes, far beyond any dataset
 // in the paper.
 func (m *miner) betaMask(lhs, rhs gr.Descriptor) uint64 {
-	var mask uint64
-	for _, rc := range rhs {
-		if !m.schema.Node[rc.Attr].Homophily {
-			continue
-		}
-		if lv, ok := lhs.Get(rc.Attr); ok && lv != rc.Val {
-			mask |= 1 << uint(rc.Attr)
-		}
-	}
-	return mask
+	return betaMaskOf(m.schema, lhs, rhs)
 }
 
 // homEffect returns supp(l -w-> l[β]) for the β encoded by mask, counting

@@ -90,24 +90,35 @@ func (g *Graph) NodeValues(n int) []Value {
 	return g.nodeVals[n*w : n*w+w]
 }
 
-// AddEdge appends a directed edge src -> dst with the given edge attribute
-// values and returns its index.
-func (g *Graph) AddEdge(src, dst int, vals ...Value) (int, error) {
+// CheckEdge validates a prospective edge src -> dst with the given edge
+// attribute values without adding it. It is the exact precondition of
+// AddEdge, split out so batch ingestion (the incremental miner, -follow
+// streams) can reject a whole batch before mutating any state.
+func (g *Graph) CheckEdge(src, dst int, vals ...Value) error {
 	if src < 0 || src >= g.numNodes {
-		return -1, fmt.Errorf("graph: edge source %d out of range [0, %d)", src, g.numNodes)
+		return fmt.Errorf("graph: edge source %d out of range [0, %d)", src, g.numNodes)
 	}
 	if dst < 0 || dst >= g.numNodes {
-		return -1, fmt.Errorf("graph: edge destination %d out of range [0, %d)", dst, g.numNodes)
+		return fmt.Errorf("graph: edge destination %d out of range [0, %d)", dst, g.numNodes)
 	}
 	if len(vals) != len(g.schema.Edge) {
-		return -1, fmt.Errorf("graph: edge %d->%d: %d values for %d edge attributes",
+		return fmt.Errorf("graph: edge %d->%d: %d values for %d edge attributes",
 			src, dst, len(vals), len(g.schema.Edge))
 	}
 	for a, v := range vals {
 		if int(v) > g.schema.Edge[a].Domain {
-			return -1, fmt.Errorf("graph: value %d out of domain of edge attribute %s (|A|=%d)",
+			return fmt.Errorf("graph: value %d out of domain of edge attribute %s (|A|=%d)",
 				v, g.schema.Edge[a].Name, g.schema.Edge[a].Domain)
 		}
+	}
+	return nil
+}
+
+// AddEdge appends a directed edge src -> dst with the given edge attribute
+// values and returns its index.
+func (g *Graph) AddEdge(src, dst int, vals ...Value) (int, error) {
+	if err := g.CheckEdge(src, dst, vals...); err != nil {
+		return -1, err
 	}
 	e := len(g.src)
 	g.src = append(g.src, int32(src))

@@ -24,6 +24,21 @@ import (
 // Edge file: tab-separated "<src>\t<dst>\t<v1>...".
 // Lines starting with '#' and blank lines are ignored in all three files.
 
+// parseValue parses one attribute value, rejecting anything outside the
+// Value (uint16) range instead of letting the conversion wrap: "-65535"
+// must be a loud error, not a silent value-1 cell. Domain checks happen
+// later, in SetNodeValue/AddEdge.
+func parseValue(s string) (Value, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return Null, fmt.Errorf("bad value %q: %v", s, err)
+	}
+	if v < 0 || v > 65535 {
+		return Null, fmt.Errorf("value %d outside the attribute value range [0, 65535]", v)
+	}
+	return Value(v), nil
+}
+
 // ParseSchema reads a schema definition.
 func ParseSchema(r io.Reader) (*Schema, error) {
 	sc := bufio.NewScanner(r)
@@ -145,11 +160,11 @@ func ReadGraph(schema *Schema, numNodes int, nodes, edges io.Reader) (*Graph, er
 			grow(id)
 		}
 		for a := 0; a < len(schema.Node); a++ {
-			v, err := strconv.Atoi(fields[1+a])
+			v, err := parseValue(fields[1+a])
 			if err != nil {
-				return nil, fmt.Errorf("graph: nodes line %d: bad value %q: %v", lineNo, fields[1+a], err)
+				return nil, fmt.Errorf("graph: nodes line %d: %v", lineNo, err)
 			}
-			if err := g.SetNodeValue(id, a, Value(v)); err != nil {
+			if err := g.SetNodeValue(id, a, v); err != nil {
 				return nil, fmt.Errorf("graph: nodes line %d: %w", lineNo, err)
 			}
 		}
@@ -182,11 +197,11 @@ func ReadGraph(schema *Schema, numNodes int, nodes, edges io.Reader) (*Graph, er
 			grow(dst)
 		}
 		for a := 0; a < len(schema.Edge); a++ {
-			v, err := strconv.Atoi(fields[2+a])
+			v, err := parseValue(fields[2+a])
 			if err != nil {
-				return nil, fmt.Errorf("graph: edges line %d: bad value %q: %v", lineNo, fields[2+a], err)
+				return nil, fmt.Errorf("graph: edges line %d: %v", lineNo, err)
 			}
-			vals[a] = Value(v)
+			vals[a] = v
 		}
 		if _, err := g.AddEdge(src, dst, vals...); err != nil {
 			return nil, fmt.Errorf("graph: edges line %d: %w", lineNo, err)

@@ -117,25 +117,42 @@ type Metric struct {
 	// support); only nhp does, and only then does the miner pay for the
 	// β-restricted counting scan.
 	NeedsHom bool
+	// DeltaSafe reports that, under pure edge insertions and a non-negative
+	// score threshold, a GR's score can only increase when an inserted edge
+	// matches the GR's full descriptor l ∧ w ∧ r. This holds for metrics
+	// whose score is non-increasing in LW and E with LWR fixed: an edge
+	// matching only l ∧ w grows the denominator, an edge matching l ∧ w and
+	// l[β] grows Hom and LW together (nhp's denominator LW − Hom is
+	// unchanged), an unrelated edge at most grows E. The incremental engine
+	// (internal/core) relies on this to scope re-mining to the subtrees the
+	// inserted edges touch; metrics without it (the lift family, whose
+	// scores can rise when |E| grows or supp(r) shifts) force a full
+	// re-mine per batch.
+	DeltaSafe bool
 }
 
 // Builtin metrics, keyed by name.
 var (
 	// NhpMetric is the paper's default ranking metric.
-	NhpMetric = Metric{Name: "nhp", Score: Nhp, RHSAntiMonotone: true, NeedsHom: true}
+	NhpMetric = Metric{Name: "nhp", Score: Nhp, RHSAntiMonotone: true, NeedsHom: true, DeltaSafe: true}
 	// ConfMetric is standard confidence; used by the Table II comparison.
-	ConfMetric = Metric{Name: "conf", Score: Conf, RHSAntiMonotone: true}
+	ConfMetric = Metric{Name: "conf", Score: Conf, RHSAntiMonotone: true, DeltaSafe: true}
 	// LaplaceMetric uses k = 2, the smallest integer the paper allows.
 	LaplaceMetric = Metric{
 		Name:            "laplace",
 		Score:           func(c Counts) float64 { return Laplace(c, 2) },
 		RHSAntiMonotone: true,
+		DeltaSafe:       true,
 	}
-	// GainMetric uses θ = 0.5.
+	// GainMetric uses θ = 0.5. Gain is DeltaSafe because its numerator
+	// LWR − θ·LW only rises on a full-descriptor match and |E| growth drives
+	// positive scores toward 0 (a negative score rising toward 0 never
+	// crosses a threshold ≥ 0, which is what DeltaSafe's caveat excludes).
 	GainMetric = Metric{
 		Name:            "gain",
 		Score:           func(c Counts) float64 { return Gain(c, 0.5) },
 		RHSAntiMonotone: true,
+		DeltaSafe:       true,
 	}
 	// PSMetric is Piatetsky-Shapiro; not RHS anti-monotone.
 	PSMetric = Metric{Name: "piatetsky-shapiro", Score: PiatetskyShapiro, NeedsR: true}

@@ -17,6 +17,12 @@ import (
 // accessors take an edge id in 0..NumEdges-1; edges are laid out in EArray
 // grouped by source (the CSR layout of Figure 2), and EdgeID maps back to
 // the original graph edge.
+//
+// The store is append-friendly: after more edges are added to the graph,
+// Append brings the arrays back in sync. Appended edges form a tail segment
+// of EArray (the CSR grouping of lInd covers only the Build-time segment —
+// nothing in the miner depends on that grouping, only on per-edge accessors),
+// and LArray/RArray grow rows for nodes whose out/in degree becomes non-zero.
 type Store struct {
 	g *graph.Graph
 
@@ -24,9 +30,10 @@ type Store struct {
 	lNode []int32       // LArray row -> graph node id
 	lVals []graph.Value // row-major node attribute values, len = rows * #AttrV
 	lOut  []int32       // out-degree of the row's node
-	lInd  []int32       // first EArray position of the row's outgoing edges
+	lInd  []int32       // first EArray position of the row's Build-segment edges
 
-	// EArray: one row per edge, grouped by source.
+	// EArray: one row per edge, grouped by source within the Build segment;
+	// edges ingested later by Append sit in a tail segment in insertion order.
 	eSrc  []int32       // EArray row -> LArray row of the source
 	ePtr  []int32       // EArray row -> RArray row of the destination
 	eVals []graph.Value // row-major edge attribute values
@@ -35,6 +42,11 @@ type Store struct {
 	// RArray: one row per node with in-degree > 0.
 	rNode []int32
 	rVals []graph.Value
+
+	// lRowOf and rRowOf map a graph node id to its LArray/RArray row
+	// (-1 when absent), so Append can route new edges without a rebuild.
+	lRowOf []int32
+	rRowOf []int32
 }
 
 // Build constructs the compact model for g.
@@ -49,7 +61,8 @@ func Build(g *graph.Graph) *Store {
 	inDeg := g.InDegrees()
 
 	// Assign LArray and RArray rows; nodes with zero out-degree (in-degree)
-	// do not appear in LArray (RArray) — Section IV-A notes this saving.
+	// do not appear in LArray (RArray) — Section IV-A notes this saving. The
+	// node -> row maps are retained so Append can extend the arrays later.
 	lRow := make([]int32, n)
 	rRow := make([]int32, n)
 	for i := range lRow {
@@ -65,6 +78,7 @@ func Build(g *graph.Graph) *Store {
 			s.rNode = append(s.rNode, int32(v))
 		}
 	}
+	s.lRowOf, s.rRowOf = lRow, rRow
 	s.lVals = make([]graph.Value, len(s.lNode)*nv)
 	for row, v := range s.lNode {
 		copy(s.lVals[row*nv:(row+1)*nv], g.NodeValues(int(v)))
@@ -106,6 +120,53 @@ func Build(g *graph.Graph) *Store {
 		}
 	}
 	return s
+}
+
+// Append brings the store in sync with its graph after edges were appended
+// to the graph (node attribute values must not have changed). New edges are
+// appended to EArray as a tail segment in graph-edge order; nodes appearing
+// as a source (destination) for the first time gain an LArray (RArray) row.
+// It returns the EArray row ids of the newly ingested edges. Append is not
+// safe to call concurrently with readers.
+func (s *Store) Append() []int32 {
+	ne := len(s.g.Schema().Edge)
+	from := s.NumEdges()
+	total := s.g.NumEdges()
+	if from >= total {
+		return nil
+	}
+	ids := make([]int32, 0, total-from)
+	for e := from; e < total; e++ {
+		src, dst := s.g.Src(e), s.g.Dst(e)
+		lRow := s.lRowOf[src]
+		if lRow < 0 {
+			lRow = int32(len(s.lNode))
+			s.lRowOf[src] = lRow
+			s.lNode = append(s.lNode, int32(src))
+			s.lVals = append(s.lVals, s.g.NodeValues(src)...)
+			s.lOut = append(s.lOut, 0)
+			// The new row's edges live in the tail segment, outside the
+			// Build-time CSR; its lInd is the segment start as a best effort.
+			s.lInd = append(s.lInd, int32(from))
+		}
+		s.lOut[lRow]++
+		rRow := s.rRowOf[dst]
+		if rRow < 0 {
+			rRow = int32(len(s.rNode))
+			s.rRowOf[dst] = rRow
+			s.rNode = append(s.rNode, int32(dst))
+			s.rVals = append(s.rVals, s.g.NodeValues(dst)...)
+		}
+		row := int32(len(s.ePtr))
+		s.eSrc = append(s.eSrc, lRow)
+		s.ePtr = append(s.ePtr, rRow)
+		s.eID = append(s.eID, int32(e))
+		if ne > 0 {
+			s.eVals = append(s.eVals, s.g.EdgeValues(e)...)
+		}
+		ids = append(ids, row)
+	}
+	return ids
 }
 
 // Graph returns the underlying graph.

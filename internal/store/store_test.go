@@ -167,3 +167,98 @@ func TestEmptyGraph(t *testing.T) {
 		t.Error("empty graph produced non-empty store")
 	}
 }
+
+// Append must leave the store exactly equivalent (per-edge, via the eID
+// mapping) to a fresh Build of the grown graph, across random interleavings
+// of builds and appends that activate previously row-less nodes.
+func TestAppendMatchesRebuild(t *testing.T) {
+	sch, _ := graph.NewSchema(
+		[]graph.Attribute{{Name: "A", Domain: 3, Homophily: true}, {Name: "B", Domain: 5}},
+		[]graph.Attribute{{Name: "W", Domain: 2}},
+	)
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		g := graph.MustNew(sch, n)
+		for v := 0; v < n; v++ {
+			g.SetNodeValues(v, graph.Value(r.Intn(4)), graph.Value(r.Intn(6)))
+		}
+		for e, m := 0, r.Intn(40); e < m; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3)))
+		}
+		s := Build(g)
+		// Grow in a few rounds, syncing after each.
+		for round := 0; round < 3; round++ {
+			added := 1 + r.Intn(20)
+			before := s.NumEdges()
+			for e := 0; e < added; e++ {
+				g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3)))
+			}
+			ids := s.Append()
+			if len(ids) != added {
+				t.Fatalf("seed %d round %d: Append returned %d ids, want %d", seed, round, len(ids), added)
+			}
+			for i, id := range ids {
+				if int(id) != before+i {
+					t.Fatalf("seed %d: appended row ids not a tail segment: %v", seed, ids)
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			// Equivalence with a fresh Build, accessor by accessor, keyed by
+			// the original edge id (row layouts legitimately differ).
+			fresh := Build(g)
+			byID := make(map[int32]int32, fresh.NumEdges())
+			for e := int32(0); int(e) < fresh.NumEdges(); e++ {
+				byID[fresh.EdgeID(e)] = e
+			}
+			for e := int32(0); int(e) < s.NumEdges(); e++ {
+				f, ok := byID[s.EdgeID(e)]
+				if !ok {
+					t.Fatalf("seed %d: edge id %d missing from fresh build", seed, s.EdgeID(e))
+				}
+				if s.SrcNode(e) != fresh.SrcNode(f) || s.DstNode(e) != fresh.DstNode(f) {
+					t.Fatalf("seed %d: endpoints diverge at edge id %d", seed, s.EdgeID(e))
+				}
+				for a := 0; a < 2; a++ {
+					if s.LVal(e, a) != fresh.LVal(f, a) || s.RVal(e, a) != fresh.RVal(f, a) {
+						t.Fatalf("seed %d: node values diverge at edge id %d attr %d", seed, s.EdgeID(e), a)
+					}
+				}
+				if s.EVal(e, 0) != fresh.EVal(f, 0) {
+					t.Fatalf("seed %d: edge value diverges at edge id %d", seed, s.EdgeID(e))
+				}
+			}
+			if s.NumLRows() != fresh.NumLRows() || s.NumRRows() != fresh.NumRRows() {
+				t.Fatalf("seed %d: row counts diverge: L %d/%d R %d/%d",
+					seed, s.NumLRows(), fresh.NumLRows(), s.NumRRows(), fresh.NumRRows())
+			}
+		}
+	}
+}
+
+// Append with no new graph edges is a no-op, and appending onto an
+// initially empty store works.
+func TestAppendEdgeCases(t *testing.T) {
+	sch, _ := graph.NewSchema([]graph.Attribute{{Name: "A", Domain: 2}}, nil)
+	g := graph.MustNew(sch, 4)
+	for v := 0; v < 4; v++ {
+		g.SetNodeValues(v, graph.Value(v%2+1))
+	}
+	s := Build(g)
+	if ids := s.Append(); ids != nil {
+		t.Errorf("no-op Append returned %v", ids)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if ids := s.Append(); len(ids) != 2 {
+		t.Fatalf("Append onto empty store returned %v", ids)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLRows() != 2 || s.NumRRows() != 2 {
+		t.Errorf("rows = %d, %d; want 2, 2", s.NumLRows(), s.NumRRows())
+	}
+}

@@ -67,6 +67,25 @@ func (l *List) Items() []gr.Scored {
 	return append([]gr.Scored(nil), l.items...)
 }
 
+// ChangedFrom reports how many entries of cur are new or re-scored relative
+// to prev (matched by GR identity; a retained GR whose score or support
+// moved counts as changed). Streaming consumers use it to summarise the
+// churn one ingested batch caused in a maintained top-k.
+func ChangedFrom(prev, cur []gr.Scored) int {
+	seen := make(map[string]gr.Scored, len(prev))
+	for _, s := range prev {
+		seen[s.GR.Key()] = s
+	}
+	changed := 0
+	for _, s := range cur {
+		old, ok := seen[s.GR.Key()]
+		if !ok || old.Score != s.Score || old.Supp != s.Supp {
+			changed++
+		}
+	}
+	return changed
+}
+
 // Merge returns a new list of bound k holding the best entries across ls.
 // Merging bound-k lists that each saw a disjoint share of a candidate
 // stream is exact: any entry of the global top-k outranks the global k-th

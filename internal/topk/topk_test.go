@@ -157,3 +157,25 @@ func TestMatchesSortTruncate(t *testing.T) {
 		}
 	}
 }
+
+func TestChangedFrom(t *testing.T) {
+	mk := func(attr int, score float64, supp int) gr.Scored {
+		return gr.Scored{GR: gr.GR{R: gr.D(attr, 1)}, Score: score, Supp: supp}
+	}
+	prev := []gr.Scored{mk(0, 0.9, 10), mk(1, 0.8, 9), mk(2, 0.7, 8)}
+	same := []gr.Scored{mk(0, 0.9, 10), mk(1, 0.8, 9), mk(2, 0.7, 8)}
+	if n := ChangedFrom(prev, same); n != 0 {
+		t.Errorf("identical lists: %d changed", n)
+	}
+	// One rescored, one evicted for a newcomer.
+	cur := []gr.Scored{mk(0, 0.95, 11), mk(1, 0.8, 9), mk(3, 0.75, 7)}
+	if n := ChangedFrom(prev, cur); n != 2 {
+		t.Errorf("rescore+newcomer: %d changed, want 2", n)
+	}
+	if n := ChangedFrom(nil, cur); n != 3 {
+		t.Errorf("from empty: %d changed, want 3", n)
+	}
+	if n := ChangedFrom(prev, nil); n != 0 {
+		t.Errorf("to empty: %d changed, want 0", n)
+	}
+}
