@@ -36,9 +36,17 @@ func main() {
 	flag.BoolVar(&cfg.SkipBaselines, "skip-baselines", cfg.SkipBaselines, "omit BL1/BL2 from figure sweeps")
 	flag.IntVar(&cfg.Procs, "procs", cfg.Procs, "worker-count cap for the scaling experiment (0 = all cores)")
 	flag.BoolVar(&cfg.Auto, "auto", cfg.Auto, "add the AutoTune-planned point to the scaling experiment")
+	flag.IntVar(&cfg.MaxShards, "shards", cfg.MaxShards, "shard-count cap for the sharding experiment (0 = 8)")
+	flag.StringVar(&cfg.ShardBy, "shard-by", cfg.ShardBy, "restrict the sharding experiment to one strategy: src | rhs (empty = both)")
 	flag.StringVar(&cfg.JSONDir, "json-dir", ".", "directory for BENCH_*.json snapshots (empty = skip)")
 	flag.Parse()
 
+	if cfg.JSONDir != "" {
+		if err := os.MkdirAll(cfg.JSONDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "grbench:", err)
+			os.Exit(1)
+		}
+	}
 	if err := bench.Run(*exp, os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "grbench:", err)
 		os.Exit(1)

@@ -61,8 +61,30 @@ func main() {
 		procs     = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
 		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions from this file (\"-\" = stdin) through the incremental engine")
 		batchSize = flag.Int("batch", 0, "in -follow mode, commit a batch every N edges in addition to blank-line commits (0 = blank lines/EOF only)")
+		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store)")
+		shardBy   = flag.String("shard-by", "src", "shard routing strategy: src (hash of source node) | rhs (hash of destination attribute row)")
 	)
 	flag.Parse()
+
+	strategy, err := grminer.ParseShardStrategy(*shardBy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grminer:", err)
+		os.Exit(1)
+	}
+	shardBySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shard-by" {
+			shardBySet = true
+		}
+	})
+	if shardBySet && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "grminer: -shard-by has no effect without -shards N (N > 0)")
+		os.Exit(1)
+	}
+	var shardOpt grminer.ShardOptions
+	if *shards > 0 {
+		shardOpt = grminer.ShardOptions{Shards: *shards, Strategy: strategy}
+	}
 
 	g, err := loadGraph(*data, *schemaF, *nodesF, *edgesF, *nodes, *deg, *seed)
 	if err != nil {
@@ -104,22 +126,56 @@ func main() {
 			opt = plan.Apply(opt)
 			fmt.Println(plan)
 		}
-		if err := runFollow(g, opt, m, *follow, *batchSize, *showStats, *out, *format); err != nil {
+		// Open the stream before the (possibly long) initial mine so a bad
+		// path fails instantly.
+		in, closeIn, err := openFollowStream(*follow)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
+		defer closeIn()
+		eng, err := newEngine(g, opt, shardOpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
+		if err := runFollow(eng, g, m, in, *batchSize, *showStats, *out, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "grminer:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	st := grminer.BuildStore(g)
-	if *auto {
-		plan := grminer.AutoPlan(st, *procs, opt)
-		opt = plan.Apply(opt)
-		fmt.Println(plan)
-	}
-	res, err := grminer.MineStore(st, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "grminer:", err)
-		os.Exit(1)
+	var res *grminer.Result
+	if shardOpt.Shards > 0 {
+		if *auto {
+			plan := grminer.AutoPlanGraph(g, *procs, opt)
+			opt = plan.Apply(opt)
+			fmt.Println(plan)
+		}
+		sc, err := grminer.NewShardCoordinator(g, opt, shardOpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
+		fmt.Println(sc.Plan())
+		res, err = sc.Mine()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
+	} else {
+		st := grminer.BuildStore(g)
+		if *auto {
+			plan := grminer.AutoPlan(st, *procs, opt)
+			opt = plan.Apply(opt)
+			fmt.Println(plan)
+		}
+		var err error
+		res, err = grminer.MineStore(st, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grminer:", err)
+			os.Exit(1)
+		}
 	}
 	printTopK(res, g, m)
 	if *showStats {
@@ -145,30 +201,50 @@ func printTopK(res *grminer.Result, g *grminer.Graph, m grminer.Metric) {
 	}
 }
 
-// runFollow mines g once, then streams edge insertions from src through the
+// incrementalEngine is the slice of the incremental API runFollow drives;
+// the single-store engine and the sharded engine both implement it.
+type incrementalEngine interface {
+	Apply([]grminer.EdgeInsert) (*grminer.Result, grminer.IncStats, error)
+	Result() *grminer.Result
+	Options() grminer.Options
+	Cumulative() grminer.IncStats
+}
+
+// newEngine seeds the incremental engine for -follow: sharded when -shards
+// is set (batches then route to the owning shard), single-store otherwise.
+func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions) (incrementalEngine, error) {
+	if so.Shards > 0 {
+		inc, err := grminer.NewIncrementalSharded(g, opt, so)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(inc.Plan())
+		return inc, nil
+	}
+	return grminer.NewIncremental(g, opt)
+}
+
+// openFollowStream resolves a -follow source: stdin for "-", an opened
+// file otherwise. The returned closer is a no-op for stdin.
+func openFollowStream(src string) (io.Reader, func(), error) {
+	if src == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// runFollow streams edge insertions from in through the (already seeded)
 // incremental engine. Any malformed line or schema-rejected edge aborts
 // with an error before its batch is applied — the engine validates batches
 // atomically, so no partial graph is ever mined.
-func runFollow(g *grminer.Graph, opt grminer.Options, m grminer.Metric, src string, batchSize int, showStats bool, outPath, outFormat string) error {
-	var in io.Reader
-	if src == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(src)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-
-	inc, err := grminer.NewIncremental(g, opt)
-	if err != nil {
-		return err
-	}
+func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.Reader, batchSize int, showStats bool, outPath, outFormat string) error {
 	res := inc.Result()
 	fmt.Printf("initial mine: |E|=%d, %d GRs tracked in top-%d\n",
-		res.TotalEdges, len(res.TopK), opt.K)
+		res.TotalEdges, len(res.TopK), inc.Options().K)
 
 	prev := res.TopK
 	batchNo := 0

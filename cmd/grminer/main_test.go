@@ -99,7 +99,16 @@ func TestRunFollowStream(t *testing.T) {
 	g := grminer.ToyDating()
 	opt := grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}
 	outPath := filepath.Join(dir, "final.json")
-	if err := runFollow(g, opt, grminer.NhpMetric, stream, 0, true, outPath, "json"); err != nil {
+	in, closeIn, err := openFollowStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIn()
+	eng, err := newEngine(g, opt, grminer.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFollow(eng, g, grminer.NhpMetric, in, 0, true, outPath, "json"); err != nil {
 		t.Fatal(err)
 	}
 	if g.NumEdges() != 33 {
@@ -127,15 +136,23 @@ func TestRunFollowRejectsMalformedInput(t *testing.T) {
 		}
 		g := grminer.ToyDating()
 		edges := g.NumEdges()
-		if err := runFollow(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.NhpMetric, path, 0, false, "", ""); err == nil {
+		in, closeIn, err := openFollowStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runFollow(eng, g, grminer.NhpMetric, in, 0, false, "", ""); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+		closeIn()
 		if g.NumEdges() != edges {
 			t.Errorf("%s: graph mutated to %d edges despite rejection", name, g.NumEdges())
 		}
 	}
-	g := grminer.ToyDating()
-	if err := runFollow(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.NhpMetric, filepath.Join(dir, "missing.stream"), 0, false, "", ""); err == nil {
+	if _, _, err := openFollowStream(filepath.Join(dir, "missing.stream")); err == nil {
 		t.Error("missing stream file accepted")
 	}
 }
@@ -167,6 +184,60 @@ func TestLoadGraphRejectsMalformedEdges(t *testing.T) {
 		}
 		if _, err := loadGraph("", sp, np, bad, 0, 0, 1); err == nil {
 			t.Errorf("%s edge file accepted", name)
+		}
+	}
+}
+
+// -follow with -shards routes every streamed batch through the sharded
+// incremental engine; the maintained result must match both the
+// single-store follow and a fresh batch mine of the grown graph.
+func TestRunFollowShardedStream(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "edges.stream")
+	if err := os.WriteFile(stream, []byte("0\t1\t1\n2\t3\t1\n\n4\t5\t1\n6\t7\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt := grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}
+	for _, strategy := range []grminer.ShardStrategy{grminer.ShardBySource, grminer.ShardByRHS} {
+		g := grminer.ToyDating()
+		in, closeIn, err := openFollowStream(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := newEngine(g, opt, grminer.ShardOptions{Shards: 3, Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runFollow(eng, g, grminer.NhpMetric, in, 0, false, "", ""); err != nil {
+			t.Fatal(err)
+		}
+		closeIn()
+		if g.NumEdges() != 34 {
+			t.Fatalf("%s: followed graph has %d edges, want 34", strategy, g.NumEdges())
+		}
+		sharded, ok := eng.(*grminer.IncrementalSharded)
+		if !ok {
+			t.Fatalf("%s: newEngine did not build a sharded engine", strategy)
+		}
+		total := 0
+		for _, n := range sharded.Plan().Edges {
+			total += n
+		}
+		if total != 34 {
+			t.Fatalf("%s: shards hold %d edges, want 34", strategy, total)
+		}
+		ref, err := grminer.Mine(g, eng.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.Result().TopK
+		if len(got) != len(ref.TopK) {
+			t.Fatalf("%s: sharded follow kept %d GRs, batch mine %d", strategy, len(got), len(ref.TopK))
+		}
+		for i := range got {
+			if got[i].GR.Key() != ref.TopK[i].GR.Key() || got[i].Score != ref.TopK[i].Score {
+				t.Fatalf("%s: rank %d diverged: %v vs %v", strategy, i, got[i], ref.TopK[i])
+			}
 		}
 	}
 }

@@ -68,6 +68,21 @@ type (
 	// Incremental maintains the top-k under edge insertions without full
 	// re-mines (tracked candidate pool + scoped subtree re-mining).
 	Incremental = core.Incremental
+	// IncrementalSharded is Incremental over a sharded edge set: batches
+	// are routed to the owning shard and the global top-k is re-merged.
+	IncrementalSharded = core.IncrementalSharded
+	// ShardOptions selects the layout of a sharded mine (shard count and
+	// edge-routing strategy).
+	ShardOptions = core.ShardOptions
+	// ShardPlan describes one sharded run: layout, per-shard edge counts,
+	// and the lowered per-shard offer threshold.
+	ShardPlan = core.ShardPlan
+	// ShardCoordinator owns one sharded run: the plan, the per-shard
+	// workers, and the merge. Use it over MineSharded to inspect the plan
+	// without partitioning twice.
+	ShardCoordinator = core.ShardCoordinator
+	// ShardStrategy names a deterministic edge-routing rule.
+	ShardStrategy = graph.ShardStrategy
 	// EdgeInsert is one edge for Incremental.Apply.
 	EdgeInsert = core.EdgeInsert
 	// IncStats reports the work one incremental batch performed.
@@ -158,6 +173,52 @@ func NewIncremental(g *Graph, opt Options) (*Incremental, error) {
 // TopKChanged counts entries of cur that are new or re-scored relative to
 // prev — the churn one ingested batch caused.
 func TopKChanged(prev, cur []Scored) int { return topk.ChangedFrom(prev, cur) }
+
+// Shard-routing strategies for MineSharded and NewIncrementalSharded.
+const (
+	// ShardBySource routes edges by a hash of the source node id.
+	ShardBySource = graph.ShardBySource
+	// ShardByRHS routes edges by a hash of the destination node's
+	// attribute row.
+	ShardByRHS = graph.ShardByRHS
+)
+
+// ParseShardStrategy maps a CLI spelling ("src", "rhs") to a strategy.
+func ParseShardStrategy(s string) (ShardStrategy, error) { return graph.ParseShardStrategy(s) }
+
+// MineSharded partitions g's edges into so.Shards deterministic shards,
+// mines every shard concurrently as an independent store, and merges the
+// per-shard candidate pools into the exact global top-k — the same ranked
+// list MineStore produces over a single store (see internal/core/shard.go
+// for the candidate-union soundness argument). Like the parallel engine, a
+// dynamic floor forces ExactGenerality; Result.Options echoes the effective
+// settings.
+func MineSharded(g *Graph, opt Options, so ShardOptions) (*Result, error) {
+	return core.MineSharded(g, opt, so)
+}
+
+// PlanShards previews the sharded layout MineSharded would use without
+// building shard stores or mining.
+func PlanShards(g *Graph, opt Options, so ShardOptions) (ShardPlan, error) {
+	return core.PlanShards(g, opt, so)
+}
+
+// NewShardCoordinator partitions g's edges once and returns the
+// coordinator behind MineSharded, for callers that want the plan
+// (Plan), the effective options (Options), and the mine (Mine) from a
+// single partitioning pass.
+func NewShardCoordinator(g *Graph, opt Options, so ShardOptions) (*ShardCoordinator, error) {
+	return core.NewShardCoordinator(g, opt, so)
+}
+
+// NewIncrementalSharded seeds a shard-aware incremental engine: every
+// applied EdgeInsert is routed to the shard that owns it under the plan's
+// deterministic strategy, per-shard candidate pools are delta-maintained,
+// and the global top-k is re-merged after every batch — for every metric,
+// with no full re-mine fallback. The engine owns g, like NewIncremental.
+func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
+	return core.NewIncrementalSharded(g, opt, so)
+}
 
 // ParseGR parses the textual GR form, e.g. "(SEX:F, EDU:Grad) -> (SEX:M)".
 func ParseGR(s *Schema, text string) (GR, error) { return gr.ParseGR(s, text) }

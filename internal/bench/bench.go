@@ -45,6 +45,10 @@ type Config struct {
 	Procs int
 	// Auto adds an AutoTune-planned point to the scaling experiment.
 	Auto bool
+	// MaxShards caps the shard counts the sharding experiment sweeps
+	// (0 = 8); ShardBy restricts it to one routing strategy ("" = both).
+	MaxShards int
+	ShardBy   string
 	// JSONDir, when non-empty, is where experiments drop machine-readable
 	// BENCH_*.json snapshots alongside their text reports.
 	JSONDir string
@@ -95,7 +99,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
-	"incremental",
+	"incremental", "sharding",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -127,6 +131,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Scaling(w, cfg)
 	case "incremental":
 		return Incremental(w, cfg)
+	case "sharding":
+		return Sharding(w, cfg)
 	case "all":
 		for _, n := range Names {
 			if err := Run(n, w, cfg); err != nil {
@@ -137,6 +143,28 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return nil
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, append(Names, "all"))
+	}
+}
+
+// floorMode pairs a pruning-mode label with the reference options the
+// engine-comparison experiments (scaling, sharding) mine under.
+type floorMode struct {
+	name string
+	base core.Options
+}
+
+// floorModes returns the two reference modes those experiments sweep:
+// "static" (plain Definition 5 top-k) and "dynamic" (GRMiner(k) with
+// ExactGenerality — the semantics the parallel, incremental, and sharded
+// engines all guarantee under a dynamic floor). Keeping this in one place
+// keeps the two BENCH reports measuring the same baselines.
+func floorModes(cfg Config) []floorMode {
+	return []floorMode{
+		{"static", core.Options{MinSupp: cfg.MinSupp, MinScore: cfg.MinNhp, K: cfg.K}},
+		{"dynamic", core.Options{
+			MinSupp: cfg.MinSupp, MinScore: cfg.MinNhp, K: cfg.K,
+			DynamicFloor: true, ExactGenerality: true,
+		}},
 	}
 }
 

@@ -18,6 +18,9 @@ func tinyConfig() Config {
 	cfg.DBLPPairs = 2500
 	cfg.MinSupp = 20
 	cfg.K = 20
+	// Two shards keep the sharding experiment's relaxed offer threshold
+	// (⌈minSupp/shards⌉) from exploding the harness smoke test's runtime.
+	cfg.MaxShards = 2
 	return cfg
 }
 
@@ -131,5 +134,50 @@ func TestStoreSizeReport(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "smaller") {
 		t.Errorf("storesize report: %s", buf.String())
+	}
+}
+
+// The sharding experiment must produce identical merged results at every
+// layout and a well-formed BENCH_sharding.json snapshot.
+func TestShardingReport(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PokecNodes = 600
+	cfg.PokecDeg = 6
+	cfg.JSONDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := Sharding(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "WARNING") {
+		t.Errorf("sharded run diverged from single store:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_sharding.json"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var rep ShardingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if !rep.Identical {
+		t.Error("top-level identical_results is false")
+	}
+	if rep.SequentialStatic <= 0 || rep.SequentialDynamic <= 0 || len(rep.Points) == 0 {
+		t.Errorf("snapshot incomplete: %+v", rep)
+	}
+	seen := map[string]bool{}
+	for _, pt := range rep.Points {
+		if !pt.Identical {
+			t.Errorf("%d shards by %s (%s floor) diverged", pt.Shards, pt.Strategy, pt.Floor)
+		}
+		if pt.Shards > cfg.MaxShards {
+			t.Errorf("point with %d shards exceeds the configured cap %d", pt.Shards, cfg.MaxShards)
+		}
+		seen[pt.Floor+"/"+pt.Strategy] = true
+	}
+	for _, want := range []string{"static/src", "static/rhs", "dynamic/src", "dynamic/rhs"} {
+		if !seen[want] {
+			t.Errorf("missing %s points in the sweep", want)
+		}
 	}
 }

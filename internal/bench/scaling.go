@@ -47,6 +47,13 @@ type ScalingReport struct {
 	SequentialDynamic float64        `json:"sequential_dynamic_seconds"`
 	Points            []ScalingPoint `json:"points"`
 	Plan              string         `json:"plan,omitempty"`
+	// CrossoverStatic / CrossoverDynamic record the smallest measured
+	// worker count whose speedup exceeded 1.0 in each floor mode (0 = the
+	// parallel engine never beat the sequential miner on this machine) —
+	// the number the AutoTune crossover constants are validated against on
+	// multi-core CI runners.
+	CrossoverStatic  int `json:"crossover_workers_static"`
+	CrossoverDynamic int `json:"crossover_workers_dynamic"`
 }
 
 // Scaling measures the parallel engine's speedup trajectory on the
@@ -59,16 +66,7 @@ type ScalingReport struct {
 func Scaling(w io.Writer, cfg Config) error {
 	g := cfg.pokec()
 	st := store.Build(g)
-	modes := []struct {
-		name string
-		base core.Options
-	}{
-		{"static", core.Options{MinSupp: cfg.MinSupp, MinScore: cfg.MinNhp, K: cfg.K}},
-		{"dynamic", core.Options{
-			MinSupp: cfg.MinSupp, MinScore: cfg.MinNhp, K: cfg.K,
-			DynamicFloor: true, ExactGenerality: true,
-		}},
-	}
+	modes := floorModes(cfg)
 
 	rep := ScalingReport{
 		Dataset: "pokec-like", Nodes: g.NumNodes(), Edges: g.NumEdges(),
@@ -151,6 +149,19 @@ func Scaling(w io.Writer, cfg Config) error {
 			fmt.Fprintf(w, "  %-10s %-8s %10.4f %8.2fx %10v\n", label, mode.name, pt.Seconds, pt.Speedup, pt.Identical)
 		}
 	}
+	for _, pt := range rep.Points {
+		if pt.Speedup <= 1 {
+			continue
+		}
+		switch {
+		case pt.Floor == "static" && (rep.CrossoverStatic == 0 || pt.Workers < rep.CrossoverStatic):
+			rep.CrossoverStatic = pt.Workers
+		case pt.Floor == "dynamic" && (rep.CrossoverDynamic == 0 || pt.Workers < rep.CrossoverDynamic):
+			rep.CrossoverDynamic = pt.Workers
+		}
+	}
+	fmt.Fprintf(w, "  crossover: static=%s dynamic=%s\n",
+		crossoverLabel(rep.CrossoverStatic), crossoverLabel(rep.CrossoverDynamic))
 	if rep.Plan != "" {
 		fmt.Fprintf(w, "  %s\n", rep.Plan)
 	}
@@ -175,4 +186,12 @@ func Scaling(w io.Writer, cfg Config) error {
 		fmt.Fprintf(w, "  wrote %s\n", path)
 	}
 	return nil
+}
+
+// crossoverLabel renders a measured crossover worker count for the report.
+func crossoverLabel(workers int) string {
+	if workers == 0 {
+		return "not reached"
+	}
+	return fmt.Sprintf("%d workers", workers)
 }

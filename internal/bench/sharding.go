@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"grminer/internal/core"
+	"grminer/internal/graph"
+	"grminer/internal/store"
+)
+
+// ShardingPoint is one measured layout of the sharding experiment.
+type ShardingPoint struct {
+	// Shards and Strategy name the layout; Floor is the pruning mode
+	// ("static" or "dynamic", the same semantics as the scaling report).
+	Shards   int    `json:"shards"`
+	Strategy string `json:"strategy"`
+	Floor    string `json:"floor"`
+	// Seconds is the sharded wall clock (offer + merge); Speedup divides
+	// the same-floor single-store seconds by it.
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+	// MinShardEdges / MaxShardEdges report the assignment's skew.
+	MinShardEdges int `json:"min_shard_edges"`
+	MaxShardEdges int `json:"max_shard_edges"`
+	// Identical records whether the merged top-k matched the same-floor
+	// single-store reference exactly.
+	Identical bool `json:"identical_results"`
+}
+
+// ShardingReport is the machine-readable snapshot written to
+// BENCH_sharding.json: the sharded coordinator against the single-store
+// miner across shard counts and routing strategies, in both floor modes.
+// The CI equivalence gate fails the build if any point (or the top-level
+// aggregate) reports identical_results false.
+type ShardingReport struct {
+	Dataset           string          `json:"dataset"`
+	Nodes             int             `json:"nodes"`
+	Edges             int             `json:"edges"`
+	MinSupp           int             `json:"min_supp"`
+	MinNhp            float64         `json:"min_nhp"`
+	K                 int             `json:"k"`
+	SequentialStatic  float64         `json:"sequential_static_seconds"`
+	SequentialDynamic float64         `json:"sequential_dynamic_seconds"`
+	Points            []ShardingPoint `json:"points"`
+	Identical         bool            `json:"identical_results"`
+}
+
+// Sharding measures the sharded mining engine on the Pokec-like generator:
+// for each floor mode, routing strategy, and shard count, the coordinator's
+// merged top-k is compared against (and timed against) the single-store
+// miner with identical effective semantics. With cfg.JSONDir set the
+// trajectory is also written to BENCH_sharding.json.
+func Sharding(w io.Writer, cfg Config) error {
+	g := cfg.pokec()
+	st := store.Build(g)
+	modes := floorModes(cfg)
+	strategies := []graph.ShardStrategy{graph.ShardBySource, graph.ShardByRHS}
+	if cfg.ShardBy != "" {
+		s, err := graph.ParseShardStrategy(cfg.ShardBy)
+		if err != nil {
+			return err
+		}
+		strategies = []graph.ShardStrategy{s}
+	}
+	maxShards := cfg.MaxShards
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	var counts []int
+	for _, n := range []int{1, 2, 4, 8} {
+		if n <= maxShards {
+			counts = append(counts, n)
+		}
+	}
+
+	rep := ShardingReport{
+		Dataset: "pokec-like", Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		MinSupp: cfg.MinSupp, MinNhp: cfg.MinNhp, K: cfg.K,
+		Identical: true,
+	}
+	fmt.Fprintf(w, "== Sharding: shard coordinator vs single store ==  |V|=%d |E|=%d minSupp=%d minNhp=%0.0f%% k=%d\n",
+		rep.Nodes, rep.Edges, rep.MinSupp, 100*rep.MinNhp, rep.K)
+	fmt.Fprintf(w, "  %-8s %-6s %-8s %10s %9s %18s %10s\n",
+		"shards", "by", "floor", "seconds", "speedup", "edges min..max", "identical")
+
+	for _, mode := range modes {
+		seq, err := core.MineStore(st, mode.base)
+		if err != nil {
+			return err
+		}
+		seqSecs := seq.Stats.Duration.Seconds()
+		if mode.name == "static" {
+			rep.SequentialStatic = seqSecs
+		} else {
+			rep.SequentialDynamic = seqSecs
+		}
+		fmt.Fprintf(w, "  %-8s %-6s %-8s %10.4f %9s %18s %10s\n",
+			"single", "-", mode.name, seqSecs, "1.00x", "-", "-")
+		for _, strategy := range strategies {
+			for _, n := range counts {
+				sc, err := core.NewShardCoordinator(g, mode.base, core.ShardOptions{
+					Shards: n, Strategy: strategy,
+				})
+				if err != nil {
+					return err
+				}
+				res, err := sc.Mine()
+				if err != nil {
+					return err
+				}
+				plan := sc.Plan()
+				pt := ShardingPoint{
+					Shards: n, Strategy: string(strategy), Floor: mode.name,
+					Seconds:       res.Stats.Duration.Seconds(),
+					MinShardEdges: plan.Edges[0],
+					MaxShardEdges: plan.Edges[0],
+					Identical:     sameTop(res.TopK, seq.TopK),
+				}
+				for _, e := range plan.Edges {
+					if e < pt.MinShardEdges {
+						pt.MinShardEdges = e
+					}
+					if e > pt.MaxShardEdges {
+						pt.MaxShardEdges = e
+					}
+				}
+				if pt.Seconds > 0 && seqSecs > 0 {
+					pt.Speedup = seqSecs / pt.Seconds
+				}
+				rep.Points = append(rep.Points, pt)
+				rep.Identical = rep.Identical && pt.Identical
+				fmt.Fprintf(w, "  %-8d %-6s %-8s %10.4f %8.2fx %10d..%-6d %10v\n",
+					n, strategy, mode.name, pt.Seconds, pt.Speedup,
+					pt.MinShardEdges, pt.MaxShardEdges, pt.Identical)
+			}
+		}
+	}
+	if rep.Identical {
+		fmt.Fprintln(w, "  shape: sharded ≡ single store at every layout and floor mode ✓")
+	} else {
+		fmt.Fprintln(w, "  shape: WARNING — a sharded run diverged from its single-store reference")
+	}
+
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_sharding.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", path)
+	}
+	return nil
+}

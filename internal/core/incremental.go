@@ -286,25 +286,40 @@ func matchOn(val func(int32, int) graph.Value, e int32, d gr.Descriptor) bool {
 // toward the homophily effect l -w-> l[β]: its destination carries the LHS
 // value on every β attribute.
 func (inc *Incremental) matchHom(e int32, t *tracked) bool {
-	for a := 0; a < len(inc.g.Schema().Node); a++ {
-		if t.betaMask&(1<<uint(a)) == 0 {
+	return matchHomOn(inc.st, e, t.gr.L, t.betaMask)
+}
+
+// matchHomOn is the store-level homophily-effect row test shared by the
+// single-store and sharded delta recounts: row e's destination carries the
+// LHS value on every attribute of betaMask.
+func matchHomOn(st *store.Store, e int32, l gr.Descriptor, betaMask uint64) bool {
+	for a := 0; a < len(st.Graph().Schema().Node); a++ {
+		if betaMask&(1<<uint(a)) == 0 {
 			continue
 		}
-		lv, _ := t.gr.L.Get(a)
-		if inc.st.RVal(e, a) != lv {
+		lv, _ := l.Get(a)
+		if st.RVal(e, a) != lv {
 			return false
 		}
 	}
 	return true
 }
 
-// remineAffected re-mines exactly the first-level SFDF subtrees whose
-// (dimension, attribute, value) key appears on an inserted edge, upserting
-// every candidate found into the pool. The enumeration mirrors the
-// decomposition of parallel.go's buildTasks (root RIGHT, EDGE, and LEFT
-// blocks) so every GR of the full walk belongs to exactly one subtree.
+// remineAffected re-mines exactly the first-level SFDF subtrees an inserted
+// edge can change, upserting every candidate found into the pool.
 func (inc *Incremental) remineAffected(newIDs []int32, stats *Stats) (remined, total int) {
-	schema := inc.g.Schema()
+	return remineAffectedSubtrees(inc.st, inc.captureOpts(), newIDs, inc.upsert, stats)
+}
+
+// remineAffectedSubtrees re-mines exactly the first-level SFDF subtrees
+// whose (dimension, attribute, value) key appears on one of the store rows
+// in newIDs, feeding every candidate found to the capture hook. The
+// enumeration mirrors the decomposition of parallel.go's buildTasks (root
+// RIGHT, EDGE, and LEFT blocks) so every GR of the full walk belongs to
+// exactly one subtree. Shared by the single-store incremental engine and
+// the per-shard scoped re-mine of the sharded incremental engine.
+func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+	schema := st.Graph().Schema()
 	nv, ne := len(schema.Node), len(schema.Edge)
 	affL := make([]map[graph.Value]bool, nv)
 	affR := make([]map[graph.Value]bool, nv)
@@ -320,17 +335,17 @@ func (inc *Incremental) remineAffected(newIDs []int32, stats *Stats) (remined, t
 	}
 	for _, e := range newIDs {
 		for a := 0; a < nv; a++ {
-			mark(affL, a, inc.st.LVal(e, a))
-			mark(affR, a, inc.st.RVal(e, a))
+			mark(affL, a, st.LVal(e, a))
+			mark(affR, a, st.RVal(e, a))
 		}
 		for a := 0; a < ne; a++ {
-			mark(affW, a, inc.st.EVal(e, a))
+			mark(affW, a, st.EVal(e, a))
 		}
 	}
 
-	m := newMiner(inc.st, inc.captureOpts())
-	m.capture = inc.upsert
-	all := inc.st.AllEdges()
+	m := newMiner(st, opt)
+	m.capture = capture
+	all := st.AllEdges()
 	buf := m.buffer(1, len(all))
 
 	// Root RIGHT block: same dynamic tail order as run()'s empty-LHS rctx.

@@ -340,13 +340,10 @@ func buildTasks(m *miner) []parTask {
 // candidates are processed most-general-first against a blocker map, which
 // is exact because the static-floor collection is complete.
 func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scored {
-	list := topk.New(opt.K)
 	if opt.NoGeneralityFilter || opt.ExactGenerality {
-		for _, s := range collected {
-			list.Consider(s)
-		}
-		return list.Items()
+		return topk.MergeItems(opt.K, collected).Items()
 	}
+	list := topk.New(opt.K)
 	sort.Slice(collected, func(i, j int) bool {
 		li := len(collected[i].GR.L) + len(collected[i].GR.W)
 		lj := len(collected[j].GR.L) + len(collected[j].GR.W)

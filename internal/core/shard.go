@@ -1,0 +1,522 @@
+// Sharded top-k GR mining: partition the edge set, mine every partition as
+// an independent store, and merge the per-shard results into the exact
+// global top-k.
+//
+// Soundness rests on the same candidate-union argument the parallel engine
+// (parallel.go) and the incremental engine (incremental.go) already make,
+// lifted from subtrees to shards. Every count a metric reads — LWR, LW, Hom,
+// R, E — is an edge count, and the shards partition the edge set, so a GR's
+// global count is exactly the sum of its per-shard counts. Two consequences:
+//
+//  1. Offer completeness. A GR satisfying Definition 5 condition (1)
+//     globally has global support ≥ minSupp, so by pigeonhole at least one
+//     of the n shards holds ≥ ⌈minSupp/n⌉ of its matching edges. A shard
+//     worker therefore mines its shard with the support threshold lowered
+//     to ⌈minSupp/n⌉ and the score threshold removed (−Inf): within a
+//     shard, support is anti-monotone along the SFDF walk, so the walk
+//     reaches every GR whose shard support meets the lowered bound, and the
+//     capture hook offers each one with its exact shard counts. The union
+//     of the per-shard offers is then a superset of the global
+//     condition-(1) set. Score thresholds must NOT be applied per shard:
+//     a shard's local score neither bounds nor is bounded by the global
+//     score (the global value of a ratio metric is the count-weighted
+//     mediant of the per-shard values), and the shard holding a GR's
+//     support mass may well hold its worst-scoring edges. This is also why
+//     the coordinator cannot ship its pruning floor to the shard workers —
+//     floor updates only become applicable once counts are global, which
+//     happens on the coordinator's side of the boundary.
+//
+//  2. Exact re-scoring. The coordinator re-scores every union candidate
+//     from its summed counts (gap-filling, through the worker interface,
+//     the counts of shards that never offered the candidate) and applies
+//     condition (1) globally. The surviving set is exactly the global
+//     condition-(1) set, so the most-general-first blocker merge
+//     (mergeCandidates) decides condition (2) exactly — the argument that
+//     a complete candidate set makes the blocker filter order-independent
+//     is the same one the static-floor parallel coordinator and the
+//     incremental engine's pool merge rely on. Condition (3) is rank.
+//
+// With the generality filter disabled there is nothing to block, and the
+// re-scoring merge workers instead keep private bound-k lists guarded by
+// the shared CAS-raised floor of parallel.go: a worker's local k-th best
+// never exceeds the global k-th best, so skipping candidates below the
+// floor is sound and the final topk.Merge of the worker lists is exact.
+//
+// Like the parallel and incremental engines, a dynamic floor forces
+// ExactGenerality so the result is order-independent; Options() returns the
+// effective settings a single-store mine must use to reproduce the sharded
+// result.
+//
+// The coordinator/worker boundary is deliberately narrow — offer a
+// candidate pool, answer count queries, ingest routed edges — so the
+// in-process workers of this file can later be replaced by per-machine
+// workers without touching the merge logic. No mining state is shared
+// across the boundary; only ShardCandidate values and gr.GR queries cross
+// it.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+	"grminer/internal/topk"
+)
+
+// ShardOptions selects the sharding layout of a sharded mine.
+type ShardOptions struct {
+	// Shards is the number of edge partitions (≥ 1).
+	Shards int
+	// Strategy is the deterministic edge-routing rule; the zero value
+	// selects graph.ShardBySource.
+	Strategy graph.ShardStrategy
+}
+
+// normalize fills defaults and validates.
+func (so ShardOptions) normalize() (ShardOptions, error) {
+	if so.Shards < 1 {
+		return so, fmt.Errorf("core: shard count %d < 1", so.Shards)
+	}
+	if so.Strategy == "" {
+		so.Strategy = graph.ShardBySource
+	}
+	if _, err := graph.ParseShardStrategy(string(so.Strategy)); err != nil {
+		return so, err
+	}
+	return so, nil
+}
+
+// ShardPlan describes one sharded run: the layout plus the lowered
+// per-shard offer threshold the completeness argument licenses.
+type ShardPlan struct {
+	// Shards and Strategy echo the (normalized) ShardOptions.
+	Shards   int
+	Strategy graph.ShardStrategy
+	// ShardMinSupp is ⌈MinSupp/Shards⌉, the support threshold each shard
+	// worker mines with.
+	ShardMinSupp int
+	// Edges holds the per-shard edge counts of the current assignment.
+	Edges []int
+}
+
+// String renders the plan for CLI display.
+func (p ShardPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards: %d by %s, shard minSupp=%d, edges=[", p.Shards, p.Strategy, p.ShardMinSupp)
+	for i, e := range p.Edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ShardCandidate is one offer crossing the coordinator/worker boundary: a
+// GR together with its exact counts on the offering shard.
+type ShardCandidate struct {
+	GR     gr.GR
+	Counts metrics.Counts
+}
+
+// ShardWorker is the narrow contract one shard presents to the coordinator.
+// Implementations must answer Count for arbitrary GRs (including ones the
+// shard never offered) and must be safe for concurrent Count calls — the
+// merge workers gap-fill concurrently.
+type ShardWorker interface {
+	// NumEdges returns the shard's current edge count.
+	NumEdges() int
+	// Offer mines the shard's relaxed candidate pool: every GR whose shard
+	// support reaches the plan's ShardMinSupp, with exact shard counts and
+	// no score filtering (see the completeness argument above).
+	Offer() ([]ShardCandidate, Stats, error)
+	// Count measures one GR's exact counts on this shard (the gap-fill
+	// query for candidates other shards offered).
+	Count(g gr.GR) metrics.Counts
+}
+
+// localShard is the in-process ShardWorker: a subset store over the shard's
+// edge slice, mined by the existing sequential engine in capture mode.
+type localShard struct {
+	st      *store.Store
+	opt     Options // effective global options (metric, caps, trivial mode)
+	minSupp int     // the plan's ShardMinSupp
+}
+
+func (s *localShard) NumEdges() int { return s.st.NumEdges() }
+
+func (s *localShard) Offer() ([]ShardCandidate, Stats, error) {
+	var out []ShardCandidate
+	m := newMiner(s.st, shardOfferOpts(s.opt, s.minSupp))
+	m.capture = func(g gr.GR, c metrics.Counts, score float64) {
+		out = append(out, ShardCandidate{GR: g, Counts: c})
+	}
+	m.run()
+	return out, m.stats, nil
+}
+
+func (s *localShard) Count(g gr.GR) metrics.Counts {
+	return countOnStore(s.st, s.opt.Metric, g)
+}
+
+// appendEdges routes a batch slice into the shard (incremental ingestion);
+// it returns the shard store's new row ids.
+func (s *localShard) appendEdges(edges []int32) []int32 {
+	return s.st.AppendEdges(edges)
+}
+
+// shardOfferOpts derives the options a shard worker mines with: the lowered
+// support threshold, no score threshold, unbounded static collection, and
+// no generality machinery (the capture hook bypasses it). Metric, descriptor
+// caps, triviality and RHS-order settings pass through so the per-shard
+// enumeration space matches the single-store walk.
+func shardOfferOpts(opt Options, shardMinSupp int) Options {
+	o := opt
+	o.MinSupp = shardMinSupp
+	o.MinScore = math.Inf(-1)
+	o.K = 0
+	o.DynamicFloor = false
+	o.ExactGenerality = false
+	o.NoGeneralityFilter = false
+	o.Parallelism = 0
+	return o
+}
+
+// countOnStore measures g's exact counts on one (subset) store by a single
+// scan, filling only the fields the metric reads so gap-filled counts sum
+// consistently with in-search capture counts.
+func countOnStore(st *store.Store, m metrics.Metric, g gr.GR) metrics.Counts {
+	c := metrics.Counts{E: st.NumEdges()}
+	eff, hasBeta := g.HomophilyEffect(st.Graph().Schema())
+	needHom := m.NeedsHom && hasBeta
+	for e := int32(0); int(e) < st.NumEdges(); e++ {
+		if matchOn(st.LVal, e, g.L) && matchOn(st.EVal, e, g.W) {
+			c.LW++
+			if matchOn(st.RVal, e, g.R) {
+				c.LWR++
+			}
+			if needHom && matchOn(st.RVal, e, eff.R) {
+				c.Hom++
+			}
+		}
+		if m.NeedsR && matchOn(st.RVal, e, g.R) {
+			c.R++
+		}
+	}
+	return c
+}
+
+// shardCand is one union-pool entry: a GR with its per-shard counts. have
+// marks shards whose counts are known (offered or gap-filled); the merge
+// fills the rest through the worker interface.
+type shardCand struct {
+	gr   gr.GR
+	per  []metrics.Counts
+	have []bool
+	// betaMask is maintained only by the incremental engine for its delta
+	// recounts; the batch coordinator leaves it zero.
+	betaMask uint64
+}
+
+// ShardCoordinator owns a sharded mining run: the plan, the per-shard
+// workers, and the merge that re-assembles the exact global top-k.
+type ShardCoordinator struct {
+	plan       ShardPlan
+	opt        Options // normalized effective options
+	workers    []ShardWorker
+	totalEdges int
+}
+
+// NewShardCoordinator partitions g's edges under so, builds one subset
+// store per shard, and returns a coordinator ready to Mine. Options follow
+// MineStore, with the parallel engine's normalization: a dynamic floor
+// forces ExactGenerality so the merged result is order-independent.
+func NewShardCoordinator(g *graph.Graph, opt Options, so ShardOptions) (*ShardCoordinator, error) {
+	opt, plan, shards, err := buildShardLayout(g, opt, so)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardCoordinator{
+		plan:       plan,
+		opt:        opt,
+		workers:    make([]ShardWorker, len(shards)),
+		totalEdges: g.NumEdges(),
+	}
+	for i, sh := range shards {
+		sc.workers[i] = sh
+	}
+	return sc, nil
+}
+
+// buildShardLayout normalizes the options, partitions g, and builds the
+// in-process shard workers — the construction shared by the batch
+// coordinator and the sharded incremental engine.
+func buildShardLayout(g *graph.Graph, opt Options, so ShardOptions) (Options, ShardPlan, []*localShard, error) {
+	opt, so, err := normalizeSharded(g, opt, so)
+	if err != nil {
+		return opt, ShardPlan{}, nil, err
+	}
+	parts, err := graph.PartitionEdges(g, so.Shards, so.Strategy)
+	if err != nil {
+		return opt, ShardPlan{}, nil, err
+	}
+	plan := planFromParts(opt, so, parts)
+	shards := make([]*localShard, len(parts))
+	for i, part := range parts {
+		shards[i] = &localShard{
+			st:      store.BuildSubset(g, part),
+			opt:     opt,
+			minSupp: plan.ShardMinSupp,
+		}
+	}
+	return opt, plan, shards, nil
+}
+
+// offerAll runs every worker's offer phase concurrently (offers are
+// independent per shard) and returns the per-shard pools, stats, and
+// errors, indexed by shard.
+func offerAll(workers []ShardWorker) ([][]ShardCandidate, []Stats, []error) {
+	pools := make([][]ShardCandidate, len(workers))
+	stats := make([]Stats, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w ShardWorker) {
+			defer wg.Done()
+			pools[i], stats[i], errs[i] = w.Offer()
+		}(i, w)
+	}
+	wg.Wait()
+	return pools, stats, errs
+}
+
+// normalizeSharded applies the shared option/limit validation of a sharded
+// engine (batch coordinator and incremental alike).
+func normalizeSharded(g *graph.Graph, opt Options, so ShardOptions) (Options, ShardOptions, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return opt, so, err
+	}
+	if n := len(g.Schema().Node); n > 64 {
+		return opt, so, fmt.Errorf("core: %d node attributes exceed the supported maximum of 64", n)
+	}
+	if opt.DynamicFloor && !opt.NoGeneralityFilter {
+		// Mirror the parallel and incremental engines: order-independent
+		// blocking is what makes "sharded ≡ single store" well-defined
+		// under a dynamic floor (see Options.ExactGenerality).
+		opt.ExactGenerality = true
+	}
+	so, err = so.normalize()
+	return opt, so, err
+}
+
+// planFromParts assembles the plan for a normalized layout.
+func planFromParts(opt Options, so ShardOptions, parts [][]int32) ShardPlan {
+	p := ShardPlan{
+		Shards:       so.Shards,
+		Strategy:     so.Strategy,
+		ShardMinSupp: (opt.MinSupp + so.Shards - 1) / so.Shards,
+		Edges:        make([]int, len(parts)),
+	}
+	for i, part := range parts {
+		p.Edges[i] = len(part)
+	}
+	return p
+}
+
+// Plan returns the layout of this run.
+func (sc *ShardCoordinator) Plan() ShardPlan { return sc.plan }
+
+// Options returns the effective (normalized) options — what a single-store
+// mine must use to reproduce the sharded result.
+func (sc *ShardCoordinator) Options() Options { return sc.opt }
+
+// Mine runs the offer phase on every shard concurrently, merges the offered
+// pools, and returns the exact global top-k.
+func (sc *ShardCoordinator) Mine() (*Result, error) {
+	start := time.Now()
+	pools, shardStats, errs := offerAll(sc.workers)
+	var stats Stats
+	for i := range sc.workers {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, errs[i])
+		}
+		addStats(&stats, &shardStats[i])
+	}
+
+	pool := make(map[string]*shardCand)
+	for i, offers := range pools {
+		for _, cand := range offers {
+			key := cand.GR.Key()
+			u := pool[key]
+			if u == nil {
+				u = &shardCand{
+					gr:   cand.GR,
+					per:  make([]metrics.Counts, len(sc.workers)),
+					have: make([]bool, len(sc.workers)),
+				}
+				pool[key] = u
+			}
+			u.per[i] = cand.Counts
+			u.have[i] = true
+		}
+	}
+
+	topList := mergeShardPool(sc.opt, sc.plan.ShardMinSupp, sc.totalEdges, sc.workers, pool, &stats)
+	stats.Duration = time.Since(start)
+	return &Result{TopK: topList, Stats: stats, Options: sc.opt, TotalEdges: sc.totalEdges}, nil
+}
+
+// mergeShardPool re-scores every pool candidate from its summed per-shard
+// counts and applies Definition 5 conditions (1)-(3) globally. It is shared
+// by the batch coordinator and the sharded incremental engine. Gap-filled
+// counts are written back into the entries (each key is processed by
+// exactly one merge worker, so the writes never race).
+//
+// Gap-fill skipping: a shard that did not offer a candidate provably holds
+// at most shardMinSupp−1 of its support (the offer phase enumerates every
+// GR at or above that threshold), so a candidate whose known supports plus
+// that bound over its unknown shards cannot reach MinSupp fails condition
+// (1) without a single counting scan. This is what keeps the merge linear
+// in the qualifying set rather than in the (much larger) offered union.
+func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWorker, pool map[string]*shardCand, stats *Stats) []gr.Scored {
+	keys := make([]string, 0, len(pool))
+	for k := range pool {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	nw := opt.Parallelism
+	if nw < 1 {
+		nw = 1
+	}
+	if nw > len(keys) {
+		nw = len(keys)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	// With the generality filter off there is nothing to block: merge
+	// workers keep private bound-k lists behind the shared CAS-raised floor
+	// and the final topk.Merge is exact. With the filter on, every
+	// qualifying candidate is a potential blocker, so workers must collect
+	// all survivors for the blocker merge and the floor cannot skip any.
+	useFloor := opt.NoGeneralityFilter
+	floor := newParFloor()
+	lists := make([]*topk.List, nw)
+	survivors := make([][]gr.Scored, nw)
+	var next atomic.Int64
+	var qualifying atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		lists[wi] = topk.New(opt.K)
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				u := pool[keys[i]]
+				suppBound := 0
+				for s := range workers {
+					if u.have[s] {
+						suppBound += u.per[s].LWR
+					} else {
+						suppBound += shardMinSupp - 1
+					}
+				}
+				if suppBound < opt.MinSupp {
+					continue // cannot satisfy condition (1); skip gap-fill
+				}
+				var c metrics.Counts
+				for s, w := range workers {
+					if !u.have[s] {
+						u.per[s] = w.Count(u.gr)
+						u.have[s] = true
+					}
+					c.LWR += u.per[s].LWR
+					c.LW += u.per[s].LW
+					c.Hom += u.per[s].Hom
+					c.R += u.per[s].R
+				}
+				c.E = totalEdges
+				score := opt.Metric.Score(c)
+				if c.LWR < opt.MinSupp || !(score >= opt.MinScore) {
+					continue
+				}
+				qualifying.Add(1)
+				s := gr.Scored{GR: u.gr, Supp: c.LWR, Score: score, Conf: metrics.Conf(c)}
+				if useFloor {
+					if opt.K > 0 && score < floor.load() {
+						continue
+					}
+					if lists[wi].Consider(s) {
+						if fl, ok := lists[wi].Floor(); ok {
+							floor.raise(fl)
+						}
+					}
+				} else {
+					survivors[wi] = append(survivors[wi], s)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	// Offer-phase counters are work done at the relaxed shard thresholds;
+	// Candidates keeps its documented meaning — GRs meeting both *global*
+	// thresholds — by overwriting rather than adding (the same convention
+	// the single-store incremental assemble uses).
+	stats.Candidates = qualifying.Load()
+	if useFloor {
+		return topk.Merge(opt.K, lists...).Items()
+	}
+	var collected []gr.Scored
+	for _, sv := range survivors {
+		collected = append(collected, sv...)
+	}
+	// The survivor set is the complete global condition-(1) set, so the
+	// most-general-first blocker merge is exact (no per-candidate
+	// generalisation scans needed — clear ExactGenerality for the merge).
+	mergeOpt := opt
+	mergeOpt.ExactGenerality = false
+	return mergeCandidates(collected, mergeOpt, stats)
+}
+
+// MineSharded partitions g's edges into so.Shards shards, mines each shard
+// concurrently with the lowered offer threshold, and merges the per-shard
+// pools into the exact global top-k — the same ranked list MineStore
+// produces over a single store under the coordinator's effective options.
+func MineSharded(g *graph.Graph, opt Options, so ShardOptions) (*Result, error) {
+	sc, err := NewShardCoordinator(g, opt, so)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Mine()
+}
+
+// PlanShards previews the sharded layout MineSharded would use for g under
+// the given options, without building shard stores or mining.
+func PlanShards(g *graph.Graph, opt Options, so ShardOptions) (ShardPlan, error) {
+	opt, so, err := normalizeSharded(g, opt, so)
+	if err != nil {
+		return ShardPlan{}, err
+	}
+	parts, err := graph.PartitionEdges(g, so.Shards, so.Strategy)
+	if err != nil {
+		return ShardPlan{}, err
+	}
+	return planFromParts(opt, so, parts), nil
+}

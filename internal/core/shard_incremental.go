@@ -1,0 +1,232 @@
+// Shard-aware incremental mining: maintain the exact global top-k while
+// edge batches stream in, with every edge routed to the shard that owns it
+// under the deterministic partitioning strategy.
+//
+// The engine composes the two maintenance arguments already in the tree:
+//
+//   - Per shard, it maintains the relaxed candidate pool the batch
+//     coordinator's offer phase would produce (every GR whose shard support
+//     reaches ⌈minSupp/shards⌉, with exact per-shard counts). Because the
+//     per-shard pool is support-gated only — score thresholds are global-
+//     side — maintenance is simpler than the single-store incremental
+//     engine's: supports never decrease under insertions, so entries are
+//     never dropped, and a GR can enter a shard's pool only when an
+//     inserted edge matching its full descriptor pushes its shard support
+//     over the threshold. That edge carries the GR's first-level subtree
+//     key, so re-mining exactly the affected first-level subtrees of the
+//     owning shard (remineAffectedSubtrees, the same scoped walk the
+//     single-store engine uses) discovers every entrant. No DeltaSafe gate
+//     is needed: the lift family's global-score movement is re-evaluated at
+//     merge time from summed counts, so every metric takes the scoped path
+//     and no batch ever falls back to a full re-mine.
+//
+//   - Across shards, every Apply ends with the coordinator merge of
+//     shard.go over the maintained global pool: summed counts, global
+//     condition (1), and the exact blocker merge for conditions (2)-(3).
+//
+// Exactness: after every Apply the result equals MineSharded on the grown
+// graph, which equals a fresh single-store mine under Options(). The oracle
+// tests assert both equalities per batch for every metric and floor mode.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+)
+
+// IncrementalSharded maintains the top-k GRs of a growing network over a
+// sharded edge set. It owns the graph passed to NewIncrementalSharded
+// (edges are appended to it) and is not safe for concurrent use.
+type IncrementalSharded struct {
+	g      *graph.Graph
+	opt    Options
+	metric metrics.Metric
+	plan   ShardPlan
+	shards []*localShard
+	// workers is the ShardWorker view of shards, for the shared offer and
+	// merge machinery.
+	workers []ShardWorker
+	// pool is the maintained union of the per-shard relaxed pools: exact
+	// per-shard counts for every GR some shard's support qualifies.
+	pool map[string]*shardCand
+	last *Result
+	cum  IncStats
+}
+
+// NewIncrementalSharded partitions g's edges, builds one subset store per
+// shard, seeds the per-shard candidate pools with one offer mine each, and
+// merges them into the initial top-k. Options follow MineSharded: a dynamic
+// floor forces ExactGenerality, and Options() returns the effective
+// settings a batch mine must use to reproduce the maintained result.
+func NewIncrementalSharded(g *graph.Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
+	opt, plan, shards, err := buildShardLayout(g, opt, so)
+	if err != nil {
+		return nil, err
+	}
+	inc := &IncrementalSharded{
+		g:       g,
+		opt:     opt,
+		metric:  opt.Metric,
+		plan:    plan,
+		shards:  shards,
+		workers: make([]ShardWorker, len(shards)),
+		pool:    make(map[string]*shardCand),
+	}
+	for i, sh := range shards {
+		inc.workers[i] = sh
+	}
+
+	start := time.Now()
+	var stats Stats
+	pools, shardStats, errs := offerAll(inc.workers)
+	for i := range inc.shards {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: shard %d seed: %w", i, errs[i])
+		}
+		addStats(&stats, &shardStats[i])
+		for _, cand := range pools[i] {
+			inc.upsertShard(i, cand.GR, cand.Counts)
+		}
+	}
+	inc.last = inc.assemble(&stats, time.Since(start))
+	inc.cum.Tracked = len(inc.pool)
+	return inc, nil
+}
+
+// Options returns the engine's effective (normalized) options.
+func (inc *IncrementalSharded) Options() Options { return inc.opt }
+
+// Plan returns the sharding layout; its Edges reflect the current per-shard
+// edge counts, including every batch applied so far.
+func (inc *IncrementalSharded) Plan() ShardPlan { return inc.plan }
+
+// Result returns the current top-k (the result of the last Apply, or the
+// seed mine). The returned value is shared; callers must not mutate it.
+func (inc *IncrementalSharded) Result() *Result { return inc.last }
+
+// Cumulative returns lifetime totals across all Apply calls.
+func (inc *IncrementalSharded) Cumulative() IncStats { return inc.cum }
+
+// Apply validates the whole batch, appends it to the owned graph, routes
+// every edge to its owning shard, delta-maintains the per-shard pools, and
+// re-merges the global top-k. Like Incremental.Apply, a malformed edge
+// rejects the batch before any state changes.
+func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
+	start := time.Now()
+	for i, e := range edges {
+		if err := inc.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
+			return nil, IncStats{}, fmt.Errorf("core: batch edge %d: %w", i, err)
+		}
+	}
+	owned := make([][]int32, len(inc.shards))
+	for _, e := range edges {
+		id, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...)
+		if err != nil {
+			// Unreachable after CheckEdge; kept as an invariant guard.
+			return nil, IncStats{}, err
+		}
+		s, err := inc.g.ShardOf(inc.plan.Strategy, inc.plan.Shards, e.Src, e.Dst)
+		if err != nil {
+			return nil, IncStats{}, err
+		}
+		owned[s] = append(owned[s], int32(id))
+	}
+
+	bs := IncStats{Batches: 1, Edges: len(edges)}
+	var stats Stats
+	for s, ids := range owned {
+		if len(ids) == 0 {
+			continue
+		}
+		sh := inc.shards[s]
+		newRows := sh.appendEdges(ids)
+		inc.plan.Edges[s] = sh.NumEdges()
+		bs.Recounted += inc.recountShard(s, newRows)
+		remined, total := remineAffectedSubtrees(sh.st, shardOfferOpts(inc.opt, inc.plan.ShardMinSupp), newRows,
+			func(g gr.GR, c metrics.Counts, score float64) { inc.upsertShard(s, g, c) }, &stats)
+		bs.SubtreesRemined += remined
+		bs.SubtreesTotal += total
+	}
+	inc.last = inc.assemble(&stats, time.Since(start))
+	bs.Tracked = len(inc.pool)
+	bs.Duration = inc.last.Stats.Duration
+	inc.cum.add(bs)
+	return inc.last, bs, nil
+}
+
+// recountShard delta-updates every pool entry's counts for shard s against
+// the shard's new store rows. Entries are never dropped: per-shard pool
+// membership is support-gated and supports only grow. Entries without
+// known counts on shard s are skipped — there is nothing to delta against,
+// and the merge gap-fills them exactly if their support bound survives.
+// Returns the number of entries whose shard counts changed.
+func (inc *IncrementalSharded) recountShard(s int, newRows []int32) (recounted int) {
+	sh := inc.shards[s]
+	totalE := sh.NumEdges()
+	needHom := inc.metric.NeedsHom
+	needR := inc.metric.NeedsR
+	for _, t := range inc.pool {
+		if !t.have[s] {
+			continue
+		}
+		c := &t.per[s]
+		changed := false
+		for _, e := range newRows {
+			if matchOn(sh.st.LVal, e, t.gr.L) && matchOn(sh.st.EVal, e, t.gr.W) {
+				c.LW++
+				changed = true
+				if matchOn(sh.st.RVal, e, t.gr.R) {
+					c.LWR++
+				} else if needHom && t.betaMask != 0 && matchHomOn(sh.st, e, t.gr.L, t.betaMask) {
+					c.Hom++
+				}
+			}
+			if needR && matchOn(sh.st.RVal, e, t.gr.R) {
+				c.R++
+				changed = true
+			}
+		}
+		c.E = totalE
+		if changed {
+			recounted++
+		}
+	}
+	return recounted
+}
+
+// upsertShard records (or refreshes) one shard's exact counts for a GR.
+// Other shards' counts are NOT gap-filled here: the merge fills them lazily
+// and only for candidates whose support bound survives (see
+// mergeShardPool), which keeps pool maintenance linear in the offers. The
+// invariant the bound needs — have[s] false ⟹ shard s's support is below
+// ShardMinSupp — holds throughout: the batch that pushes a GR's support
+// over the threshold on shard s matches the GR's full descriptor there,
+// so that shard's scoped re-mine re-captures it and lands back here.
+func (inc *IncrementalSharded) upsertShard(s int, g gr.GR, c metrics.Counts) {
+	key := g.Key()
+	t := inc.pool[key]
+	if t == nil {
+		t = &shardCand{
+			gr:   g,
+			per:  make([]metrics.Counts, len(inc.shards)),
+			have: make([]bool, len(inc.shards)),
+		}
+		if inc.metric.NeedsHom {
+			t.betaMask = betaMaskOf(inc.g.Schema(), g.L, g.R)
+		}
+		inc.pool[key] = t
+	}
+	t.per[s] = c
+	t.have[s] = true
+}
+
+// assemble runs the coordinator merge over the maintained pool.
+func (inc *IncrementalSharded) assemble(stats *Stats, d time.Duration) *Result {
+	top := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumEdges(), inc.workers, inc.pool, stats)
+	stats.Duration = d
+	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.g.NumEdges()}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "fmt"
+
+// Deterministic edge partitioning for the sharded mining engine. A shard
+// strategy is a pure function of an edge's endpoints (identity and attribute
+// values) — never of edge ids, insertion order, or shard load — so that
+//
+//   - partitioning the same graph twice yields the same assignment,
+//   - an edge inserted later routes to exactly the shard a fresh partition
+//     of the grown graph would put it on (what the shard-aware incremental
+//     engine relies on), and
+//   - the assignment can be recomputed independently on any machine, which
+//     is what makes the in-process shard workers a faithful stand-in for a
+//     future multi-machine deployment.
+
+// ShardStrategy names a deterministic rule assigning every edge to a shard.
+type ShardStrategy string
+
+const (
+	// ShardBySource routes an edge by a hash of its source node id: a
+	// node's whole out-neighbourhood lives on one shard, which keeps the
+	// CSR grouping of the compact store intact per shard and gives the
+	// incremental engine a single owner for every streamed edge.
+	ShardBySource ShardStrategy = "src"
+	// ShardByRHS routes an edge by a hash of its destination node's full
+	// attribute row — the values RHS descriptors constrain. Edges that are
+	// indistinguishable to any RHS descriptor land on the same shard, so
+	// first-level RIGHT partitions are shard-pure and the per-shard RHS
+	// value distributions mirror the sharding key.
+	ShardByRHS ShardStrategy = "rhs"
+)
+
+// ParseShardStrategy maps a CLI spelling to a strategy.
+func ParseShardStrategy(s string) (ShardStrategy, error) {
+	switch ShardStrategy(s) {
+	case ShardBySource, ShardByRHS:
+		return ShardStrategy(s), nil
+	default:
+		return "", fmt.Errorf("graph: unknown shard strategy %q (want %q or %q)",
+			s, ShardBySource, ShardByRHS)
+	}
+}
+
+// fnv1a32 is the 32-bit FNV-1a hash over a value stream.
+type fnv1a32 uint32
+
+func newFNV() fnv1a32 { return 2166136261 }
+
+func (h fnv1a32) mix(v uint32) fnv1a32 {
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= fnv1a32(v>>shift) & 0xff
+		h *= 16777619
+	}
+	return h
+}
+
+// ShardOf returns the shard in [0, n) owning the edge src -> dst under the
+// given strategy. The result depends only on the endpoints, so it is stable
+// under edge insertions.
+func (g *Graph) ShardOf(strategy ShardStrategy, n int, src, dst int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("graph: shard count %d < 1", n)
+	}
+	h := newFNV()
+	switch strategy {
+	case ShardBySource:
+		h = h.mix(uint32(src))
+	case ShardByRHS:
+		for _, v := range g.NodeValues(dst) {
+			h = h.mix(uint32(v))
+		}
+	default:
+		return 0, fmt.Errorf("graph: unknown shard strategy %q", strategy)
+	}
+	return int(uint32(h) % uint32(n)), nil
+}
+
+// PartitionEdges assigns every edge of g to one of n shards and returns the
+// per-shard edge id lists. Every edge appears in exactly one list; lists
+// preserve ascending edge id order (so per-shard stores see edges in the
+// same relative order the graph does). Shards may be empty — a skewed hash,
+// a single-source graph under ShardBySource, or n exceeding the number of
+// distinct keys all legitimately produce empty shards, and the mining
+// coordinator treats an empty shard as an empty store.
+func PartitionEdges(g *Graph, n int, strategy ShardStrategy) ([][]int32, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: shard count %d < 1", n)
+	}
+	if _, err := ParseShardStrategy(string(strategy)); err != nil {
+		return nil, err
+	}
+	parts := make([][]int32, n)
+	for e := 0; e < g.NumEdges(); e++ {
+		s, err := g.ShardOf(strategy, n, g.Src(e), g.Dst(e))
+		if err != nil {
+			return nil, err
+		}
+		parts[s] = append(parts[s], int32(e))
+	}
+	return parts, nil
+}

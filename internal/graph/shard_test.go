@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func shardTestGraph(t *testing.T, seed int64, nodes, edges int) *Graph {
+	t.Helper()
+	schema, err := NewSchema([]Attribute{
+		{Name: "A", Domain: 3, Homophily: true},
+		{Name: "B", Domain: 2},
+	}, []Attribute{{Name: "W", Domain: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := MustNew(schema, nodes)
+	for v := 0; v < nodes; v++ {
+		if err := g.SetNodeValues(v, Value(r.Intn(4)), Value(r.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < edges; e++ {
+		if _, err := g.AddEdge(r.Intn(nodes), r.Intn(nodes), Value(r.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// Every edge must land in exactly one shard, lists must stay in ascending
+// edge order, and repeating the partition must reproduce it.
+func TestPartitionEdgesCompleteAndDeterministic(t *testing.T) {
+	g := shardTestGraph(t, 1, 12, 60)
+	for _, strategy := range []ShardStrategy{ShardBySource, ShardByRHS} {
+		for _, n := range []int{1, 2, 3, 8} {
+			parts, err := PartitionEdges(g, n, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parts) != n {
+				t.Fatalf("%s/%d: %d shards", strategy, n, len(parts))
+			}
+			seen := make(map[int32]bool)
+			for _, part := range parts {
+				for i, e := range part {
+					if seen[e] {
+						t.Fatalf("%s/%d: edge %d assigned twice", strategy, n, e)
+					}
+					seen[e] = true
+					if i > 0 && part[i-1] >= e {
+						t.Fatalf("%s/%d: shard not in ascending edge order", strategy, n)
+					}
+				}
+			}
+			if len(seen) != g.NumEdges() {
+				t.Fatalf("%s/%d: %d of %d edges assigned", strategy, n, len(seen), g.NumEdges())
+			}
+			again, err := PartitionEdges(g, n, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range parts {
+				if len(parts[s]) != len(again[s]) {
+					t.Fatalf("%s/%d: partition not deterministic", strategy, n)
+				}
+				for i := range parts[s] {
+					if parts[s][i] != again[s][i] {
+						t.Fatalf("%s/%d: partition not deterministic", strategy, n)
+					}
+				}
+			}
+			// ShardOf must agree with the assignment edge by edge — the
+			// property the incremental engine's routing relies on.
+			for s, part := range parts {
+				for _, e := range part {
+					got, err := g.ShardOf(strategy, n, g.Src(int(e)), g.Dst(int(e)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != s {
+						t.Fatalf("%s/%d: ShardOf(edge %d) = %d, assigned %d", strategy, n, e, got, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ShardBySource keeps a node's whole out-neighbourhood on one shard;
+// ShardByRHS keeps destinations with identical attribute rows together.
+func TestShardStrategyGrouping(t *testing.T) {
+	g := shardTestGraph(t, 2, 10, 50)
+	parts, err := PartitionEdges(g, 4, ShardBySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcShard := make(map[int]int)
+	for s, part := range parts {
+		for _, e := range part {
+			src := g.Src(int(e))
+			if prev, ok := srcShard[src]; ok && prev != s {
+				t.Fatalf("source %d split across shards %d and %d", src, prev, s)
+			}
+			srcShard[src] = s
+		}
+	}
+
+	parts, err = PartitionEdges(g, 4, ShardByRHS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowShard := make(map[[2]Value]int)
+	for s, part := range parts {
+		for _, e := range part {
+			row := g.NodeValues(g.Dst(int(e)))
+			key := [2]Value{row[0], row[1]}
+			if prev, ok := rowShard[key]; ok && prev != s {
+				t.Fatalf("destination row %v split across shards %d and %d", key, prev, s)
+			}
+			rowShard[key] = s
+		}
+	}
+}
+
+// n = 1 is the degenerate plan: everything on shard 0.
+func TestPartitionEdgesSingleShard(t *testing.T) {
+	g := shardTestGraph(t, 3, 8, 30)
+	for _, strategy := range []ShardStrategy{ShardBySource, ShardByRHS} {
+		parts, err := PartitionEdges(g, 1, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != 1 || len(parts[0]) != g.NumEdges() {
+			t.Fatalf("%s: single-shard plan did not take every edge", strategy)
+		}
+	}
+}
+
+// A single-source graph under ShardBySource concentrates every edge on one
+// shard, leaving the rest empty; an edgeless graph leaves all shards empty.
+func TestPartitionEdgesSkewAndEmpty(t *testing.T) {
+	schema, err := NewSchema([]Attribute{{Name: "A", Domain: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustNew(schema, 6)
+	for v := 0; v < 6; v++ {
+		if err := g.SetNodeValues(v, Value(v%2+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 1; d < 6; d++ {
+		if _, err := g.AddEdge(0, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, err := PartitionEdges(g, 4, ShardBySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, part := range parts {
+		if len(part) > 0 {
+			nonEmpty++
+			if len(part) != g.NumEdges() {
+				t.Fatalf("single-source shard holds %d of %d edges", len(part), g.NumEdges())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("single-source graph occupies %d shards", nonEmpty)
+	}
+
+	empty := MustNew(schema, 3)
+	parts, err = PartitionEdges(empty, 3, ShardByRHS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, part := range parts {
+		if len(part) != 0 {
+			t.Fatalf("edgeless graph put %d edges on shard %d", len(part), s)
+		}
+	}
+}
+
+// Invalid layouts and strategies are rejected.
+func TestPartitionEdgesRejectsBadInput(t *testing.T) {
+	g := shardTestGraph(t, 4, 5, 10)
+	if _, err := PartitionEdges(g, 0, ShardBySource); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := PartitionEdges(g, -1, ShardBySource); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := PartitionEdges(g, 2, "bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := g.ShardOf("bogus", 2, 0, 1); err == nil {
+		t.Error("ShardOf accepted unknown strategy")
+	}
+	if _, err := g.ShardOf(ShardBySource, 0, 0, 1); err == nil {
+		t.Error("ShardOf accepted 0 shards")
+	}
+	if _, err := ParseShardStrategy("source"); err == nil {
+		t.Error("ParseShardStrategy accepted a misspelling")
+	}
+	for _, s := range []string{"src", "rhs"} {
+		if _, err := ParseShardStrategy(s); err != nil {
+			t.Errorf("ParseShardStrategy(%q): %v", s, err)
+		}
+	}
+}

@@ -23,8 +23,19 @@ import (
 // of EArray (the CSR grouping of lInd covers only the Build-time segment —
 // nothing in the miner depends on that grouping, only on per-edge accessors),
 // and LArray/RArray grow rows for nodes whose out/in degree becomes non-zero.
+//
+// A store may also cover only a subset of its graph's edges (BuildSubset) —
+// the per-shard layout of the sharded mining engine. Subset stores are kept
+// in sync by their owner through AppendEdges with explicitly routed edge
+// ids; Append's catch-up-to-the-graph semantics apply to full stores only.
 type Store struct {
 	g *graph.Graph
+
+	// subset marks a store built over an explicit edge subset; ingested is
+	// the high-water mark of graph edge ids synced into a full store (the
+	// resume point for Append).
+	subset   bool
+	ingested int
 
 	// LArray: one row per node with out-degree > 0.
 	lNode []int32       // LArray row -> graph node id
@@ -51,14 +62,54 @@ type Store struct {
 
 // Build constructs the compact model for g.
 func Build(g *graph.Graph) *Store {
+	s := buildFrom(g, nil)
+	s.ingested = g.NumEdges()
+	return s
+}
+
+// BuildSubset constructs the compact model over the given subset of g's
+// edges (graph edge ids, ascending). The store's edge rows cover exactly
+// that subset — NumEdges is the subset size, and EdgeID maps rows back to
+// the original graph edge ids — which is the per-shard layout of the
+// sharded mining engine. Nodes inactive within the subset get no LArray or
+// RArray row. Keep a subset store in sync with AppendEdges; Append is a
+// no-op for it.
+func BuildSubset(g *graph.Graph, edges []int32) *Store {
+	if edges == nil {
+		// An empty shard: nil must mean "no edges" here, never the
+		// full-build sentinel buildFrom uses.
+		edges = []int32{}
+	}
+	s := buildFrom(g, edges)
+	s.subset = true
+	return s
+}
+
+// buildFrom builds the arrays over an edge id list; nil means every edge
+// of g (the full-build fast path, which avoids materialising an id slice).
+func buildFrom(g *graph.Graph, edges []int32) *Store {
 	s := &Store{g: g}
 	nv := len(g.Schema().Node)
 	ne := len(g.Schema().Edge)
 	n := g.NumNodes()
-	m := g.NumEdges()
+	m := len(edges)
+	if edges == nil {
+		m = g.NumEdges()
+	}
+	edgeAt := func(i int) int {
+		if edges == nil {
+			return i
+		}
+		return int(edges[i])
+	}
 
-	outDeg := g.OutDegrees()
-	inDeg := g.InDegrees()
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for i := 0; i < m; i++ {
+		e := edgeAt(i)
+		outDeg[g.Src(e)]++
+		inDeg[g.Dst(e)]++
+	}
 
 	// Assign LArray and RArray rows; nodes with zero out-degree (in-degree)
 	// do not appear in LArray (RArray) — Section IV-A notes this saving. The
@@ -107,7 +158,8 @@ func Build(g *graph.Graph) *Store {
 	}
 	cursor := make([]int32, len(s.lNode))
 	copy(cursor, s.lInd)
-	for e := 0; e < m; e++ {
+	for i := 0; i < m; i++ {
+		e := edgeAt(i)
 		src := g.Src(e)
 		row := lRow[src]
 		pos := cursor[row]
@@ -122,21 +174,39 @@ func Build(g *graph.Graph) *Store {
 	return s
 }
 
-// Append brings the store in sync with its graph after edges were appended
-// to the graph (node attribute values must not have changed). New edges are
-// appended to EArray as a tail segment in graph-edge order; nodes appearing
-// as a source (destination) for the first time gain an LArray (RArray) row.
-// It returns the EArray row ids of the newly ingested edges. Append is not
-// safe to call concurrently with readers.
+// Append brings a full store in sync with its graph after edges were
+// appended to the graph (node attribute values must not have changed). New
+// edges are appended to EArray as a tail segment in graph-edge order; nodes
+// appearing as a source (destination) for the first time gain an LArray
+// (RArray) row. It returns the EArray row ids of the newly ingested edges.
+// On a subset store Append is a no-op (the owner routes edges explicitly
+// with AppendEdges). Append is not safe to call concurrently with readers.
 func (s *Store) Append() []int32 {
-	ne := len(s.g.Schema().Edge)
-	from := s.NumEdges()
-	total := s.g.NumEdges()
-	if from >= total {
+	if s.subset {
 		return nil
 	}
-	ids := make([]int32, 0, total-from)
-	for e := from; e < total; e++ {
+	total := s.g.NumEdges()
+	if s.ingested >= total {
+		return nil
+	}
+	ids := make([]int32, 0, total-s.ingested)
+	for e := s.ingested; e < total; e++ {
+		ids = append(ids, int32(e))
+	}
+	return s.AppendEdges(ids)
+}
+
+// AppendEdges ingests the given graph edges (which must already exist in the
+// graph and not yet be in the store) as a tail segment of EArray, growing
+// LArray/RArray rows for newly active nodes. It is how a subset store — one
+// shard of a partitioned edge set — receives the edges routed to it. It
+// returns the EArray row ids of the ingested edges, in input order. Not safe
+// to call concurrently with readers.
+func (s *Store) AppendEdges(edges []int32) []int32 {
+	ne := len(s.g.Schema().Edge)
+	ids := make([]int32, 0, len(edges))
+	for _, e32 := range edges {
+		e := int(e32)
 		src, dst := s.g.Src(e), s.g.Dst(e)
 		lRow := s.lRowOf[src]
 		if lRow < 0 {
@@ -147,7 +217,7 @@ func (s *Store) Append() []int32 {
 			s.lOut = append(s.lOut, 0)
 			// The new row's edges live in the tail segment, outside the
 			// Build-time CSR; its lInd is the segment start as a best effort.
-			s.lInd = append(s.lInd, int32(from))
+			s.lInd = append(s.lInd, int32(len(s.ePtr)))
 		}
 		s.lOut[lRow]++
 		rRow := s.rRowOf[dst]
@@ -160,9 +230,12 @@ func (s *Store) Append() []int32 {
 		row := int32(len(s.ePtr))
 		s.eSrc = append(s.eSrc, lRow)
 		s.ePtr = append(s.ePtr, rRow)
-		s.eID = append(s.eID, int32(e))
+		s.eID = append(s.eID, e32)
 		if ne > 0 {
 			s.eVals = append(s.eVals, s.g.EdgeValues(e)...)
+		}
+		if e >= s.ingested {
+			s.ingested = e + 1
 		}
 		ids = append(ids, row)
 	}
@@ -219,9 +292,10 @@ func (s *Store) AllEdges() []int32 {
 }
 
 // Validate cross-checks the store against its graph; used by tests and as a
-// guard after Build on huge inputs.
+// guard after Build on huge inputs. A subset store validates only the edges
+// it covers.
 func (s *Store) Validate() error {
-	if s.NumEdges() != s.g.NumEdges() {
+	if !s.subset && s.NumEdges() != s.g.NumEdges() {
 		return fmt.Errorf("store: %d EArray rows for %d edges", s.NumEdges(), s.g.NumEdges())
 	}
 	nv := len(s.g.Schema().Node)

@@ -86,6 +86,20 @@ func ChangedFrom(prev, cur []gr.Scored) int {
 	return changed
 }
 
+// MergeItems folds loose scored slices into a bound-k list. Like Merge it is
+// exact when the groups together cover the full candidate set; the parallel
+// coordinator's post-filter ranking and the shard coordinator's survivor
+// merge both reduce to it.
+func MergeItems(k int, groups ...[]gr.Scored) *List {
+	out := New(k)
+	for _, g := range groups {
+		for _, s := range g {
+			out.Consider(s)
+		}
+	}
+	return out
+}
+
 // Merge returns a new list of bound k holding the best entries across ls.
 // Merging bound-k lists that each saw a disjoint share of a candidate
 // stream is exact: any entry of the global top-k outranks the global k-th
