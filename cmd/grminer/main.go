@@ -11,6 +11,14 @@
 //	grminer -data dblp -query "(A:DB) -[S:often]-> (A:DM)"
 //	grminer -data pokec -nodes 20000 -follow new-edges.tsv -batch 500
 //	generator | grminer -data toy -minsupp 2 -follow -
+//	grminer -data pokec -nodes 20000 -workers 127.0.0.1:9401,127.0.0.1:9402
+//
+// With -workers host:port,... the shards live on remote shardd daemons
+// (cmd/shardd): each worker receives its shard at session start and mines
+// it behind the internal/rpc protocol; a plain integer keeps the old
+// meaning of in-process parallel mining workers. Remote mining composes
+// with -follow: routed batches stream to the owning worker, which
+// maintains its own candidate pool.
 //
 // With -query the tool reports supp/conf/nhp of one GR instead of mining
 // (the hypothesis-workbench mode of the paper's Remark 3).
@@ -56,7 +64,7 @@ func main() {
 		showStats = flag.Bool("stats", false, "print search statistics")
 		out       = flag.String("out", "", "also write results to this file")
 		format    = flag.String("format", "tsv", "output file format: tsv | json")
-		workers   = flag.Int("workers", 0, "parallel mining workers (0 = sequential unless -auto)")
+		workers   = flag.String("workers", "0", "parallel mining workers (0 = sequential unless -auto), or comma-separated shardd addresses (host:port,...) to mine one shard per remote worker")
 		auto      = flag.Bool("auto", false, "auto-tune workers and descriptor caps from the input size")
 		procs     = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
 		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions from this file (\"-\" = stdin) through the incremental engine")
@@ -71,6 +79,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grminer:", err)
 		os.Exit(1)
 	}
+	// -workers is either a parallel worker count ("4") or a remote shardd
+	// address list ("host:port,host:port").
+	parWorkers, remote, err := parseWorkersFlag(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grminer:", err)
+		os.Exit(1)
+	}
+	if len(remote) > 0 {
+		if *shards > 0 && *shards != len(remote) {
+			fmt.Fprintf(os.Stderr, "grminer: -shards %d contradicts the %d addresses of -workers\n", *shards, len(remote))
+			os.Exit(1)
+		}
+		*shards = len(remote)
+	}
 	shardBySet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shard-by" {
@@ -78,7 +100,7 @@ func main() {
 		}
 	})
 	if shardBySet && *shards <= 0 {
-		fmt.Fprintln(os.Stderr, "grminer: -shard-by has no effect without -shards N (N > 0)")
+		fmt.Fprintln(os.Stderr, "grminer: -shard-by has no effect without -shards N (N > 0) or -workers")
 		os.Exit(1)
 	}
 	var shardOpt grminer.ShardOptions
@@ -118,7 +140,7 @@ func main() {
 		DynamicFloor:   *dynamic && *k > 0,
 		Metric:         m,
 		IncludeTrivial: *trivial,
-		Parallelism:    *workers,
+		Parallelism:    parWorkers,
 	}
 	if *follow != "" {
 		if *auto {
@@ -134,10 +156,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer closeIn()
-		eng, err := newEngine(g, opt, shardOpt)
+		eng, err := newEngine(g, opt, shardOpt, remote)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "grminer:", err)
 			os.Exit(1)
+		}
+		if closer, ok := eng.(interface{ Close() error }); ok {
+			defer closer.Close()
 		}
 		if err := runFollow(eng, g, m, in, *batchSize, *showStats, *out, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "grminer:", err)
@@ -152,10 +177,21 @@ func main() {
 			opt = plan.Apply(opt)
 			fmt.Println(plan)
 		}
-		sc, err := grminer.NewShardCoordinator(g, opt, shardOpt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+		var sc *grminer.ShardCoordinator
+		if len(remote) > 0 {
+			sc, err = grminer.NewRemoteShardCoordinator(g, opt, shardOpt, remote)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "grminer:", err)
+				os.Exit(1)
+			}
+			defer sc.Close()
+			fmt.Printf("remote workers: %s\n", strings.Join(remote, " "))
+		} else {
+			sc, err = grminer.NewShardCoordinator(g, opt, shardOpt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "grminer:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Println(sc.Plan())
 		res, err = sc.Mine()
@@ -182,6 +218,11 @@ func main() {
 		fmt.Printf("stats: examined=%d trivial=%d prunedSupp=%d prunedScore=%d blocked=%d partitions=%d in %v\n",
 			res.Stats.Examined, res.Stats.TrivialSeen, res.Stats.PrunedSupp,
 			res.Stats.PrunedScore, res.Stats.Blocked, res.Stats.PartitionCalls, res.Stats.Duration)
+		if res.Stats.ShardOffers > 0 {
+			fmt.Printf("shard protocol: offers=%d prunedGlobal=%d round2-requests=%d (one-round bound: %d)\n",
+				res.Stats.ShardOffers, res.Stats.PrunedGlobal,
+				res.Stats.ExactCountRequests, res.Stats.OneRoundGapFill)
+		}
 	}
 	if *out != "" {
 		if err := writeResults(res, g, *out, *format); err != nil {
@@ -201,6 +242,36 @@ func printTopK(res *grminer.Result, g *grminer.Graph, m grminer.Metric) {
 	}
 }
 
+// parseWorkersFlag splits the overloaded -workers value: a plain integer is
+// the parallel miner's worker count, anything with a ':' is a comma-
+// separated shardd address list for remote mining.
+func parseWorkersFlag(v string) (parallelism int, remote []string, err error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, nil, nil
+	}
+	if n, errInt := strconv.Atoi(v); errInt == nil {
+		if n < 0 {
+			return 0, nil, fmt.Errorf("-workers %d: negative worker count", n)
+		}
+		return n, nil, nil
+	}
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			remote = append(remote, a)
+		}
+	}
+	if len(remote) == 0 {
+		return 0, nil, fmt.Errorf("-workers %q: want a worker count or host:port addresses", v)
+	}
+	for _, a := range remote {
+		if !strings.Contains(a, ":") {
+			return 0, nil, fmt.Errorf("-workers address %q: want host:port", a)
+		}
+	}
+	return 0, remote, nil
+}
+
 // incrementalEngine is the slice of the incremental API runFollow drives;
 // the single-store engine and the sharded engine both implement it.
 type incrementalEngine interface {
@@ -210,9 +281,19 @@ type incrementalEngine interface {
 	Cumulative() grminer.IncStats
 }
 
-// newEngine seeds the incremental engine for -follow: sharded when -shards
-// is set (batches then route to the owning shard), single-store otherwise.
-func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions) (incrementalEngine, error) {
+// newEngine seeds the incremental engine for -follow: remote sharded when
+// -workers lists shardd daemons, in-process sharded when -shards is set
+// (batches then route to the owning shard), single-store otherwise.
+func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions, remote []string) (incrementalEngine, error) {
+	if len(remote) > 0 {
+		inc, err := grminer.NewIncrementalRemote(g, opt, so, remote)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("remote workers: %s\n", strings.Join(remote, " "))
+		fmt.Println(inc.Plan())
+		return inc, nil
+	}
 	if so.Shards > 0 {
 		inc, err := grminer.NewIncrementalSharded(g, opt, so)
 		if err != nil {

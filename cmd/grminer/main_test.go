@@ -104,7 +104,7 @@ func TestRunFollowStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeIn()
-	eng, err := newEngine(g, opt, grminer.ShardOptions{})
+	eng, err := newEngine(g, opt, grminer.ShardOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestRunFollowRejectsMalformedInput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{})
+		eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func TestRunFollowShardedStream(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := newEngine(g, opt, grminer.ShardOptions{Shards: 3, Strategy: strategy})
+		eng, err := newEngine(g, opt, grminer.ShardOptions{Shards: 3, Strategy: strategy}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,55 @@
+// Command shardd is a grminer shard worker daemon: it holds one shard of a
+// sharded mining deployment and serves the offer/count/ingest protocol of
+// internal/rpc to a coordinator (grminer -workers, grminer.MineRemote, or
+// grminer.NewIncrementalRemote).
+//
+// Usage:
+//
+//	shardd -listen 127.0.0.1:9401
+//
+// The daemon serves one coordinator session at a time; when a session ends
+// the shard state is discarded and the next connection starts fresh, so a
+// fleet of long-lived daemons can serve successive mining runs. The
+// coordinator ships the shard's data (schema, node table, edge slice) at
+// the start of every session — shardd needs no local data files.
+//
+// shardd exits non-zero on a malformed handshake or a version-mismatched
+// peer: a daemon that a foreign or stale client talks to is a deployment
+// error, and failing loudly beats serving wrong answers quietly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"grminer/internal/rpc"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9401", "address to serve the shard-worker protocol on")
+		quiet  = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		os.Exit(1)
+	}
+	// The resolved address matters when -listen used port 0.
+	fmt.Printf("shardd: protocol %s v%d listening on %s\n", rpc.Magic, rpc.Version, l.Addr())
+
+	logger := log.New(os.Stderr, "shardd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	if err := rpc.Serve(l, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		os.Exit(1)
+	}
+}

@@ -25,6 +25,8 @@
 package grminer
 
 import (
+	"fmt"
+
 	"grminer/internal/baseline"
 	"grminer/internal/core"
 	"grminer/internal/datagen"
@@ -35,6 +37,7 @@ import (
 	"grminer/internal/metrics"
 	"grminer/internal/propagate"
 	"grminer/internal/recommend"
+	"grminer/internal/rpc"
 	"grminer/internal/store"
 	"grminer/internal/topk"
 )
@@ -213,11 +216,65 @@ func NewShardCoordinator(g *Graph, opt Options, so ShardOptions) (*ShardCoordina
 
 // NewIncrementalSharded seeds a shard-aware incremental engine: every
 // applied EdgeInsert is routed to the shard that owns it under the plan's
-// deterministic strategy, per-shard candidate pools are delta-maintained,
-// and the global top-k is re-merged after every batch — for every metric,
-// with no full re-mine fallback. The engine owns g, like NewIncremental.
+// deterministic strategy, per-shard candidate pools are delta-maintained
+// worker-side, and the global top-k is re-merged after every batch — for
+// every metric, with no full re-mine fallback. The engine owns g, like
+// NewIncremental.
 func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
 	return core.NewIncrementalSharded(g, opt, so)
+}
+
+// MineRemote is MineSharded with every shard placed on a shardd worker
+// daemon: workers[i] (a "host:port" address) receives shard i's data and
+// mines it behind the internal/rpc protocol, and the local coordinator
+// merges the offers into the exact global top-k — identical to a
+// single-store Mine under the coordinator's effective options. The shard
+// count is len(workers); so.Shards, if non-zero, must agree. Worker
+// connections are closed before returning.
+func MineRemote(g *Graph, opt Options, so ShardOptions, workers []string) (*Result, error) {
+	sc, err := NewRemoteShardCoordinator(g, opt, so, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	return sc.Mine()
+}
+
+// NewRemoteShardCoordinator is NewShardCoordinator over shardd worker
+// daemons; callers must Close it to release the connections.
+func NewRemoteShardCoordinator(g *Graph, opt Options, so ShardOptions, workers []string) (*ShardCoordinator, error) {
+	so, err := remoteShardOptions(so, workers)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewShardCoordinatorFrom(g, opt, so, rpc.Builder(workers))
+}
+
+// NewIncrementalRemote is NewIncrementalSharded over shardd worker daemons:
+// each worker ingests its routed batch slices and maintains its own relaxed
+// candidate pool; only pool deltas and count queries cross the wire.
+// Callers must Close the engine to release the connections.
+func NewIncrementalRemote(g *Graph, opt Options, so ShardOptions, workers []string) (*IncrementalSharded, error) {
+	so, err := remoteShardOptions(so, workers)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewIncrementalShardedFrom(g, opt, so, rpc.Builder(workers))
+}
+
+// remoteShardOptions fills the shard count from the worker list and rejects
+// a contradictory explicit count.
+func remoteShardOptions(so ShardOptions, workers []string) (ShardOptions, error) {
+	if len(workers) == 0 {
+		return so, fmt.Errorf("grminer: remote mining needs at least one worker address")
+	}
+	if so.Shards == 0 {
+		so.Shards = len(workers)
+	}
+	if so.Shards != len(workers) {
+		return so, fmt.Errorf("grminer: %d shards requested but %d worker addresses given", so.Shards, len(workers))
+	}
+	return so, nil
 }
 
 // ParseGR parses the textual GR form, e.g. "(SEX:F, EDU:Grad) -> (SEX:M)".

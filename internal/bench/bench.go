@@ -99,7 +99,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
-	"incremental", "sharding",
+	"incremental", "sharding", "distributed",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -133,6 +133,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Incremental(w, cfg)
 	case "sharding":
 		return Sharding(w, cfg)
+	case "distributed":
+		return Distributed(w, cfg)
 	case "all":
 		for _, n := range Names {
 			if err := Run(n, w, cfg); err != nil {

@@ -137,6 +137,54 @@ func TestStoreSizeReport(t *testing.T) {
 	}
 }
 
+// The distributed experiment must produce identical merged results over
+// real loopback protocol workers at every layout, a round-2 exact-count
+// volume never above the one-round gap-fill baseline, and a well-formed
+// BENCH_distributed.json snapshot.
+func TestDistributedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins loopback workers and mines repeatedly")
+	}
+	cfg := tinyConfig()
+	cfg.PokecNodes = 600
+	cfg.PokecDeg = 6
+	cfg.MaxShards = 4
+	cfg.JSONDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := Distributed(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "WARNING") {
+		t.Errorf("distributed run diverged or lost the volume race:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_distributed.json"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var rep DistributedReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if !rep.Identical {
+		t.Error("top-level identical_results is false")
+	}
+	if !rep.Round2BelowOneRound {
+		t.Error("round2_below_one_round is false")
+	}
+	if rep.IncrementalBatches == 0 || len(rep.Points) == 0 {
+		t.Errorf("snapshot incomplete: %+v", rep)
+	}
+	for _, pt := range rep.Points {
+		if !pt.Identical {
+			t.Errorf("%d workers by %s (%s floor) diverged", pt.Workers, pt.Strategy, pt.Floor)
+		}
+		if pt.Round2Requests > pt.OneRoundGapFill {
+			t.Errorf("%d workers by %s (%s floor): round-2 volume %d above the one-round %d",
+				pt.Workers, pt.Strategy, pt.Floor, pt.Round2Requests, pt.OneRoundGapFill)
+		}
+	}
+}
+
 // The sharding experiment must produce identical merged results at every
 // layout and a well-formed BENCH_sharding.json snapshot.
 func TestShardingReport(t *testing.T) {

@@ -119,6 +119,18 @@ type Stats struct {
 	Blocked int64
 	// HomScans counts homophily-effect counting scans (cache misses).
 	HomScans int64
+	// PrunedGlobal counts subtrees a shard offer mine cut with the
+	// two-round protocol's OfferBound (globally unreachable support).
+	PrunedGlobal int64
+	// ShardOffers counts round-1 candidates offered across shard workers.
+	ShardOffers int64
+	// ExactCountRequests counts round-2 (candidate, shard) exact-count
+	// fetches the sharded merge issued.
+	ExactCountRequests int64
+	// OneRoundGapFill counts the (candidate, shard) fetches the PR 3
+	// one-round bound would have issued from the same pool — the baseline
+	// ExactCountRequests is measured against.
+	OneRoundGapFill int64
 	// Duration is the wall-clock mining time.
 	Duration time.Duration
 }
@@ -217,6 +229,11 @@ type miner struct {
 	// generality machinery; the incremental engine uses it to build its
 	// tracked candidate pool.
 	capture func(g gr.GR, c metrics.Counts, score float64)
+	// bound, when set (shard offer mines under the two-round protocol),
+	// additionally prunes subtrees whose GRs provably fail the *global*
+	// support threshold — the local MinSupp here is the relaxed per-shard
+	// one, so this is the only global pruning a shard walk gets.
+	bound *OfferBound
 
 	slOrder []int
 	swOrder []int
@@ -320,7 +337,12 @@ func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
 				m.stats.PrunedSupp++
 				continue
 			}
-			m.leftGroup(part, depth, lhs.With(attr, graph.Value(grp.Val)), pos)
+			lhs2 := lhs.With(attr, graph.Value(grp.Val))
+			if m.bound != nil && m.bound.prune(len(part), lhs2, nil, nil) {
+				m.stats.PrunedGlobal++
+				continue
+			}
+			m.leftGroup(part, depth, lhs2, pos)
 		}
 	}
 }
@@ -354,7 +376,12 @@ func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) 
 				m.stats.PrunedSupp++
 				continue
 			}
-			m.edgeGroup(part, depth, lhs, w.With(attr, graph.Value(grp.Val)), pos)
+			w2 := w.With(attr, graph.Value(grp.Val))
+			if m.bound != nil && m.bound.prune(len(part), lhs, w2, nil) {
+				m.stats.PrunedGlobal++
+				continue
+			}
+			m.edgeGroup(part, depth, lhs, w2, pos)
 		}
 	}
 }
@@ -415,7 +442,12 @@ func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxP
 				m.stats.PrunedSupp++
 				continue
 			}
-			m.rightGroup(rc, part, depth, rhs.With(attr, graph.Value(grp.Val)), pos)
+			rhs2 := rhs.With(attr, graph.Value(grp.Val))
+			if m.bound != nil && m.bound.prune(len(part), rc.lhs, rc.w, rhs2) {
+				m.stats.PrunedGlobal++
+				continue
+			}
+			m.rightGroup(rc, part, depth, rhs2, pos)
 		}
 	}
 }

@@ -246,6 +246,10 @@ func addStats(total, s *Stats) {
 	total.Candidates += s.Candidates
 	total.Blocked += s.Blocked
 	total.HomScans += s.HomScans
+	total.PrunedGlobal += s.PrunedGlobal
+	total.ShardOffers += s.ShardOffers
+	total.ExactCountRequests += s.ExactCountRequests
+	total.OneRoundGapFill += s.OneRoundGapFill
 }
 
 // buildTasks materialises the first-level partitions. Each partition's id

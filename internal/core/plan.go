@@ -21,7 +21,21 @@ const (
 	// engine's fixed overhead beats its win and the planner stays
 	// sequential. One unit ≈ one edge visited once per search dimension at
 	// the first level.
+	//
+	// Tuned against the measured BENCH_scaling.json crossover fields the CI
+	// equivalence gate uploads: at |E|=7200, dims=12 (work ≈ 86k) the
+	// static-floor engine never beat sequential (crossover_workers_static =
+	// 0, speedup 0.55 at 2 workers), consistent with keeping the static
+	// threshold at 2^18 ≈ 262k.
 	autoSeqWork = 1 << 18
+	// autoSeqWorkDynamic is the same crossover for dynamic-floor
+	// (GRMiner(k)) runs. The same CI artifact measured
+	// crossover_workers_dynamic = 2 at work ≈ 86k — dynamic-floor mining
+	// carries the ExactGenerality verification scans, so each unit of
+	// first-level work is heavier and parallelism amortises its overhead
+	// sooner. 2^16 ≈ 65k puts the measured crossover point on the parallel
+	// side with margin.
+	autoSeqWorkDynamic = 1 << 16
 	// autoWorkPerWorker is the work each additional worker must bring to be
 	// worth scheduling; the planner stops adding workers (before the CPU
 	// budget is reached) when tasks get thinner than this.
@@ -76,8 +90,12 @@ func PlanForSize(edges int, schema *graph.Schema, procs int, opt Options) Plan {
 		Parallelism: opt.Parallelism,
 		MaxL:        opt.MaxL, MaxW: opt.MaxW, MaxR: opt.MaxR,
 	}
+	seqWork := int64(autoSeqWork)
+	if opt.DynamicFloor {
+		seqWork = autoSeqWorkDynamic
+	}
 	switch {
-	case work < autoSeqWork:
+	case work < seqWork:
 		p.Tier = "small"
 	case work < 64*autoSeqWork:
 		p.Tier = "medium"

@@ -55,6 +55,22 @@ func TestPlanTiers(t *testing.T) {
 	}
 }
 
+// The dynamic-floor crossover is lower than the static one: the CI-measured
+// BENCH_scaling.json artifact (|E|=7200, dims=12) crossed at 2 workers
+// under a dynamic floor while the static floor never crossed, so the same
+// size must plan parallel with DynamicFloor and sequential without.
+func TestPlanDynamicFloorCrossover(t *testing.T) {
+	schema := planSchema(t, 5, 2) // dims = 12, the measured artifact's shape
+	dyn := core.PlanForSize(7200, schema, 4, core.Options{DynamicFloor: true, K: 100})
+	if dyn.Parallelism < 2 {
+		t.Errorf("measured dynamic crossover point planned %+v; want parallel", dyn)
+	}
+	static := core.PlanForSize(7200, schema, 4, core.Options{})
+	if static.Tier != "small" || static.Parallelism != 1 {
+		t.Errorf("static floor at the same size planned %+v; want sequential small tier", static)
+	}
+}
+
 func TestPlanWideSchemaCaps(t *testing.T) {
 	wide := planSchema(t, 12, 9)
 	p := core.PlanForSize(100_000, wide, 4, core.Options{})

@@ -1,40 +1,48 @@
 // Sharded top-k GR mining: partition the edge set, mine every partition as
-// an independent store, and merge the per-shard results into the exact
+// an independent worker, and merge the per-shard results into the exact
 // global top-k.
 //
 // Soundness rests on the same candidate-union argument the parallel engine
 // (parallel.go) and the incremental engine (incremental.go) already make,
 // lifted from subtrees to shards. Every count a metric reads — LWR, LW, Hom,
 // R, E — is an edge count, and the shards partition the edge set, so a GR's
-// global count is exactly the sum of its per-shard counts. Two consequences:
+// global count is exactly the sum of its per-shard counts. Consequences:
 //
 //  1. Offer completeness. A GR satisfying Definition 5 condition (1)
 //     globally has global support ≥ minSupp, so by pigeonhole at least one
-//     of the n shards holds ≥ ⌈minSupp/n⌉ of its matching edges. A shard
-//     worker therefore mines its shard with the support threshold lowered
-//     to ⌈minSupp/n⌉ and the score threshold removed (−Inf): within a
-//     shard, support is anti-monotone along the SFDF walk, so the walk
-//     reaches every GR whose shard support meets the lowered bound, and the
-//     capture hook offers each one with its exact shard counts. The union
-//     of the per-shard offers is then a superset of the global
-//     condition-(1) set. Score thresholds must NOT be applied per shard:
-//     a shard's local score neither bounds nor is bounded by the global
-//     score (the global value of a ratio metric is the count-weighted
-//     mediant of the per-shard values), and the shard holding a GR's
-//     support mass may well hold its worst-scoring edges. This is also why
-//     the coordinator cannot ship its pruning floor to the shard workers —
-//     floor updates only become applicable once counts are global, which
-//     happens on the coordinator's side of the boundary.
+//     of the n shards holds ≥ t = ⌈minSupp/n⌉ of its matching edges. A
+//     shard worker therefore mines its shard with the support threshold
+//     lowered to t and the score threshold removed (−Inf): within a shard,
+//     support is anti-monotone along the SFDF walk, so the walk reaches
+//     every GR whose shard support meets the lowered bound, and the capture
+//     hook offers each one with its exact shard counts. The union of the
+//     per-shard offers is then a superset of the global condition-(1) set.
+//     Score thresholds must NOT be applied per shard: a shard's local score
+//     neither bounds nor is bounded by the global score (the global value
+//     of a ratio metric is the count-weighted mediant of the per-shard
+//     values), and the shard holding a GR's support mass may well hold its
+//     worst-scoring edges. This is also why the coordinator cannot ship its
+//     pruning floor to the shard workers — floor updates only become
+//     applicable once counts are global, which happens on the coordinator's
+//     side of the boundary.
 //
-//  2. Exact re-scoring. The coordinator re-scores every union candidate
-//     from its summed counts (gap-filling, through the worker interface,
-//     the counts of shards that never offered the candidate) and applies
-//     condition (1) globally. The surviving set is exactly the global
-//     condition-(1) set, so the most-general-first blocker merge
-//     (mergeCandidates) decides condition (2) exactly — the argument that
-//     a complete candidate set makes the blocker filter order-independent
-//     is the same one the static-floor parallel coordinator and the
-//     incremental engine's pool merge rely on. Condition (3) is rank.
+//  2. Two-round count-then-verify. The lone-shard pigeonhole threshold is
+//     tight, and per-shard enumeration at t blows up as shards get thinner
+//     (measured in BENCH_sharding.json). The protocol therefore runs in two
+//     rounds. Round 1 (count): each worker mines its relaxed pool at t
+//     under an OfferBound derived from the coarse count sketches the
+//     coordinator collected while partitioning — subtrees whose global
+//     singleton bound or own-support-plus-others'-capacity bound falls
+//     below minSupp are cut, because every GR below them provably fails
+//     condition (1) globally (shard_worker.go carries the math; no
+//     qualifying GR is ever pruned). Round 2 (verify): the coordinator
+//     re-scores the offered union from summed counts and requests exact
+//     counts — batched per worker — only for candidates whose summed bound
+//     can still reach minSupp, where a shard that never offered a candidate
+//     contributes at most min(t−1, its sketch's singleton bound). The
+//     surviving set is exactly the global condition-(1) set, so the
+//     most-general-first blocker merge (mergeCandidates) decides condition
+//     (2) exactly; condition (3) is rank.
 //
 // With the generality filter disabled there is nothing to block, and the
 // re-scoring merge workers instead keep private bound-k lists guarded by
@@ -47,17 +55,17 @@
 // effective settings a single-store mine must use to reproduce the sharded
 // result.
 //
-// The coordinator/worker boundary is deliberately narrow — offer a
-// candidate pool, answer count queries, ingest routed edges — so the
-// in-process workers of this file can later be replaced by per-machine
-// workers without touching the merge logic. No mining state is shared
-// across the boundary; only ShardCandidate values and gr.GR queries cross
-// it.
+// The coordinator/worker boundary is the ShardWorker interface of
+// shard_worker.go — offer a candidate pool, answer batched count queries,
+// ingest routed edges — and workers are built from self-contained
+// WorkerSpec values, so the in-process deployment and the remote shardd
+// deployment (internal/rpc) drive identical worker code. No mining state is
+// shared across the boundary; only specs, bounds, ShardCandidate values,
+// and gr.GR queries cross it.
 package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -67,7 +75,6 @@ import (
 	"grminer/internal/gr"
 	"grminer/internal/graph"
 	"grminer/internal/metrics"
-	"grminer/internal/store"
 	"grminer/internal/topk"
 )
 
@@ -121,170 +128,106 @@ func (p ShardPlan) String() string {
 	return b.String()
 }
 
-// ShardCandidate is one offer crossing the coordinator/worker boundary: a
-// GR together with its exact counts on the offering shard.
-type ShardCandidate struct {
-	GR     gr.GR
-	Counts metrics.Counts
-}
-
-// ShardWorker is the narrow contract one shard presents to the coordinator.
-// Implementations must answer Count for arbitrary GRs (including ones the
-// shard never offered) and must be safe for concurrent Count calls — the
-// merge workers gap-fill concurrently.
-type ShardWorker interface {
-	// NumEdges returns the shard's current edge count.
-	NumEdges() int
-	// Offer mines the shard's relaxed candidate pool: every GR whose shard
-	// support reaches the plan's ShardMinSupp, with exact shard counts and
-	// no score filtering (see the completeness argument above).
-	Offer() ([]ShardCandidate, Stats, error)
-	// Count measures one GR's exact counts on this shard (the gap-fill
-	// query for candidates other shards offered).
-	Count(g gr.GR) metrics.Counts
-}
-
-// localShard is the in-process ShardWorker: a subset store over the shard's
-// edge slice, mined by the existing sequential engine in capture mode.
-type localShard struct {
-	st      *store.Store
-	opt     Options // effective global options (metric, caps, trivial mode)
-	minSupp int     // the plan's ShardMinSupp
-}
-
-func (s *localShard) NumEdges() int { return s.st.NumEdges() }
-
-func (s *localShard) Offer() ([]ShardCandidate, Stats, error) {
-	var out []ShardCandidate
-	m := newMiner(s.st, shardOfferOpts(s.opt, s.minSupp))
-	m.capture = func(g gr.GR, c metrics.Counts, score float64) {
-		out = append(out, ShardCandidate{GR: g, Counts: c})
-	}
-	m.run()
-	return out, m.stats, nil
-}
-
-func (s *localShard) Count(g gr.GR) metrics.Counts {
-	return countOnStore(s.st, s.opt.Metric, g)
-}
-
-// appendEdges routes a batch slice into the shard (incremental ingestion);
-// it returns the shard store's new row ids.
-func (s *localShard) appendEdges(edges []int32) []int32 {
-	return s.st.AppendEdges(edges)
-}
-
-// shardOfferOpts derives the options a shard worker mines with: the lowered
-// support threshold, no score threshold, unbounded static collection, and
-// no generality machinery (the capture hook bypasses it). Metric, descriptor
-// caps, triviality and RHS-order settings pass through so the per-shard
-// enumeration space matches the single-store walk.
-func shardOfferOpts(opt Options, shardMinSupp int) Options {
-	o := opt
-	o.MinSupp = shardMinSupp
-	o.MinScore = math.Inf(-1)
-	o.K = 0
-	o.DynamicFloor = false
-	o.ExactGenerality = false
-	o.NoGeneralityFilter = false
-	o.Parallelism = 0
-	return o
-}
-
-// countOnStore measures g's exact counts on one (subset) store by a single
-// scan, filling only the fields the metric reads so gap-filled counts sum
-// consistently with in-search capture counts.
-func countOnStore(st *store.Store, m metrics.Metric, g gr.GR) metrics.Counts {
-	c := metrics.Counts{E: st.NumEdges()}
-	eff, hasBeta := g.HomophilyEffect(st.Graph().Schema())
-	needHom := m.NeedsHom && hasBeta
-	for e := int32(0); int(e) < st.NumEdges(); e++ {
-		if matchOn(st.LVal, e, g.L) && matchOn(st.EVal, e, g.W) {
-			c.LW++
-			if matchOn(st.RVal, e, g.R) {
-				c.LWR++
-			}
-			if needHom && matchOn(st.RVal, e, eff.R) {
-				c.Hom++
-			}
-		}
-		if m.NeedsR && matchOn(st.RVal, e, g.R) {
-			c.R++
-		}
-	}
-	return c
-}
-
 // shardCand is one union-pool entry: a GR with its per-shard counts. have
-// marks shards whose counts are known (offered or gap-filled); the merge
-// fills the rest through the worker interface.
+// marks shards whose counts are known (offered, or delta-reported by a
+// worker's Ingest); the merge fetches the rest through the worker interface
+// without writing them back — a shard that never offered an entry may grow
+// its count later, so only worker-reported counts are durable.
 type shardCand struct {
 	gr   gr.GR
 	per  []metrics.Counts
 	have []bool
-	// betaMask is maintained only by the incremental engine for its delta
-	// recounts; the batch coordinator leaves it zero.
-	betaMask uint64
 }
 
 // ShardCoordinator owns a sharded mining run: the plan, the per-shard
-// workers, and the merge that re-assembles the exact global top-k.
+// workers, the coarse count sketches, and the merge that re-assembles the
+// exact global top-k.
 type ShardCoordinator struct {
 	plan       ShardPlan
 	opt        Options // normalized effective options
 	workers    []ShardWorker
+	sketches   []ShardSketch
 	totalEdges int
 }
 
-// NewShardCoordinator partitions g's edges under so, builds one subset
-// store per shard, and returns a coordinator ready to Mine. Options follow
+// NewShardCoordinator partitions g's edges under so, builds one in-process
+// worker per shard, and returns a coordinator ready to Mine. Options follow
 // MineStore, with the parallel engine's normalization: a dynamic floor
 // forces ExactGenerality so the merged result is order-independent.
 func NewShardCoordinator(g *graph.Graph, opt Options, so ShardOptions) (*ShardCoordinator, error) {
-	opt, plan, shards, err := buildShardLayout(g, opt, so)
+	return NewShardCoordinatorFrom(g, opt, so, InProcessWorkers)
+}
+
+// NewShardCoordinatorFrom is NewShardCoordinator with an explicit worker
+// builder: InProcessWorkers for the single-machine deployment, or a remote
+// builder (internal/rpc.Builder) that hands every WorkerSpec to a shardd
+// daemon. Close releases the workers.
+func NewShardCoordinatorFrom(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (*ShardCoordinator, error) {
+	opt, plan, sketches, workers, err := buildShardDeployment(g, opt, so, build)
 	if err != nil {
 		return nil, err
 	}
-	sc := &ShardCoordinator{
+	return &ShardCoordinator{
 		plan:       plan,
 		opt:        opt,
-		workers:    make([]ShardWorker, len(shards)),
+		workers:    workers,
+		sketches:   sketches,
 		totalEdges: g.NumEdges(),
-	}
-	for i, sh := range shards {
-		sc.workers[i] = sh
-	}
-	return sc, nil
+	}, nil
 }
 
-// buildShardLayout normalizes the options, partitions g, and builds the
-// in-process shard workers — the construction shared by the batch
-// coordinator and the sharded incremental engine.
-func buildShardLayout(g *graph.Graph, opt Options, so ShardOptions) (Options, ShardPlan, []*localShard, error) {
+// buildShardDeployment normalizes the options, partitions g, computes the
+// per-shard coarse count sketches, and builds one worker per shard from its
+// spec — the construction shared by the batch coordinator and the sharded
+// incremental engine. On a builder error, already-built workers are closed.
+func buildShardDeployment(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (Options, ShardPlan, []ShardSketch, []ShardWorker, error) {
 	opt, so, err := normalizeSharded(g, opt, so)
 	if err != nil {
-		return opt, ShardPlan{}, nil, err
+		return opt, ShardPlan{}, nil, nil, err
 	}
 	parts, err := graph.PartitionEdges(g, so.Shards, so.Strategy)
 	if err != nil {
-		return opt, ShardPlan{}, nil, err
+		return opt, ShardPlan{}, nil, nil, err
 	}
 	plan := planFromParts(opt, so, parts)
-	shards := make([]*localShard, len(parts))
+	sketches := make([]ShardSketch, len(parts))
+	workers := make([]ShardWorker, len(parts))
 	for i, part := range parts {
-		shards[i] = &localShard{
-			st:      store.BuildSubset(g, part),
-			opt:     opt,
-			minSupp: plan.ShardMinSupp,
+		sketches[i] = newShardSketch(g.Schema())
+		for _, e32 := range part {
+			e := int(e32)
+			sketches[i].addEdge(g.NodeValues(g.Src(e)), g.NodeValues(g.Dst(e)), g.EdgeValues(e))
 		}
+		w, err := build(buildWorkerSpec(g, opt, plan, part, i))
+		if err != nil {
+			closeWorkers(workers[:i])
+			return opt, plan, nil, nil, fmt.Errorf("core: shard %d worker: %w", i, err)
+		}
+		workers[i] = w
 	}
-	return opt, plan, shards, nil
+	return opt, plan, sketches, workers, nil
 }
 
-// offerAll runs every worker's offer phase concurrently (offers are
+// closeWorkers closes every non-nil worker, returning the first error.
+func closeWorkers(workers []ShardWorker) error {
+	var first error
+	for _, w := range workers {
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// offerAll runs every worker's offer round concurrently (offers are
 // independent per shard) and returns the per-shard pools, stats, and
-// errors, indexed by shard.
-func offerAll(workers []ShardWorker) ([][]ShardCandidate, []Stats, []error) {
+// errors, indexed by shard. bounds may be nil (the incremental seed, which
+// also seeds the workers' maintained pools) or hold one OfferBound per
+// worker (the batch protocol's round 1).
+func offerAll(workers []ShardWorker, bounds []*OfferBound) ([][]ShardCandidate, []Stats, []error) {
 	pools := make([][]ShardCandidate, len(workers))
 	stats := make([]Stats, len(workers))
 	errs := make([]error, len(workers))
@@ -293,7 +236,11 @@ func offerAll(workers []ShardWorker) ([][]ShardCandidate, []Stats, []error) {
 		wg.Add(1)
 		go func(i int, w ShardWorker) {
 			defer wg.Done()
-			pools[i], stats[i], errs[i] = w.Offer()
+			var b *OfferBound
+			if bounds != nil {
+				b = bounds[i]
+			}
+			pools[i], stats[i], errs[i] = w.Offer(b)
 		}(i, w)
 	}
 	wg.Wait()
@@ -341,11 +288,17 @@ func (sc *ShardCoordinator) Plan() ShardPlan { return sc.plan }
 // mine must use to reproduce the sharded result.
 func (sc *ShardCoordinator) Options() Options { return sc.opt }
 
-// Mine runs the offer phase on every shard concurrently, merges the offered
-// pools, and returns the exact global top-k.
+// Close releases the workers (remote connections, for a remote deployment).
+func (sc *ShardCoordinator) Close() error { return closeWorkers(sc.workers) }
+
+// Mine runs the two-round protocol: round 1 offers on every shard
+// concurrently under the sketch-derived bounds, then the merge with its
+// batched round-2 exact-count queries. The result is the exact global
+// top-k.
 func (sc *ShardCoordinator) Mine() (*Result, error) {
 	start := time.Now()
-	pools, shardStats, errs := offerAll(sc.workers)
+	bounds := buildOfferBounds(sc.opt.MinSupp, sc.sketches)
+	pools, shardStats, errs := offerAll(sc.workers, bounds)
 	var stats Stats
 	for i := range sc.workers {
 		if errs[i] != nil {
@@ -372,36 +325,124 @@ func (sc *ShardCoordinator) Mine() (*Result, error) {
 		}
 	}
 
-	topList := mergeShardPool(sc.opt, sc.plan.ShardMinSupp, sc.totalEdges, sc.workers, pool, &stats)
+	topList, err := mergeShardPool(sc.opt, sc.plan.ShardMinSupp, sc.totalEdges, sc.workers, sc.sketches, pool, &stats)
+	if err != nil {
+		return nil, err
+	}
 	stats.Duration = time.Since(start)
 	return &Result{TopK: topList, Stats: stats, Options: sc.opt, TotalEdges: sc.totalEdges}, nil
 }
 
+// mergeItem is one merge survivor: the union-pool entry plus, per shard,
+// the index of its round-2 fetched counts (-1 where the entry's counts are
+// already known). Fetched counts live beside the pool, never in it.
+type mergeItem struct {
+	u     *shardCand
+	fetch []int32
+}
+
 // mergeShardPool re-scores every pool candidate from its summed per-shard
 // counts and applies Definition 5 conditions (1)-(3) globally. It is shared
-// by the batch coordinator and the sharded incremental engine. Gap-filled
-// counts are written back into the entries (each key is processed by
-// exactly one merge worker, so the writes never race).
+// by the batch coordinator and the sharded incremental engine.
 //
-// Gap-fill skipping: a shard that did not offer a candidate provably holds
-// at most shardMinSupp−1 of its support (the offer phase enumerates every
-// GR at or above that threshold), so a candidate whose known supports plus
-// that bound over its unknown shards cannot reach MinSupp fails condition
-// (1) without a single counting scan. This is what keeps the merge linear
-// in the qualifying set rather than in the (much larger) offered union.
-func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWorker, pool map[string]*shardCand, stats *Stats) []gr.Scored {
+// Round-2 bounding: a shard that did not offer a candidate holds at most
+// t−1 = shardMinSupp−1 of its support (the offer round enumerates every GR
+// at or above that threshold; the OfferBound prune only ever removes
+// globally non-qualifying GRs, for which any rejection is correct), and at
+// most its sketch's smallest singleton count for the candidate's
+// conditions. A candidate whose known supports plus those caps cannot reach
+// MinSupp fails condition (1) without a counting scan; survivors' missing
+// counts are fetched in one batched Counts call per worker. Stats records
+// the actual (candidate, shard) fetch volume (ExactCountRequests) alongside
+// what the PR 3 one-round bound would have fetched from the same pool
+// (OneRoundGapFill) — the protocol's measured saving.
+func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWorker, sketches []ShardSketch, pool map[string]*shardCand, stats *Stats) ([]gr.Scored, error) {
 	keys := make([]string, 0, len(pool))
 	for k := range pool {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 
+	// Round-2 bound pass: pure arithmetic over known counts and sketches.
+	n := len(workers)
+	items := make([]mergeItem, 0, len(keys))
+	needs := make([][]gr.GR, n)
+	for _, key := range keys {
+		u := pool[key]
+		known := 0
+		unknown := 0
+		for s := 0; s < n; s++ {
+			if u.have[s] {
+				known += u.per[s].LWR
+			} else {
+				unknown++
+			}
+		}
+		if known+(shardMinSupp-1)*unknown >= opt.MinSupp {
+			stats.OneRoundGapFill += int64(unknown)
+		}
+		bound := known
+		for s := 0; s < n; s++ {
+			if u.have[s] {
+				continue
+			}
+			slack := shardMinSupp - 1
+			if ms := sketches[s].minSingle(u.gr); ms < slack {
+				slack = ms
+			}
+			bound += slack
+		}
+		if bound < opt.MinSupp {
+			continue // cannot satisfy condition (1); skip the verify round
+		}
+		it := mergeItem{u: u}
+		if unknown > 0 {
+			it.fetch = make([]int32, n)
+			for s := 0; s < n; s++ {
+				it.fetch[s] = -1
+				// A shard whose sketch proves it cannot contribute to any
+				// count the metric reads is taken as zero without a fetch
+				// (fetch index stays -1).
+				if !u.have[s] && sketches[s].contributes(opt.Metric, u.gr) {
+					it.fetch[s] = int32(len(needs[s]))
+					needs[s] = append(needs[s], u.gr)
+					stats.ExactCountRequests++
+				}
+			}
+		}
+		items = append(items, it)
+	}
+
+	// Round-2 fetch pass: one batched exact-count query per worker.
+	fetched := make([][]metrics.Counts, n)
+	fetchErrs := make([]error, n)
+	var fwg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		if len(needs[s]) == 0 {
+			continue
+		}
+		fwg.Add(1)
+		go func(s int) {
+			defer fwg.Done()
+			fetched[s], fetchErrs[s] = workers[s].Counts(needs[s])
+		}(s)
+	}
+	fwg.Wait()
+	for s, err := range fetchErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d exact counts: %w", s, err)
+		}
+		if len(needs[s]) > 0 && len(fetched[s]) != len(needs[s]) {
+			return nil, fmt.Errorf("core: shard %d returned %d counts for %d queries", s, len(fetched[s]), len(needs[s]))
+		}
+	}
+
 	nw := opt.Parallelism
 	if nw < 1 {
 		nw = 1
 	}
-	if nw > len(keys) {
-		nw = len(keys)
+	if nw > len(items) {
+		nw = len(items)
 	}
 	if nw < 1 {
 		nw = 1
@@ -425,31 +466,23 @@ func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWo
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(keys) {
+				if i >= len(items) {
 					return
 				}
-				u := pool[keys[i]]
-				suppBound := 0
-				for s := range workers {
-					if u.have[s] {
-						suppBound += u.per[s].LWR
-					} else {
-						suppBound += shardMinSupp - 1
-					}
-				}
-				if suppBound < opt.MinSupp {
-					continue // cannot satisfy condition (1); skip gap-fill
-				}
+				it := items[i]
 				var c metrics.Counts
-				for s, w := range workers {
-					if !u.have[s] {
-						u.per[s] = w.Count(u.gr)
-						u.have[s] = true
+				for s := 0; s < n; s++ {
+					per := it.u.per[s]
+					if !it.u.have[s] {
+						if it.fetch[s] < 0 {
+							continue // provably zero contribution, never fetched
+						}
+						per = fetched[s][it.fetch[s]]
 					}
-					c.LWR += u.per[s].LWR
-					c.LW += u.per[s].LW
-					c.Hom += u.per[s].Hom
-					c.R += u.per[s].R
+					c.LWR += per.LWR
+					c.LW += per.LW
+					c.Hom += per.Hom
+					c.R += per.R
 				}
 				c.E = totalEdges
 				score := opt.Metric.Score(c)
@@ -457,7 +490,7 @@ func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWo
 					continue
 				}
 				qualifying.Add(1)
-				s := gr.Scored{GR: u.gr, Supp: c.LWR, Score: score, Conf: metrics.Conf(c)}
+				s := gr.Scored{GR: it.u.gr, Supp: c.LWR, Score: score, Conf: metrics.Conf(c)}
 				if useFloor {
 					if opt.K > 0 && score < floor.load() {
 						continue
@@ -475,13 +508,13 @@ func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWo
 	}
 	wg.Wait()
 
-	// Offer-phase counters are work done at the relaxed shard thresholds;
+	// Offer-round counters are work done at the relaxed shard thresholds;
 	// Candidates keeps its documented meaning — GRs meeting both *global*
 	// thresholds — by overwriting rather than adding (the same convention
 	// the single-store incremental assemble uses).
 	stats.Candidates = qualifying.Load()
 	if useFloor {
-		return topk.Merge(opt.K, lists...).Items()
+		return topk.Merge(opt.K, lists...).Items(), nil
 	}
 	var collected []gr.Scored
 	for _, sv := range survivors {
@@ -492,13 +525,13 @@ func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWo
 	// generalisation scans needed — clear ExactGenerality for the merge).
 	mergeOpt := opt
 	mergeOpt.ExactGenerality = false
-	return mergeCandidates(collected, mergeOpt, stats)
+	return mergeCandidates(collected, mergeOpt, stats), nil
 }
 
 // MineSharded partitions g's edges into so.Shards shards, mines each shard
-// concurrently with the lowered offer threshold, and merges the per-shard
-// pools into the exact global top-k — the same ranked list MineStore
-// produces over a single store under the coordinator's effective options.
+// concurrently with the two-round protocol, and merges the per-shard pools
+// into the exact global top-k — the same ranked list MineStore produces
+// over a single store under the coordinator's effective options.
 func MineSharded(g *graph.Graph, opt Options, so ShardOptions) (*Result, error) {
 	sc, err := NewShardCoordinator(g, opt, so)
 	if err != nil {

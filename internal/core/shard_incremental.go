@@ -1,28 +1,42 @@
 // Shard-aware incremental mining: maintain the exact global top-k while
 // edge batches stream in, with every edge routed to the shard that owns it
-// under the deterministic partitioning strategy.
+// under the deterministic partitioning strategy — and with all per-shard
+// pool maintenance on the worker's side of the ShardWorker boundary, so the
+// engine drives remote shardd workers exactly like in-process ones.
 //
 // The engine composes the two maintenance arguments already in the tree:
 //
-//   - Per shard, it maintains the relaxed candidate pool the batch
-//     coordinator's offer phase would produce (every GR whose shard support
-//     reaches ⌈minSupp/shards⌉, with exact per-shard counts). Because the
-//     per-shard pool is support-gated only — score thresholds are global-
-//     side — maintenance is simpler than the single-store incremental
-//     engine's: supports never decrease under insertions, so entries are
-//     never dropped, and a GR can enter a shard's pool only when an
-//     inserted edge matching its full descriptor pushes its shard support
-//     over the threshold. That edge carries the GR's first-level subtree
-//     key, so re-mining exactly the affected first-level subtrees of the
-//     owning shard (remineAffectedSubtrees, the same scoped walk the
-//     single-store engine uses) discovers every entrant. No DeltaSafe gate
-//     is needed: the lift family's global-score movement is re-evaluated at
-//     merge time from summed counts, so every metric takes the scoped path
-//     and no batch ever falls back to a full re-mine.
+//   - Per shard, the worker maintains the relaxed candidate pool its seed
+//     offer produced (every GR whose shard support reaches ⌈minSupp/shards⌉,
+//     with exact per-shard counts). Because the per-shard pool is
+//     support-gated only — score thresholds are global-side — maintenance
+//     is simpler than the single-store incremental engine's: supports never
+//     decrease under insertions, so entries are never dropped, and a GR can
+//     enter a shard's pool only when an inserted edge matching its full
+//     descriptor pushes its shard support over the threshold. That edge
+//     carries the GR's first-level subtree key, so re-mining exactly the
+//     affected first-level subtrees of the owning shard (the same scoped
+//     walk the single-store engine uses, now run inside WorkerState.Ingest)
+//     discovers every entrant. No DeltaSafe gate is needed: the lift
+//     family's global-score movement is re-evaluated at merge time from
+//     summed counts, so every metric takes the scoped path and no batch
+//     ever falls back to a full re-mine. The worker replies with the pool
+//     deltas — every entry the batch touched — and the coordinator's union
+//     pool mirrors the worker pools without ever reading shard-local state.
 //
 //   - Across shards, every Apply ends with the coordinator merge of
 //     shard.go over the maintained global pool: summed counts, global
-//     condition (1), and the exact blocker merge for conditions (2)-(3).
+//     condition (1) with the sketch-capped round-2 bound, and the exact
+//     blocker merge for conditions (2)-(3). The coordinator keeps the
+//     per-shard coarse count sketches fresh itself while routing (it sees
+//     every edge), so no extra round trip is spent on them.
+//
+// The maintained per-shard pools deliberately omit the batch protocol's
+// OfferBound prune: a bound derived from a past edge set can rise as other
+// shards grow, which would demand re-widening pruned subtrees. The
+// merge-side sketch caps — always computed from the current sketches, and
+// valid as pure upper bounds regardless of how the pools were built —
+// recover the round-2 saving for the incremental path too.
 //
 // Exactness: after every Apply the result equals MineSharded on the grown
 // graph, which equals a fresh single-store mine under Options(). The oracle
@@ -31,9 +45,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
-	"grminer/internal/gr"
 	"grminer/internal/graph"
 	"grminer/internal/metrics"
 )
@@ -42,57 +56,71 @@ import (
 // sharded edge set. It owns the graph passed to NewIncrementalSharded
 // (edges are appended to it) and is not safe for concurrent use.
 type IncrementalSharded struct {
-	g      *graph.Graph
-	opt    Options
-	metric metrics.Metric
-	plan   ShardPlan
-	shards []*localShard
-	// workers is the ShardWorker view of shards, for the shared offer and
-	// merge machinery.
-	workers []ShardWorker
+	g        *graph.Graph
+	opt      Options
+	plan     ShardPlan
+	workers  []ShardWorker
+	sketches []ShardSketch
 	// pool is the maintained union of the per-shard relaxed pools: exact
-	// per-shard counts for every GR some shard's support qualifies.
+	// per-shard counts for every GR some shard's support qualifies,
+	// assembled purely from worker offers and ingest deltas.
 	pool map[string]*shardCand
 	last *Result
 	cum  IncStats
+	// broken poisons the engine after a failure past the point of no
+	// return: once the owned graph has grown, a worker that failed to
+	// ingest (a dropped remote connection, a restarted daemon) holds less
+	// than its slice, and any later merge would silently under-count. All
+	// further Applies are refused instead.
+	broken error
 }
 
-// NewIncrementalSharded partitions g's edges, builds one subset store per
-// shard, seeds the per-shard candidate pools with one offer mine each, and
+// NewIncrementalSharded partitions g's edges, builds one in-process worker
+// per shard, seeds the per-shard candidate pools with one offer round, and
 // merges them into the initial top-k. Options follow MineSharded: a dynamic
 // floor forces ExactGenerality, and Options() returns the effective
 // settings a batch mine must use to reproduce the maintained result.
 func NewIncrementalSharded(g *graph.Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
-	opt, plan, shards, err := buildShardLayout(g, opt, so)
+	return NewIncrementalShardedFrom(g, opt, so, InProcessWorkers)
+}
+
+// NewIncrementalShardedFrom is NewIncrementalSharded with an explicit
+// worker builder (internal/rpc.Builder places every shard on a shardd
+// daemon). Close releases the workers.
+func NewIncrementalShardedFrom(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (*IncrementalSharded, error) {
+	opt, plan, sketches, workers, err := buildShardDeployment(g, opt, so, build)
 	if err != nil {
 		return nil, err
 	}
 	inc := &IncrementalSharded{
-		g:       g,
-		opt:     opt,
-		metric:  opt.Metric,
-		plan:    plan,
-		shards:  shards,
-		workers: make([]ShardWorker, len(shards)),
-		pool:    make(map[string]*shardCand),
-	}
-	for i, sh := range shards {
-		inc.workers[i] = sh
+		g:        g,
+		opt:      opt,
+		plan:     plan,
+		workers:  workers,
+		sketches: sketches,
+		pool:     make(map[string]*shardCand),
 	}
 
 	start := time.Now()
 	var stats Stats
-	pools, shardStats, errs := offerAll(inc.workers)
-	for i := range inc.shards {
+	// A nil bound asks each worker for its plain pigeonhole pool AND seeds
+	// the worker-side maintained pool Ingest delta-updates from now on.
+	pools, shardStats, errs := offerAll(inc.workers, nil)
+	for i := range inc.workers {
 		if errs[i] != nil {
+			inc.Close()
 			return nil, fmt.Errorf("core: shard %d seed: %w", i, errs[i])
 		}
 		addStats(&stats, &shardStats[i])
 		for _, cand := range pools[i] {
-			inc.upsertShard(i, cand.GR, cand.Counts)
+			inc.upsertShard(i, cand)
 		}
 	}
-	inc.last = inc.assemble(&stats, time.Since(start))
+	inc.last, err = inc.assemble(&stats, time.Since(start))
+	if err != nil {
+		inc.Close()
+		return nil, err
+	}
 	inc.cum.Tracked = len(inc.pool)
 	return inc, nil
 }
@@ -111,21 +139,32 @@ func (inc *IncrementalSharded) Result() *Result { return inc.last }
 // Cumulative returns lifetime totals across all Apply calls.
 func (inc *IncrementalSharded) Cumulative() IncStats { return inc.cum }
 
+// Close releases the workers (remote connections, for a remote deployment).
+func (inc *IncrementalSharded) Close() error { return closeWorkers(inc.workers) }
+
 // Apply validates the whole batch, appends it to the owned graph, routes
-// every edge to its owning shard, delta-maintains the per-shard pools, and
-// re-merges the global top-k. Like Incremental.Apply, a malformed edge
-// rejects the batch before any state changes.
+// every edge to its owning shard, hands each worker its slice to ingest
+// (worker-side pool maintenance), applies the returned deltas to the union
+// pool, and re-merges the global top-k. Like Incremental.Apply, a malformed
+// edge rejects the batch before any state changes. A failure *after* the
+// graph has grown — a worker that could not ingest its slice, which only a
+// remote transport can produce — permanently poisons the engine: the
+// coordinator and that worker now disagree on the edge set, so every
+// further Apply returns the original error instead of a silently
+// under-counted result.
 func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
+	if inc.broken != nil {
+		return nil, IncStats{}, fmt.Errorf("core: sharded incremental engine unusable after earlier failure: %w", inc.broken)
+	}
 	start := time.Now()
 	for i, e := range edges {
 		if err := inc.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			return nil, IncStats{}, fmt.Errorf("core: batch edge %d: %w", i, err)
 		}
 	}
-	owned := make([][]int32, len(inc.shards))
+	owned := make([][]EdgeInsert, len(inc.workers))
 	for _, e := range edges {
-		id, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...)
-		if err != nil {
+		if _, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			// Unreachable after CheckEdge; kept as an invariant guard.
 			return nil, IncStats{}, err
 		}
@@ -133,100 +172,91 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 		if err != nil {
 			return nil, IncStats{}, err
 		}
-		owned[s] = append(owned[s], int32(id))
+		owned[s] = append(owned[s], e)
+		// The coordinator routes every edge, so it keeps the coarse count
+		// sketches fresh without a round trip.
+		inc.sketches[s].addEdge(inc.g.NodeValues(e.Src), inc.g.NodeValues(e.Dst), e.Vals)
 	}
 
 	bs := IncStats{Batches: 1, Edges: len(edges)}
-	var stats Stats
-	for s, ids := range owned {
-		if len(ids) == 0 {
+	replies := make([]IngestReply, len(inc.workers))
+	ingErrs := make([]error, len(inc.workers))
+	var wg sync.WaitGroup
+	for s := range inc.workers {
+		if len(owned[s]) == 0 {
 			continue
 		}
-		sh := inc.shards[s]
-		newRows := sh.appendEdges(ids)
-		inc.plan.Edges[s] = sh.NumEdges()
-		bs.Recounted += inc.recountShard(s, newRows)
-		remined, total := remineAffectedSubtrees(sh.st, shardOfferOpts(inc.opt, inc.plan.ShardMinSupp), newRows,
-			func(g gr.GR, c metrics.Counts, score float64) { inc.upsertShard(s, g, c) }, &stats)
-		bs.SubtreesRemined += remined
-		bs.SubtreesTotal += total
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			replies[s], ingErrs[s] = inc.workers[s].Ingest(owned[s])
+		}(s)
 	}
-	inc.last = inc.assemble(&stats, time.Since(start))
+	wg.Wait()
+	var stats Stats
+	for s := range inc.workers {
+		if len(owned[s]) == 0 {
+			continue
+		}
+		if ingErrs[s] != nil {
+			inc.broken = fmt.Errorf("core: shard %d ingest: %w", s, ingErrs[s])
+			return nil, IncStats{}, inc.broken
+		}
+		rep := replies[s]
+		inc.plan.Edges[s] = rep.NumEdges
+		bs.Recounted += rep.Recounted
+		bs.SubtreesRemined += rep.SubtreesRemined
+		bs.SubtreesTotal += rep.SubtreesTotal
+		addStats(&stats, &rep.Stats)
+		for _, cand := range rep.Deltas {
+			inc.upsertShard(s, cand)
+		}
+	}
+	var err error
+	inc.last, err = inc.assemble(&stats, time.Since(start))
+	if err != nil {
+		// The batch is already ingested everywhere; only the merge's
+		// round-2 fetch can fail here, and retrying it needs worker state
+		// this engine can no longer trust.
+		inc.broken = err
+		return nil, IncStats{}, err
+	}
 	bs.Tracked = len(inc.pool)
 	bs.Duration = inc.last.Stats.Duration
 	inc.cum.add(bs)
 	return inc.last, bs, nil
 }
 
-// recountShard delta-updates every pool entry's counts for shard s against
-// the shard's new store rows. Entries are never dropped: per-shard pool
-// membership is support-gated and supports only grow. Entries without
-// known counts on shard s are skipped — there is nothing to delta against,
-// and the merge gap-fills them exactly if their support bound survives.
-// Returns the number of entries whose shard counts changed.
-func (inc *IncrementalSharded) recountShard(s int, newRows []int32) (recounted int) {
-	sh := inc.shards[s]
-	totalE := sh.NumEdges()
-	needHom := inc.metric.NeedsHom
-	needR := inc.metric.NeedsR
-	for _, t := range inc.pool {
-		if !t.have[s] {
-			continue
-		}
-		c := &t.per[s]
-		changed := false
-		for _, e := range newRows {
-			if matchOn(sh.st.LVal, e, t.gr.L) && matchOn(sh.st.EVal, e, t.gr.W) {
-				c.LW++
-				changed = true
-				if matchOn(sh.st.RVal, e, t.gr.R) {
-					c.LWR++
-				} else if needHom && t.betaMask != 0 && matchHomOn(sh.st, e, t.gr.L, t.betaMask) {
-					c.Hom++
-				}
-			}
-			if needR && matchOn(sh.st.RVal, e, t.gr.R) {
-				c.R++
-				changed = true
-			}
-		}
-		c.E = totalE
-		if changed {
-			recounted++
-		}
-	}
-	return recounted
-}
-
 // upsertShard records (or refreshes) one shard's exact counts for a GR.
-// Other shards' counts are NOT gap-filled here: the merge fills them lazily
+// Other shards' counts are NOT fetched here: the merge requests them lazily
 // and only for candidates whose support bound survives (see
-// mergeShardPool), which keeps pool maintenance linear in the offers. The
+// mergeShardPool), which keeps pool maintenance linear in the deltas. The
 // invariant the bound needs — have[s] false ⟹ shard s's support is below
 // ShardMinSupp — holds throughout: the batch that pushes a GR's support
-// over the threshold on shard s matches the GR's full descriptor there,
-// so that shard's scoped re-mine re-captures it and lands back here.
-func (inc *IncrementalSharded) upsertShard(s int, g gr.GR, c metrics.Counts) {
-	key := g.Key()
+// over the threshold on shard s matches the GR's full descriptor there, so
+// that shard's scoped re-mine re-captures it and the delta lands back here.
+func (inc *IncrementalSharded) upsertShard(s int, cand ShardCandidate) {
+	key := cand.GR.Key()
 	t := inc.pool[key]
 	if t == nil {
 		t = &shardCand{
-			gr:   g,
-			per:  make([]metrics.Counts, len(inc.shards)),
-			have: make([]bool, len(inc.shards)),
-		}
-		if inc.metric.NeedsHom {
-			t.betaMask = betaMaskOf(inc.g.Schema(), g.L, g.R)
+			gr:   cand.GR,
+			per:  make([]metrics.Counts, len(inc.workers)),
+			have: make([]bool, len(inc.workers)),
 		}
 		inc.pool[key] = t
 	}
-	t.per[s] = c
+	t.per[s] = cand.Counts
 	t.have[s] = true
 }
 
-// assemble runs the coordinator merge over the maintained pool.
-func (inc *IncrementalSharded) assemble(stats *Stats, d time.Duration) *Result {
-	top := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumEdges(), inc.workers, inc.pool, stats)
+// assemble runs the coordinator merge (with its round-2 exact-count
+// fetches) over the maintained pool.
+func (inc *IncrementalSharded) assemble(stats *Stats, d time.Duration) (*Result, error) {
+	top, err := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumEdges(), inc.workers, inc.sketches, inc.pool, stats)
+	if err != nil {
+		return nil, err
+	}
 	stats.Duration = d
-	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.g.NumEdges()}
+	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.g.NumEdges()}, nil
 }

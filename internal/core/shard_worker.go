@@ -1,0 +1,671 @@
+// The ShardWorker boundary: the narrow, wire-able contract one shard of a
+// sharded mining deployment presents to its coordinator.
+//
+// PR 3 proved the offer/count split exact but kept both sides in one
+// process, with the coordinator reaching into shard-local stores. This file
+// makes the boundary explicit and transportable:
+//
+//   - WorkerSpec is the complete, self-contained description of one shard —
+//     schema, node attribute rows, the shard's edges, and the effective
+//     mining options in wire form (metric by name, not by function pointer).
+//     A worker built from a spec owns a private graph and store; nothing is
+//     shared with the coordinator, so the same WorkerState code serves both
+//     the in-process workers and the shardd daemon behind internal/rpc.
+//
+//   - ShardSketch is the "coarse counts" half of the two-round protocol:
+//     per-(attribute, value) first-level edge histograms. The coordinator
+//     computes one per shard while partitioning (and keeps them fresh while
+//     routing incremental batches), sums them into global singleton
+//     supports, and derives each worker's OfferBound.
+//
+//   - OfferBound raises a shard's effective offer threshold. The pigeonhole
+//     threshold t = ⌈minSupp/shards⌉ is tight for a lone shard, but global
+//     knowledge prunes further: for a pattern g with condition set C mined
+//     on shard i,
+//
+//     supp_global(g) ≤ min_{c∈C} H(c)                  (global rarity)
+//     supp_global(g) ≤ s_i(g) + min_{c∈C} Σ_{j≠i} H_j(c) (others' capacity)
+//
+//     where H_j(c) is shard j's singleton count for condition c and
+//     H = Σ_j H_j. Both right-hand sides only shrink as C grows and as the
+//     walk descends (s_i bounded by the current partition size), so either
+//     bound dipping below minSupp soundly prunes the whole subtree: every
+//     GR below it fails Definition 5 condition (1) globally. A qualifying
+//     GR is never pruned — its true global support lower-bounds every
+//     bound — so the offer-union completeness argument of shard.go
+//     survives: on the shard holding ≥ t of its support, a qualifying GR
+//     is offered. The effective local threshold this induces,
+//     max(t, minSupp − min_{c∈C} Σ_{j≠i} H_j(c)), rises exactly when
+//     shards get thin — the enumeration blow-up BENCH_sharding.json
+//     measured for the one-round protocol.
+//
+//   - Ingest moves incremental pool maintenance worker-side: a worker
+//     ingests its routed batch slice into its private graph/store, delta-
+//     recounts its own relaxed pool, re-mines the affected first-level
+//     subtrees, and replies with the pool deltas. The coordinator never
+//     reads shard-local state; only EdgeInsert batches go down and
+//     ShardCandidate deltas come back. (The incremental pool is maintained
+//     WITHOUT the OfferBound prune: bounds derived from a past edge set can
+//     rise as other shards grow, so a seed-time prune could hide an entry a
+//     later batch promotes. The bound is a batch-mine optimisation; the
+//     merge-side caps below recover most of the saving for the maintained
+//     pool too.)
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/store"
+)
+
+// WireOptions is Options in a transport-friendly form: the metric travels by
+// name, everything else by value. The zero Metric name means nhp.
+type WireOptions struct {
+	MinSupp            int
+	MinScore           float64
+	K                  int
+	DynamicFloor       bool
+	Metric             string
+	MaxL, MaxW, MaxR   int
+	NoGeneralityFilter bool
+	IncludeTrivial     bool
+	ExactGenerality    bool
+	StaticRHSOrder     bool
+	Parallelism        int
+}
+
+// Wire converts Options to its wire form.
+func (o Options) Wire() WireOptions {
+	return WireOptions{
+		MinSupp: o.MinSupp, MinScore: o.MinScore, K: o.K,
+		DynamicFloor: o.DynamicFloor, Metric: o.Metric.Name,
+		MaxL: o.MaxL, MaxW: o.MaxW, MaxR: o.MaxR,
+		NoGeneralityFilter: o.NoGeneralityFilter,
+		IncludeTrivial:     o.IncludeTrivial,
+		ExactGenerality:    o.ExactGenerality,
+		StaticRHSOrder:     o.StaticRHSOrder,
+		Parallelism:        o.Parallelism,
+	}
+}
+
+// Options resolves the wire form back to Options (metric looked up by name).
+func (w WireOptions) Options() (Options, error) {
+	o := Options{
+		MinSupp: w.MinSupp, MinScore: w.MinScore, K: w.K,
+		DynamicFloor: w.DynamicFloor,
+		MaxL:         w.MaxL, MaxW: w.MaxW, MaxR: w.MaxR,
+		NoGeneralityFilter: w.NoGeneralityFilter,
+		IncludeTrivial:     w.IncludeTrivial,
+		ExactGenerality:    w.ExactGenerality,
+		StaticRHSOrder:     w.StaticRHSOrder,
+		Parallelism:        w.Parallelism,
+	}
+	if w.Metric != "" {
+		m, err := metrics.ByName(w.Metric)
+		if err != nil {
+			return o, err
+		}
+		o.Metric = m
+	}
+	return o, nil
+}
+
+// WorkerSpec is the self-contained description of one shard: everything a
+// worker — in-process or a shardd daemon across a socket — needs to build
+// its private graph and store. All fields are value types so the spec
+// gob-encodes without registration.
+type WorkerSpec struct {
+	// NodeAttrs / EdgeAttrs reconstruct the schema.
+	NodeAttrs []graph.Attribute
+	EdgeAttrs []graph.Attribute
+	// NumNodes and NodeVals (row-major NumNodes × len(NodeAttrs)) carry the
+	// full node table: workers share the coordinator's node id space so
+	// routed EdgeInsert batches need no translation.
+	NumNodes int
+	NodeVals []graph.Value
+	// EdgeSrc/EdgeDst/EdgeVals (row-major × len(EdgeAttrs)) are the shard's
+	// edges, in ascending global edge order.
+	EdgeSrc  []int32
+	EdgeDst  []int32
+	EdgeVals []graph.Value
+	// Opt carries the coordinator's effective (normalized) global options.
+	Opt WireOptions
+	// ShardMinSupp is the pigeonhole offer threshold t = ⌈MinSupp/Shards⌉.
+	ShardMinSupp int
+	// Index and Shards locate this worker in the layout.
+	Index, Shards int
+}
+
+// buildWorkerSpec assembles the spec for shard idx of a partitioned graph.
+func buildWorkerSpec(g *graph.Graph, opt Options, plan ShardPlan, part []int32, idx int) WorkerSpec {
+	schema := g.Schema()
+	nv, ne := len(schema.Node), len(schema.Edge)
+	spec := WorkerSpec{
+		NodeAttrs:    append([]graph.Attribute(nil), schema.Node...),
+		EdgeAttrs:    append([]graph.Attribute(nil), schema.Edge...),
+		NumNodes:     g.NumNodes(),
+		NodeVals:     make([]graph.Value, g.NumNodes()*nv),
+		EdgeSrc:      make([]int32, len(part)),
+		EdgeDst:      make([]int32, len(part)),
+		Opt:          opt.Wire(),
+		ShardMinSupp: plan.ShardMinSupp,
+		Index:        idx,
+		Shards:       plan.Shards,
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		copy(spec.NodeVals[n*nv:(n+1)*nv], g.NodeValues(n))
+	}
+	if ne > 0 {
+		spec.EdgeVals = make([]graph.Value, len(part)*ne)
+	}
+	for i, e32 := range part {
+		e := int(e32)
+		spec.EdgeSrc[i] = int32(g.Src(e))
+		spec.EdgeDst[i] = int32(g.Dst(e))
+		if ne > 0 {
+			copy(spec.EdgeVals[i*ne:(i+1)*ne], g.EdgeValues(e))
+		}
+	}
+	return spec
+}
+
+// ShardCandidate is one offer crossing the coordinator/worker boundary: a
+// GR together with its exact counts on the offering shard.
+type ShardCandidate struct {
+	GR     gr.GR
+	Counts metrics.Counts
+}
+
+// IngestReply reports one worker's side of an incremental batch: its new
+// edge count, the pool deltas (every entry whose counts changed or that the
+// batch promoted into the pool, with exact shard counts), and the scoped
+// re-mine's selectivity.
+type IngestReply struct {
+	NumEdges        int
+	Deltas          []ShardCandidate
+	Recounted       int
+	SubtreesRemined int
+	SubtreesTotal   int
+	Stats           Stats
+}
+
+// ShardWorker is the narrow contract one shard presents to the coordinator.
+// The four methods are the whole offer/count/ingest surface, deliberately
+// chatty-free so a remote transport (internal/rpc) pays one round trip per
+// protocol round:
+//
+//   - Offer mines the shard's relaxed candidate pool (round 1). A non-nil
+//     bound applies the count-then-verify prune; nil asks for the plain
+//     pigeonhole pool and additionally seeds the worker's maintained pool
+//     for later Ingest calls.
+//   - Counts answers the batched round-2 exact-count query.
+//   - Ingest applies a routed incremental batch slice worker-side.
+//   - Close releases transport resources (a no-op in-process).
+//
+// Implementations need not be safe for concurrent calls; the coordinator
+// issues at most one call per worker at a time (different workers are
+// driven concurrently).
+type ShardWorker interface {
+	NumEdges() int
+	Offer(bound *OfferBound) ([]ShardCandidate, Stats, error)
+	Counts(grs []gr.GR) ([]metrics.Counts, error)
+	Ingest(edges []EdgeInsert) (IngestReply, error)
+	Close() error
+}
+
+// WorkerBuilder turns a WorkerSpec into a live worker: in-process
+// construction (InProcessWorkers) or a connection to a shardd daemon
+// (internal/rpc.Builder).
+type WorkerBuilder func(spec WorkerSpec) (ShardWorker, error)
+
+// InProcessWorkers is the WorkerBuilder running every shard in this process.
+func InProcessWorkers(spec WorkerSpec) (ShardWorker, error) {
+	return NewWorkerState(spec)
+}
+
+// ShardSketch is one shard's coarse count summary: for every attribute
+// value, how many of the shard's edges carry it on the source side (L), the
+// destination side (R), and the edge itself (W). Singleton supports bound
+// every descriptor's support from above, which is all the two-round
+// protocol needs from round 1.
+type ShardSketch struct {
+	Edges int
+	// L and R are indexed [nodeAttr][value], W is [edgeAttr][value];
+	// value ranges over 0..Domain (bucket 0, the null value, is unused by
+	// descriptors but kept so values index directly).
+	L, R [][]int
+	W    [][]int
+}
+
+// newShardSketch allocates a zero sketch for the schema.
+func newShardSketch(schema *graph.Schema) ShardSketch {
+	sk := ShardSketch{
+		L: make([][]int, len(schema.Node)),
+		R: make([][]int, len(schema.Node)),
+		W: make([][]int, len(schema.Edge)),
+	}
+	for a := range schema.Node {
+		sk.L[a] = make([]int, schema.Node[a].Domain+1)
+		sk.R[a] = make([]int, schema.Node[a].Domain+1)
+	}
+	for a := range schema.Edge {
+		sk.W[a] = make([]int, schema.Edge[a].Domain+1)
+	}
+	return sk
+}
+
+// addEdge records one edge's attribute values.
+func (sk *ShardSketch) addEdge(srcVals, dstVals, edgeVals []graph.Value) {
+	sk.Edges++
+	for a, v := range srcVals {
+		sk.L[a][v]++
+	}
+	for a, v := range dstVals {
+		sk.R[a][v]++
+	}
+	for a, v := range edgeVals {
+		sk.W[a][v]++
+	}
+}
+
+// minSingle returns the smallest singleton count any of the GR's conditions
+// has in this sketch — an upper bound on the GR's support on this shard.
+func (sk *ShardSketch) minSingle(g gr.GR) int {
+	m := sk.Edges
+	for _, c := range g.L {
+		if n := sk.L[c.Attr][c.Val]; n < m {
+			m = n
+		}
+	}
+	for _, c := range g.W {
+		if n := sk.W[c.Attr][c.Val]; n < m {
+			m = n
+		}
+	}
+	for _, c := range g.R {
+		if n := sk.R[c.Attr][c.Val]; n < m {
+			m = n
+		}
+	}
+	return m
+}
+
+// contributes reports whether this shard can contribute a non-zero count to
+// any field the metric reads for g. LWR and Hom are bounded by LW, and LW
+// by the smallest L∧W singleton count, so a zero there (an empty shard, or
+// one missing a constrained value entirely) makes a round-2 fetch provably
+// pointless — unless the metric also reads R, whose singleton bound is
+// independent of LW.
+func (sk *ShardSketch) contributes(m metrics.Metric, g gr.GR) bool {
+	if sk.Edges == 0 {
+		return false
+	}
+	lw := sk.Edges
+	for _, c := range g.L {
+		if n := sk.L[c.Attr][c.Val]; n < lw {
+			lw = n
+		}
+	}
+	for _, c := range g.W {
+		if n := sk.W[c.Attr][c.Val]; n < lw {
+			lw = n
+		}
+	}
+	if lw > 0 {
+		return true
+	}
+	if m.NeedsR {
+		r := sk.Edges
+		for _, c := range g.R {
+			if n := sk.R[c.Attr][c.Val]; n < r {
+				r = n
+			}
+		}
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OfferBound carries the global knowledge a shard's round-1 offer mine
+// prunes with (see the package comment for the math). HL/HW/HR are the
+// summed singleton supports over all shards; OL/OW/OR the sums over the
+// *other* shards (H minus the worker's own sketch).
+type OfferBound struct {
+	MinSupp    int
+	HL, HW, HR [][]int
+	OL, OW, OR [][]int
+}
+
+// buildOfferBounds derives every worker's bound tables from the sketches:
+// the global H tables are summed once and each worker's O tables are one
+// subtraction, keeping construction O(shards × domain).
+func buildOfferBounds(minSupp int, sketches []ShardSketch) []*OfferBound {
+	sum := func(pick func(ShardSketch) [][]int) [][]int {
+		first := pick(sketches[0])
+		out := make([][]int, len(first))
+		for a := range first {
+			out[a] = make([]int, len(first[a]))
+		}
+		for _, sk := range sketches {
+			t := pick(sk)
+			for a := range t {
+				for v, n := range t[a] {
+					out[a][v] += n
+				}
+			}
+		}
+		return out
+	}
+	sub := func(tot, own [][]int) [][]int {
+		out := make([][]int, len(tot))
+		for a := range tot {
+			row := make([]int, len(tot[a]))
+			for v := range row {
+				row[v] = tot[a][v] - own[a][v]
+			}
+			out[a] = row
+		}
+		return out
+	}
+	hl := sum(func(s ShardSketch) [][]int { return s.L })
+	hw := sum(func(s ShardSketch) [][]int { return s.W })
+	hr := sum(func(s ShardSketch) [][]int { return s.R })
+	bounds := make([]*OfferBound, len(sketches))
+	for i := range sketches {
+		bounds[i] = &OfferBound{
+			MinSupp: minSupp,
+			HL:      hl, HW: hw, HR: hr,
+			OL: sub(hl, sketches[i].L),
+			OW: sub(hw, sketches[i].W),
+			OR: sub(hr, sketches[i].R),
+		}
+	}
+	return bounds
+}
+
+// prune reports whether the subtree below a partition of partSize edges,
+// whose GRs all carry at least the conditions l ∧ w ∧ r, provably contains
+// no globally qualifying GR. Both bounds are monotone under condition
+// extension and partition shrinkage, so cutting the subtree is sound.
+func (b *OfferBound) prune(partSize int, l, w, r gr.Descriptor) bool {
+	global := math.MaxInt
+	others := math.MaxInt
+	scan := func(d gr.Descriptor, h, o [][]int) {
+		for _, c := range d {
+			if n := h[c.Attr][c.Val]; n < global {
+				global = n
+			}
+			if n := o[c.Attr][c.Val]; n < others {
+				others = n
+			}
+		}
+	}
+	scan(l, b.HL, b.OL)
+	scan(w, b.HW, b.OW)
+	scan(r, b.HR, b.OR)
+	if global < b.MinSupp {
+		return true
+	}
+	return others != math.MaxInt && partSize+others < b.MinSupp
+}
+
+// workerEntry is one entry of a worker's maintained relaxed pool.
+type workerEntry struct {
+	gr       gr.GR
+	c        metrics.Counts
+	betaMask uint64
+}
+
+// WorkerState is the reference ShardWorker: a private graph holding the
+// full node table and only this shard's edges, the compact store over it,
+// and (once seeded by Offer(nil)) the maintained relaxed pool. It backs
+// both the in-process deployment and the shardd daemon.
+type WorkerState struct {
+	g       *graph.Graph
+	st      *store.Store
+	opt     Options // effective global options (resolved from the spec)
+	metric  metrics.Metric
+	minSupp int // the plan's ShardMinSupp (t)
+	idx     int
+	shards  int
+	// pool is nil until a seed Offer(nil); Ingest requires it.
+	pool map[string]*workerEntry
+}
+
+// NewWorkerState builds a live worker from its spec.
+func NewWorkerState(spec WorkerSpec) (*WorkerState, error) {
+	schema, err := graph.NewSchema(spec.NodeAttrs, spec.EdgeAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker spec schema: %w", err)
+	}
+	nv, ne := len(schema.Node), len(schema.Edge)
+	if len(spec.NodeVals) != spec.NumNodes*nv {
+		return nil, fmt.Errorf("core: worker spec: %d node values for %d nodes × %d attrs",
+			len(spec.NodeVals), spec.NumNodes, nv)
+	}
+	if len(spec.EdgeSrc) != len(spec.EdgeDst) || (ne > 0 && len(spec.EdgeVals) != len(spec.EdgeSrc)*ne) {
+		return nil, fmt.Errorf("core: worker spec: inconsistent edge arrays")
+	}
+	if spec.Index < 0 || spec.Index >= spec.Shards {
+		return nil, fmt.Errorf("core: worker spec: index %d outside %d shards", spec.Index, spec.Shards)
+	}
+	g, err := graph.New(schema, spec.NumNodes)
+	if err != nil {
+		return nil, err
+	}
+	for n := 0; n < spec.NumNodes; n++ {
+		if err := g.SetNodeValues(n, spec.NodeVals[n*nv:(n+1)*nv]...); err != nil {
+			return nil, fmt.Errorf("core: worker spec node %d: %w", n, err)
+		}
+	}
+	for i := range spec.EdgeSrc {
+		var vals []graph.Value
+		if ne > 0 {
+			vals = spec.EdgeVals[i*ne : (i+1)*ne]
+		}
+		if _, err := g.AddEdge(int(spec.EdgeSrc[i]), int(spec.EdgeDst[i]), vals...); err != nil {
+			return nil, fmt.Errorf("core: worker spec edge %d: %w", i, err)
+		}
+	}
+	opt, err := spec.Opt.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt, err = opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if spec.ShardMinSupp < 1 {
+		return nil, fmt.Errorf("core: worker spec: shard minSupp %d < 1", spec.ShardMinSupp)
+	}
+	return &WorkerState{
+		g:       g,
+		st:      store.Build(g),
+		opt:     opt,
+		metric:  opt.Metric,
+		minSupp: spec.ShardMinSupp,
+		idx:     spec.Index,
+		shards:  spec.Shards,
+	}, nil
+}
+
+// NumEdges returns the shard's current edge count.
+func (w *WorkerState) NumEdges() int { return w.st.NumEdges() }
+
+// Close implements ShardWorker; in-process workers hold no transport.
+func (w *WorkerState) Close() error { return nil }
+
+// offerOpts derives the options a shard's capture mines run with: the
+// lowered support threshold, no score threshold, unbounded static
+// collection, and no generality machinery (the capture hook bypasses it).
+// Metric, descriptor caps, triviality and RHS-order settings pass through
+// so the per-shard enumeration space matches the single-store walk.
+func (w *WorkerState) offerOpts() Options {
+	o := w.opt
+	o.MinSupp = w.minSupp
+	o.MinScore = math.Inf(-1)
+	o.K = 0
+	o.DynamicFloor = false
+	o.ExactGenerality = false
+	o.NoGeneralityFilter = false
+	o.Parallelism = 0
+	return o
+}
+
+// Offer mines the shard's relaxed candidate pool: every GR whose shard
+// support reaches ShardMinSupp, with exact shard counts and no score
+// filtering (shard.go's completeness argument). A non-nil bound prunes
+// subtrees that provably hold no globally qualifying GR (round 1 of the
+// two-round protocol); a nil bound also (re)seeds the maintained pool the
+// incremental engine's Ingest path delta-updates.
+func (w *WorkerState) Offer(bound *OfferBound) ([]ShardCandidate, Stats, error) {
+	var out []ShardCandidate
+	m := newMiner(w.st, w.offerOpts())
+	m.bound = bound
+	seedPool := bound == nil
+	if seedPool {
+		w.pool = make(map[string]*workerEntry)
+	}
+	m.capture = func(g gr.GR, c metrics.Counts, score float64) {
+		out = append(out, ShardCandidate{GR: g, Counts: c})
+		if seedPool {
+			w.upsert(g, c)
+		}
+	}
+	m.run()
+	m.stats.ShardOffers = int64(len(out))
+	return out, m.stats, nil
+}
+
+// Counts measures the given GRs' exact counts on this shard — the batched
+// round-2 (verify) query for candidates other shards offered.
+func (w *WorkerState) Counts(grs []gr.GR) ([]metrics.Counts, error) {
+	out := make([]metrics.Counts, len(grs))
+	for i, g := range grs {
+		out[i] = countOnStore(w.st, w.opt.Metric, g)
+	}
+	return out, nil
+}
+
+// upsert records (or refreshes) one maintained-pool entry.
+func (w *WorkerState) upsert(g gr.GR, c metrics.Counts) {
+	key := g.Key()
+	t := w.pool[key]
+	if t == nil {
+		t = &workerEntry{gr: g}
+		if w.metric.NeedsHom {
+			t.betaMask = betaMaskOf(w.g.Schema(), g.L, g.R)
+		}
+		w.pool[key] = t
+	}
+	t.c = c
+}
+
+// Ingest applies one routed batch slice worker-side: validate, append to the
+// private graph and store, delta-recount the maintained pool, re-mine the
+// affected first-level subtrees, and reply with every pool entry the batch
+// touched. Entries are never dropped — pool membership is support-gated and
+// supports only grow under insertions — so the deltas are exactly the
+// entries whose counts changed plus the batch's promotions, and the
+// coordinator's union pool stays a faithful mirror of the worker pools.
+// Like the single-store engine, the whole slice is validated before any
+// state changes.
+func (w *WorkerState) Ingest(edges []EdgeInsert) (IngestReply, error) {
+	if w.pool == nil {
+		return IngestReply{}, fmt.Errorf("core: worker %d: ingest before a seeding Offer", w.idx)
+	}
+	for i, e := range edges {
+		if err := w.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
+			return IngestReply{}, fmt.Errorf("core: worker %d: batch edge %d: %w", w.idx, i, err)
+		}
+	}
+	for _, e := range edges {
+		if _, err := w.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
+			// Unreachable after CheckEdge; kept as an invariant guard.
+			return IngestReply{}, err
+		}
+	}
+	newRows := w.st.Append()
+
+	rep := IngestReply{}
+	changed := make(map[string]bool)
+	rep.Recounted = w.recount(newRows, changed)
+	var stats Stats
+	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), newRows,
+		func(g gr.GR, c metrics.Counts, score float64) {
+			w.upsert(g, c)
+			changed[g.Key()] = true
+		}, &stats)
+	rep.Deltas = make([]ShardCandidate, 0, len(changed))
+	for key := range changed {
+		t := w.pool[key]
+		rep.Deltas = append(rep.Deltas, ShardCandidate{GR: t.gr, Counts: t.c})
+	}
+	rep.NumEdges = w.st.NumEdges()
+	rep.Stats = stats
+	return rep, nil
+}
+
+// recount delta-updates every maintained-pool entry against the shard's new
+// store rows, marking changed keys. Mirrors the single-store engine's
+// recount, minus score-based drops (per-shard pools are support-gated only;
+// scores are a global-side concern).
+func (w *WorkerState) recount(newRows []int32, changed map[string]bool) (recounted int) {
+	totalE := w.st.NumEdges()
+	needHom := w.metric.NeedsHom
+	needR := w.metric.NeedsR
+	for key, t := range w.pool {
+		touched := false
+		for _, e := range newRows {
+			if matchOn(w.st.LVal, e, t.gr.L) && matchOn(w.st.EVal, e, t.gr.W) {
+				t.c.LW++
+				touched = true
+				if matchOn(w.st.RVal, e, t.gr.R) {
+					t.c.LWR++
+				} else if needHom && t.betaMask != 0 && matchHomOn(w.st, e, t.gr.L, t.betaMask) {
+					t.c.Hom++
+				}
+			}
+			if needR && matchOn(w.st.RVal, e, t.gr.R) {
+				t.c.R++
+				touched = true
+			}
+		}
+		t.c.E = totalE
+		if touched {
+			changed[key] = true
+			recounted++
+		}
+	}
+	return recounted
+}
+
+// countOnStore measures g's exact counts on one shard store by a single
+// scan, filling only the fields the metric reads so gap-filled counts sum
+// consistently with in-search capture counts.
+func countOnStore(st *store.Store, m metrics.Metric, g gr.GR) metrics.Counts {
+	c := metrics.Counts{E: st.NumEdges()}
+	eff, hasBeta := g.HomophilyEffect(st.Graph().Schema())
+	needHom := m.NeedsHom && hasBeta
+	for e := int32(0); int(e) < st.NumEdges(); e++ {
+		if matchOn(st.LVal, e, g.L) && matchOn(st.EVal, e, g.W) {
+			c.LW++
+			if matchOn(st.RVal, e, g.R) {
+				c.LWR++
+			}
+			if needHom && matchOn(st.RVal, e, eff.R) {
+				c.Hom++
+			}
+		}
+		if m.NeedsR && matchOn(st.RVal, e, g.R) {
+			c.R++
+		}
+	}
+	return c
+}

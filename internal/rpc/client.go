@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"grminer/internal/core"
+	"grminer/internal/gr"
+	"grminer/internal/metrics"
+)
+
+// DialTimeout is the default connection + handshake budget per worker; a
+// daemon that cannot answer the handshake inside it is reported as an
+// error, never waited on.
+const DialTimeout = 10 * time.Second
+
+// Client is a connection to one shardd worker. After Build it implements
+// core.ShardWorker, so the coordinator drives remote and in-process shards
+// through the same interface. Calls are serialized per client (one request
+// in flight per connection); the coordinator's concurrency is across
+// workers, matching the documented ShardWorker contract.
+type Client struct {
+	addr string
+
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	numEdges int
+	// CallTimeout, when non-zero, bounds every request/reply round trip.
+	// Zero (the default) leaves mining calls unbounded — offer rounds on
+	// large shards legitimately take a while; CI bounds whole jobs instead.
+	CallTimeout time.Duration
+}
+
+// Dial connects to a shardd daemon and performs the version handshake. A
+// mismatched or unresponsive peer yields a descriptive error within
+// DialTimeout — the coordinator must never hang on a bad worker.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: worker %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(DialTimeout))
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Magic: Magic, Version: Version}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: worker %s: handshake send: %w", addr, err)
+	}
+	var rep HelloReply
+	if err := dec.Decode(&rep); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: worker %s: handshake: %w (is a grminer shardd v%d listening there?)", addr, err, Version)
+	}
+	if !rep.OK {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: worker %s rejected the handshake: %s", addr, rep.Err)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Client{addr: addr, conn: conn, enc: enc, dec: dec}, nil
+}
+
+// Build ships the worker spec and waits for the shard store to be built.
+func (c *Client) Build(spec core.WorkerSpec) error {
+	_, err := c.call(Request{Op: OpBuild, Spec: &spec})
+	return err
+}
+
+// NumEdges returns the shard's edge count as of the last reply.
+func (c *Client) NumEdges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.numEdges
+}
+
+// Offer runs the worker's round-1 offer mine (see core.ShardWorker).
+func (c *Client) Offer(bound *core.OfferBound) ([]core.ShardCandidate, core.Stats, error) {
+	rep, err := c.call(Request{Op: OpOffer, Bound: bound})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return rep.Offers, rep.Stats, nil
+}
+
+// Counts answers the batched round-2 exact-count query.
+func (c *Client) Counts(grs []gr.GR) ([]metrics.Counts, error) {
+	rep, err := c.call(Request{Op: OpCounts, GRs: grs})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Counts, nil
+}
+
+// Ingest applies a routed incremental batch slice worker-side.
+func (c *Client) Ingest(edges []core.EdgeInsert) (core.IngestReply, error) {
+	rep, err := c.call(Request{Op: OpIngest, Edges: edges})
+	if err != nil {
+		return core.IngestReply{}, err
+	}
+	return rep.Ingest, nil
+}
+
+// Close tears down the connection; the daemon recycles for a new session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// call runs one serialized request/reply round trip.
+func (c *Client) call(req Request) (Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Reply{}, fmt.Errorf("rpc: worker %s: connection closed", c.addr)
+	}
+	if c.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.CallTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Reply{}, fmt.Errorf("rpc: worker %s: %s: %w", c.addr, req.Op, err)
+	}
+	var rep Reply
+	if err := c.dec.Decode(&rep); err != nil {
+		return Reply{}, fmt.Errorf("rpc: worker %s: %s reply: %w", c.addr, req.Op, err)
+	}
+	if rep.Err != "" {
+		return Reply{}, fmt.Errorf("rpc: worker %s: %s: %s", c.addr, req.Op, rep.Err)
+	}
+	c.numEdges = rep.NumEdges
+	return rep, nil
+}
+
+// Builder returns a core.WorkerBuilder that places shard i of a deployment
+// on addrs[i]: dial, handshake, ship the spec. The address list length must
+// match the shard count of the layout the coordinator builds.
+func Builder(addrs []string) core.WorkerBuilder {
+	return func(spec core.WorkerSpec) (core.ShardWorker, error) {
+		if spec.Shards != len(addrs) {
+			return nil, fmt.Errorf("rpc: layout has %d shards but %d worker addresses were given", spec.Shards, len(addrs))
+		}
+		if spec.Index < 0 || spec.Index >= len(addrs) {
+			return nil, errors.New("rpc: worker spec index out of range")
+		}
+		c, err := Dial(addrs[spec.Index])
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Build(spec); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+}

@@ -1,0 +1,80 @@
+// Package rpc puts the ShardWorker boundary of internal/core on the wire:
+// a compact gob-over-TCP protocol connecting a mining coordinator to shardd
+// worker daemons, one shard per daemon.
+//
+// A session is one coordinator connection:
+//
+//	client → Hello{Magic, Version}
+//	server → HelloReply{OK} or HelloReply{Err} (and the daemon exits
+//	          non-zero — a version-mismatched peer is a deployment error,
+//	          mirroring the atomic rejection -follow batch mode applies to
+//	          malformed edges)
+//	client → Request{Op: "build", Spec}        server → Reply{NumEdges}
+//	client → Request{Op: "offer", Bound}       server → Reply{Offers, Stats}
+//	client → Request{Op: "counts", GRs}        server → Reply{Counts}
+//	client → Request{Op: "ingest", Edges}      server → Reply{Ingest}
+//	... more ops ...
+//	client closes the connection; the daemon discards the worker state and
+//	accepts the next session.
+//
+// Every message is one gob value (gob frames are length-prefixed on the
+// wire). All payload types are plain value structs from internal/core, so
+// the protocol needs no gob type registration. Requests are strictly
+// serialized per connection — the coordinator drives different workers
+// concurrently, never one worker concurrently — which keeps the daemon a
+// single-goroutine loop with no locking.
+package rpc
+
+import (
+	"grminer/internal/core"
+	"grminer/internal/gr"
+	"grminer/internal/metrics"
+)
+
+// Magic identifies the protocol; Version its revision. A peer advertising
+// anything else is rejected during the handshake.
+const (
+	Magic   = "grminer-shard"
+	Version = 1
+)
+
+// Hello is the client's first message on a fresh connection.
+type Hello struct {
+	Magic   string
+	Version int
+}
+
+// HelloReply acknowledges (or rejects) the handshake.
+type HelloReply struct {
+	OK  bool
+	Err string
+}
+
+// Op names a request type.
+const (
+	OpBuild  = "build"
+	OpOffer  = "offer"
+	OpCounts = "counts"
+	OpIngest = "ingest"
+)
+
+// Request is one coordinator → worker message after the handshake. Op
+// selects which payload field is meaningful.
+type Request struct {
+	Op    string
+	Spec  *core.WorkerSpec
+	Bound *core.OfferBound
+	GRs   []gr.GR
+	Edges []core.EdgeInsert
+}
+
+// Reply is one worker → coordinator message. A non-empty Err reports an
+// operation failure; the session stays open.
+type Reply struct {
+	Err      string
+	NumEdges int
+	Offers   []core.ShardCandidate
+	Stats    core.Stats
+	Counts   []metrics.Counts
+	Ingest   core.IngestReply
+}

@@ -1,0 +1,375 @@
+package rpc_test
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"grminer/internal/core"
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+	"grminer/internal/metrics"
+	"grminer/internal/rpc"
+)
+
+// startWorkers returns n worker addresses. When GRMINER_TEST_WORKERS lists
+// at least n externally launched shardd daemons (the CI distributed-gate
+// does this), those are used; otherwise in-process servers are spun up on
+// loopback ports — same protocol, same code path, no subprocesses.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	if env := os.Getenv("GRMINER_TEST_WORKERS"); env != "" {
+		var addrs []string
+		for _, a := range strings.Split(env, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) >= n {
+			return addrs[:n]
+		}
+		t.Fatalf("GRMINER_TEST_WORKERS lists %d addresses, test needs %d", len(addrs), n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		go rpc.Serve(l, nil) //nolint:errcheck // closed by cleanup
+		t.Cleanup(func() { l.Close() })
+	}
+	return addrs
+}
+
+// randomGraph mirrors the core oracle fixture: small attributed graphs with
+// null values and mixed homophily designations.
+func randomGraph(seed int64, homA, homB bool) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "A", Domain: 3, Homophily: homA},
+			{Name: "B", Domain: 2, Homophily: homB},
+		},
+		[]graph.Attribute{{Name: "W", Domain: 2}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	n := 6 + r.Intn(10)
+	g := graph.MustNew(schema, n)
+	for v := 0; v < n; v++ {
+		if err := g.SetNodeValues(v, graph.Value(r.Intn(4)), graph.Value(r.Intn(3))); err != nil {
+			panic(err)
+		}
+	}
+	m := 10 + r.Intn(40)
+	for e := 0; e < m; e++ {
+		if _, err := g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3))); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+var oracleThresholds = map[string]float64{
+	"nhp": 0.3, "conf": 0.3, "laplace": 0.3, "gain": 0,
+	"piatetsky-shapiro": 0, "conviction": 1.0, "lift": 1.05,
+}
+
+func assertSameResults(t *testing.T, label string, got, want []gr.Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].GR.Key() != want[i].GR.Key() {
+			t.Fatalf("%s: rank %d: got %s want %s", label, i, got[i].GR.Key(), want[i].GR.Key())
+		}
+		if got[i].Supp != want[i].Supp || got[i].Score != want[i].Score || got[i].Conf != want[i].Conf {
+			t.Fatalf("%s: rank %d (%s): got supp=%d score=%v conf=%v, want supp=%d score=%v conf=%v",
+				label, i, got[i].GR.Key(),
+				got[i].Supp, got[i].Score, got[i].Conf,
+				want[i].Supp, want[i].Score, want[i].Conf)
+		}
+	}
+}
+
+// TestRemoteShardedOracle is the distributed half of the equivalence gate:
+// mining over 2-4 shardd workers behind the wire protocol must return
+// results identical to a single-store mine, for every metric, both floor
+// modes, and both routing strategies. Worker counts and strategies cycle
+// across the metric/floor grid so the full range is exercised without
+// mining every combination.
+func TestRemoteShardedOracle(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	strategies := []graph.ShardStrategy{graph.ShardBySource, graph.ShardByRHS}
+	for _, seed := range seeds {
+		g := randomGraph(seed, seed%2 == 0, seed%3 != 0)
+		cycle := 0
+		for _, m := range metrics.All() {
+			for _, dyn := range []bool{false, true} {
+				cycle++
+				workers := 2 + cycle%3 // 2..4
+				strategy := strategies[cycle%2]
+				opt := core.Options{
+					MinSupp: 2, MinScore: oracleThresholds[m.Name], K: 10,
+					DynamicFloor: dyn, Metric: m,
+				}
+				addrs := startWorkers(t, workers)
+				sc, err := core.NewShardCoordinatorFrom(g, opt,
+					core.ShardOptions{Shards: workers, Strategy: strategy}, rpc.Builder(addrs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sc.Mine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Mine(g, sc.Options())
+				sc.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := m.Name
+				if dyn {
+					label += "-dynamic"
+				}
+				t.Logf("%s workers=%d by=%s offers=%d round2=%d one-round=%d", label, workers, strategy,
+					res.Stats.ShardOffers, res.Stats.ExactCountRequests, res.Stats.OneRoundGapFill)
+				assertSameResults(t, label, res.TopK, ref.TopK)
+				if res.Stats.ExactCountRequests > res.Stats.OneRoundGapFill {
+					t.Errorf("%s: round-2 volume %d exceeds the one-round bound's %d",
+						label, res.Stats.ExactCountRequests, res.Stats.OneRoundGapFill)
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteIncrementalOracle streams random batches through the remote
+// sharded incremental engine: after every batch, the maintained top-k must
+// equal a fresh single-store mine of the grown graph — worker-side pool
+// maintenance notwithstanding.
+func TestRemoteIncrementalOracle(t *testing.T) {
+	mets := []metrics.Metric{metrics.NhpMetric, metrics.LiftMetric}
+	if testing.Short() {
+		mets = mets[:1]
+	}
+	for mi, m := range mets {
+		for _, dyn := range []bool{false, true} {
+			seed := int64(100 + mi)
+			r := rand.New(rand.NewSource(seed))
+			g := randomGraph(seed, true, mi%2 == 0)
+			workers := 2 + (mi+boolInt(dyn))%3
+			addrs := startWorkers(t, workers)
+			opt := core.Options{
+				MinSupp: 2, MinScore: oracleThresholds[m.Name], K: 8,
+				DynamicFloor: dyn, Metric: m,
+			}
+			inc, err := core.NewIncrementalShardedFrom(g, opt,
+				core.ShardOptions{Shards: workers}, rpc.Builder(addrs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batch := 0; batch < 4; batch++ {
+				edges := make([]core.EdgeInsert, 1+r.Intn(6))
+				for i := range edges {
+					edges[i] = core.EdgeInsert{
+						Src:  r.Intn(g.NumNodes()),
+						Dst:  r.Intn(g.NumNodes()),
+						Vals: []graph.Value{graph.Value(r.Intn(3))},
+					}
+				}
+				res, _, err := inc.Apply(edges)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Mine(g, inc.Options())
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResults(t, m.Name, res.TopK, ref.TopK)
+			}
+			inc.Close()
+		}
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestRemoteBatchRejectedAtomically: a batch with one malformed edge must
+// be rejected before any worker state changes, exactly like the in-process
+// engines.
+func TestRemoteBatchRejectedAtomically(t *testing.T) {
+	g := randomGraph(7, true, true)
+	addrs := startWorkers(t, 2)
+	inc, err := core.NewIncrementalShardedFrom(g, core.Options{MinSupp: 2, MinScore: 0.3, K: 5},
+		core.ShardOptions{Shards: 2}, rpc.Builder(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	before := g.NumEdges()
+	prev := inc.Result().TopK
+	bad := []core.EdgeInsert{
+		{Src: 0, Dst: 1, Vals: []graph.Value{1}},
+		{Src: 0, Dst: g.NumNodes() + 5, Vals: []graph.Value{1}}, // out of range
+	}
+	if _, _, err := inc.Apply(bad); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	if g.NumEdges() != before {
+		t.Fatalf("rejected batch grew the graph: %d -> %d edges", before, g.NumEdges())
+	}
+	res, err := core.Mine(g, inc.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "after-reject", inc.Result().TopK, res.TopK)
+	assertSameResults(t, "after-reject-prev", inc.Result().TopK, prev)
+}
+
+// serveOnce runs one Serve loop on a fresh listener and reports its exit
+// error — the daemon-fatal path the handshake tests assert.
+func serveOnce(t *testing.T) (addr string, errCh chan error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh = make(chan error, 1)
+	go func() { errCh <- rpc.Serve(l, nil) }()
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String(), errCh
+}
+
+func waitErr(t *testing.T, ch chan error) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit")
+		return nil
+	}
+}
+
+// A version-mismatched peer must get a descriptive rejection AND kill the
+// daemon (non-zero exit for shardd) — stale workers must not linger.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	addr, errCh := serveOnce(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(rpc.Hello{Magic: rpc.Magic, Version: rpc.Version + 7}); err != nil {
+		t.Fatal(err)
+	}
+	var rep rpc.HelloReply
+	if err := gob.NewDecoder(conn).Decode(&rep); err != nil {
+		t.Fatalf("no handshake reply: %v", err)
+	}
+	if rep.OK || !strings.Contains(rep.Err, "mismatch") {
+		t.Fatalf("mismatched version not rejected: %+v", rep)
+	}
+	if err := waitErr(t, errCh); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("server survived a version mismatch: %v", err)
+	}
+}
+
+// Garbage instead of a handshake must also kill the daemon.
+func TestHandshakeMalformed(t *testing.T) {
+	addr, errCh := serveOnce(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := waitErr(t, errCh); err == nil || !strings.Contains(err.Error(), "handshake") {
+		t.Fatalf("server survived a malformed handshake: %v", err)
+	}
+}
+
+// The coordinator side must fail fast and descriptively on a peer that
+// rejects the handshake, instead of hanging.
+func TestDialSurfacesMismatch(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hello rpc.Hello
+		gob.NewDecoder(conn).Decode(&hello)                                         //nolint:errcheck
+		gob.NewEncoder(conn).Encode(rpc.HelloReply{Err: "protocol mismatch: nope"}) //nolint:errcheck
+	}()
+	start := time.Now()
+	_, err = rpc.Dial(l.Addr().String())
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("mismatch not surfaced: %v", err)
+	}
+	if time.Since(start) > rpc.DialTimeout {
+		t.Fatalf("Dial took %v — hung past its budget", time.Since(start))
+	}
+}
+
+// A silent peer (accepts, never answers) must not hang Dial.
+func TestDialDoesNotHangOnSilentPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full handshake timeout")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(2 * rpc.DialTimeout) // never reply
+	}()
+	start := time.Now()
+	if _, err := rpc.Dial(l.Addr().String()); err == nil {
+		t.Fatal("Dial succeeded against a silent peer")
+	}
+	if d := time.Since(start); d > rpc.DialTimeout+5*time.Second {
+		t.Fatalf("Dial hung %v on a silent peer", d)
+	}
+}
+
+// A mismatched worker-list length must be rejected during construction.
+func TestBuilderShardCountMismatch(t *testing.T) {
+	g := randomGraph(3, true, true)
+	addrs := startWorkers(t, 1)
+	_, err := core.NewShardCoordinatorFrom(g, core.Options{MinSupp: 2, K: 5},
+		core.ShardOptions{Shards: 3}, rpc.Builder(addrs))
+	if err == nil || !strings.Contains(err.Error(), "addresses") {
+		t.Fatalf("3 shards over 1 address accepted: %v", err)
+	}
+}

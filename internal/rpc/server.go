@@ -1,0 +1,144 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"grminer/internal/core"
+)
+
+// handshakeTimeout bounds how long the server waits for (and spends
+// answering) a client's Hello, so a silent or garbage peer cannot wedge the
+// accept loop.
+const handshakeTimeout = 10 * time.Second
+
+// Serve accepts coordinator sessions on l, one at a time, until the
+// listener closes. Each session handshakes, builds one shard worker from
+// the coordinator's spec, and serves offer/counts/ingest requests until the
+// coordinator disconnects; the next session starts fresh.
+//
+// A malformed handshake or a version-mismatched peer is a deployment error,
+// not a per-request failure: Serve replies with the reason (best effort),
+// closes the listener, and returns a non-nil error so shardd can exit
+// non-zero — the same atomic-rejection stance the -follow stream takes on
+// malformed edges. Post-handshake operation errors are reported to the
+// coordinator in-band and the session continues.
+//
+// logf, if non-nil, receives one line per session event.
+func Serve(l net.Listener, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	defer l.Close()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		if err := serveSession(conn, logf); err != nil {
+			return err
+		}
+	}
+}
+
+// serveSession runs one coordinator session. It returns a non-nil error
+// only for protocol violations that must terminate the daemon.
+func serveSession(conn net.Conn, logf func(string, ...any)) error {
+	defer conn.Close()
+	peer := conn.RemoteAddr()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("rpc: %v: malformed handshake: %w", peer, err)
+	}
+	if hello.Magic != Magic || hello.Version != Version {
+		reason := fmt.Sprintf("protocol mismatch: peer %q v%d, daemon %q v%d",
+			hello.Magic, hello.Version, Magic, Version)
+		_ = enc.Encode(HelloReply{Err: reason}) // best effort before dying
+		return fmt.Errorf("rpc: %v: %s", peer, reason)
+	}
+	if err := enc.Encode(HelloReply{OK: true}); err != nil {
+		return fmt.Errorf("rpc: %v: handshake reply: %w", peer, err)
+	}
+	conn.SetDeadline(time.Time{})
+	logf("session from %v", peer)
+
+	var worker *core.WorkerState
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				logf("session from %v ended", peer)
+				return nil
+			}
+			// Mid-session garbage after a valid handshake: the peer spoke
+			// our protocol and then broke it — treat like a bad handshake.
+			return fmt.Errorf("rpc: %v: malformed request: %w", peer, err)
+		}
+		var rep Reply
+		switch req.Op {
+		case OpBuild:
+			if req.Spec == nil {
+				rep.Err = "build request without a worker spec"
+				break
+			}
+			w, err := core.NewWorkerState(*req.Spec)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			worker = w
+			rep.NumEdges = worker.NumEdges()
+			logf("built shard %d/%d: %d edges", req.Spec.Index+1, req.Spec.Shards, rep.NumEdges)
+		case OpOffer:
+			if worker == nil {
+				rep.Err = "offer before build"
+				break
+			}
+			offers, stats, err := worker.Offer(req.Bound)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			rep.Offers, rep.Stats, rep.NumEdges = offers, stats, worker.NumEdges()
+		case OpCounts:
+			if worker == nil {
+				rep.Err = "counts before build"
+				break
+			}
+			counts, err := worker.Counts(req.GRs)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			rep.Counts, rep.NumEdges = counts, worker.NumEdges()
+		case OpIngest:
+			if worker == nil {
+				rep.Err = "ingest before build"
+				break
+			}
+			ing, err := worker.Ingest(req.Edges)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			rep.Ingest, rep.NumEdges = ing, ing.NumEdges
+		default:
+			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(rep); err != nil {
+			logf("session from %v: reply failed: %v", peer, err)
+			return nil // peer gone mid-reply; not a protocol violation
+		}
+	}
+}
