@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFollowLine hardens the -follow stream parser: arbitrary input —
+// including the new "-" retraction prefix in every mangled form — must never
+// panic, and every accepted line must satisfy the parser's own contract
+// (exactly one value per edge attribute, values inside the uint16 range,
+// insert and retraction mutually exclusive). Accepted inserts additionally
+// round-trip: re-rendering the parsed fields and re-parsing yields the same
+// edge.
+func FuzzParseFollowLine(f *testing.F) {
+	f.Add("3\t7\t1", 1)
+	f.Add("3 7 2 9", 2)
+	f.Add("- 3 7 1", 1)
+	f.Add("-3 7 1", 1)
+	f.Add("  -\t12\t7\t0", 1)
+	f.Add("0 1", 0)
+	f.Add("- 0 1", 0)
+	f.Add("3 7 -1", 1)
+	f.Add("3 7 65537", 1)
+	f.Add("--3 7 1", 1)
+	f.Add("- -3 7 1", 1)
+	f.Add("# comment-ish", 1)
+	f.Add("", 0)
+	f.Add("-", 1)
+	f.Add("∞ ∞ ∞", 1)
+	f.Fuzz(func(t *testing.T, line string, edgeAttrs int) {
+		if edgeAttrs > 64 {
+			edgeAttrs %= 64 // schema edge-attr counts are tiny; keep loops sane
+		}
+		ins, del, isDel, err := parseFollowLine(line, edgeAttrs)
+		if err != nil {
+			return
+		}
+		if edgeAttrs < 0 {
+			t.Fatalf("accepted a negative edge attribute count %d", edgeAttrs)
+		}
+		vals := ins.Vals
+		if isDel {
+			vals = del.Vals
+			if ins.Vals != nil {
+				t.Fatalf("retraction also produced an insert: %+v / %+v", ins, del)
+			}
+		}
+		if len(vals) != edgeAttrs {
+			t.Fatalf("%q: %d values for %d edge attributes", line, len(vals), edgeAttrs)
+		}
+		if !isDel {
+			// Round-trip: the canonical rendering of an accepted insert
+			// parses back to the identical edge.
+			parts := []string{fmt.Sprint(ins.Src), fmt.Sprint(ins.Dst)}
+			for _, v := range vals {
+				parts = append(parts, fmt.Sprint(int(v)))
+			}
+			ins2, _, isDel2, err := parseFollowLine(strings.Join(parts, "\t"), edgeAttrs)
+			if err != nil || isDel2 {
+				t.Fatalf("round-trip of %q failed: %+v, del=%v, %v", line, ins2, isDel2, err)
+			}
+			if ins2.Src != ins.Src || ins2.Dst != ins.Dst || len(ins2.Vals) != len(ins.Vals) {
+				t.Fatalf("round-trip of %q changed the edge: %+v vs %+v", line, ins, ins2)
+			}
+			for i := range ins.Vals {
+				if ins2.Vals[i] != ins.Vals[i] {
+					t.Fatalf("round-trip of %q changed value %d", line, i)
+				}
+			}
+		}
+	})
+}

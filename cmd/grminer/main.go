@@ -24,13 +24,18 @@
 // (the hypothesis-workbench mode of the paper's Remark 3).
 //
 // With -follow the tool mines the loaded network once, then ingests edge
-// insertions from a stream (a file, or stdin with "-") through the
-// incremental engine, reporting the maintained top-k's churn per batch.
-// Stream lines use the edge-file format ("src dst v1 v2...", whitespace
-// separated); a blank line commits the pending batch, -batch N also commits
-// every N edges, and EOF commits the remainder. Malformed lines and edges
-// the schema rejects abort the run with a non-zero exit before the bad
-// batch mutates anything.
+// changes from a stream (a file, or stdin with "-") through the incremental
+// engine, reporting the maintained top-k's churn per batch. Stream lines
+// use the edge-file format ("src dst v1 v2...", whitespace separated) for
+// insertions; a "-" prefix ("- src dst v1 v2..." or "-src dst v1 v2...")
+// retracts one live edge matching those endpoints and values exactly,
+// resolved against the graph as it stood before the batch. A blank line
+// commits the pending batch, -batch N also commits every N changes, and
+// EOF commits the remainder. Malformed lines, edges the schema rejects, and
+// retractions matching no live edge abort the run with a non-zero exit
+// before the bad batch mutates anything. -pool-cap N bounds the engine's
+// tracked candidate pool (single-store -follow only); results stay exact
+// through re-mine-on-underflow.
 package main
 
 import (
@@ -67,8 +72,9 @@ func main() {
 		workers   = flag.String("workers", "0", "parallel mining workers (0 = sequential unless -auto), or comma-separated shardd addresses (host:port,...) to mine one shard per remote worker")
 		auto      = flag.Bool("auto", false, "auto-tune workers and descriptor caps from the input size")
 		procs     = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
-		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions from this file (\"-\" = stdin) through the incremental engine")
-		batchSize = flag.Int("batch", 0, "in -follow mode, commit a batch every N edges in addition to blank-line commits (0 = blank lines/EOF only)")
+		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions (\"src dst vals...\") and retractions (\"- src dst vals...\") from this file (\"-\" = stdin) through the incremental engine")
+		batchSize = flag.Int("batch", 0, "in -follow mode, commit a batch every N changes in addition to blank-line commits (0 = blank lines/EOF only)")
+		poolCap   = flag.Int("pool-cap", 0, "in single-store -follow mode, bound the tracked candidate pool to N entries (0 = unbounded; exact via re-mine-on-underflow)")
 		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store)")
 		shardBy   = flag.String("shard-by", "src", "shard routing strategy: src (hash of source node) | rhs (hash of destination attribute row)")
 	)
@@ -102,6 +108,16 @@ func main() {
 	if shardBySet && *shards <= 0 {
 		fmt.Fprintln(os.Stderr, "grminer: -shard-by has no effect without -shards N (N > 0) or -workers")
 		os.Exit(1)
+	}
+	if *poolCap > 0 {
+		if *follow == "" {
+			fmt.Fprintln(os.Stderr, "grminer: -pool-cap has no effect without -follow")
+			os.Exit(1)
+		}
+		if *shards > 0 || len(remote) > 0 {
+			fmt.Fprintln(os.Stderr, "grminer: -pool-cap bounds the single-store incremental pool; sharded pools are support-gated and cannot be bounded without losing offer completeness")
+			os.Exit(1)
+		}
 	}
 	var shardOpt grminer.ShardOptions
 	if *shards > 0 {
@@ -141,6 +157,7 @@ func main() {
 		Metric:         m,
 		IncludeTrivial: *trivial,
 		Parallelism:    parWorkers,
+		PoolCap:        *poolCap,
 	}
 	if *follow != "" {
 		if *auto {
@@ -275,7 +292,7 @@ func parseWorkersFlag(v string) (parallelism int, remote []string, err error) {
 // incrementalEngine is the slice of the incremental API runFollow drives;
 // the single-store engine and the sharded engine both implement it.
 type incrementalEngine interface {
-	Apply([]grminer.EdgeInsert) (*grminer.Result, grminer.IncStats, error)
+	ApplyBatch(grminer.Batch) (*grminer.Result, grminer.IncStats, error)
 	Result() *grminer.Result
 	Options() grminer.Options
 	Cumulative() grminer.IncStats
@@ -318,10 +335,11 @@ func openFollowStream(src string) (io.Reader, func(), error) {
 	return f, func() { f.Close() }, nil
 }
 
-// runFollow streams edge insertions from in through the (already seeded)
-// incremental engine. Any malformed line or schema-rejected edge aborts
-// with an error before its batch is applied — the engine validates batches
-// atomically, so no partial graph is ever mined.
+// runFollow streams edge insertions and retractions from in through the
+// (already seeded) incremental engine. Any malformed line, schema-rejected
+// edge, or retraction matching no live edge aborts with an error before its
+// batch is applied — the engine validates batches atomically, so no partial
+// graph is ever mined.
 func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.Reader, batchSize int, showStats bool, outPath, outFormat string) error {
 	res := inc.Result()
 	fmt.Printf("initial mine: |E|=%d, %d GRs tracked in top-%d\n",
@@ -329,27 +347,31 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 
 	prev := res.TopK
 	batchNo := 0
-	commit := func(batch []grminer.EdgeInsert) error {
-		if len(batch) == 0 {
+	var batch grminer.Batch
+	commit := func() error {
+		if len(batch.Ins) == 0 && len(batch.Del) == 0 {
 			return nil
 		}
 		batchNo++
-		r, bs, err := inc.Apply(batch)
+		r, bs, err := inc.ApplyBatch(batch)
 		if err != nil {
 			return fmt.Errorf("batch %d rejected: %w", batchNo, err)
 		}
+		batch = grminer.Batch{}
 		changed := grminer.TopKChanged(prev, r.TopK)
 		prev = r.TopK
 		work := fmt.Sprintf("remined %d/%d subtrees", bs.SubtreesRemined, bs.SubtreesTotal)
 		if bs.FullRemines > 0 {
 			work = "full re-mine (metric not delta-safe)"
 		}
-		fmt.Printf("batch %3d: +%d edges  |E|=%-8d top-k changed=%-3d %s  %v\n",
-			batchNo, bs.Edges, r.TotalEdges, changed, work, bs.Duration)
+		if bs.UnderflowRemines > 0 {
+			work += " +underflow re-mine"
+		}
+		fmt.Printf("batch %3d: +%d/-%d edges  |E|=%-8d top-k changed=%-3d %s  %v\n",
+			batchNo, bs.Edges, bs.Deleted, r.TotalEdges, changed, work, bs.Duration)
 		return nil
 	}
 
-	var batch []grminer.EdgeInsert
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -358,31 +380,33 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
-			if err := commit(batch); err != nil {
+			if err := commit(); err != nil {
 				return err
 			}
-			batch = batch[:0]
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		e, err := parseEdgeLine(line, ne)
+		ins, del, isDel, err := parseFollowLine(line, ne)
 		if err != nil {
 			return fmt.Errorf("follow line %d: %w", lineNo, err)
 		}
-		batch = append(batch, e)
-		if batchSize > 0 && len(batch) >= batchSize {
-			if err := commit(batch); err != nil {
+		if isDel {
+			batch.Del = append(batch.Del, del)
+		} else {
+			batch.Ins = append(batch.Ins, ins)
+		}
+		if batchSize > 0 && len(batch.Ins)+len(batch.Del) >= batchSize {
+			if err := commit(); err != nil {
 				return err
 			}
-			batch = batch[:0]
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("reading follow stream: %w", err)
 	}
-	if err := commit(batch); err != nil {
+	if err := commit(); err != nil {
 		return err
 	}
 
@@ -390,9 +414,9 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 	printTopK(final, g, m)
 	if showStats {
 		c := inc.Cumulative()
-		fmt.Printf("stats: batches=%d edges=%d tracked=%d recounted=%d dropped=%d remined=%d/%d full-remines=%d in %v\n",
-			c.Batches, c.Edges, c.Tracked, c.Recounted, c.Dropped,
-			c.SubtreesRemined, c.SubtreesTotal, c.FullRemines, c.Duration)
+		fmt.Printf("stats: batches=%d edges=%d deleted=%d tracked=%d recounted=%d dropped=%d remined=%d/%d full-remines=%d spilled=%d underflow-remines=%d in %v\n",
+			c.Batches, c.Edges, c.Deleted, c.Tracked, c.Recounted, c.Dropped,
+			c.SubtreesRemined, c.SubtreesTotal, c.FullRemines, c.Spilled, c.UnderflowRemines, c.Duration)
 	}
 	if outPath != "" {
 		if err := writeResults(final, g, outPath, outFormat); err != nil {
@@ -403,33 +427,61 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 	return nil
 }
 
-// parseEdgeLine parses one stream line: "src dst v1 v2..." with exactly one
-// value per schema edge attribute, whitespace separated.
-func parseEdgeLine(line string, edgeAttrs int) (grminer.EdgeInsert, error) {
+// parseFollowLine parses one stream line. "src dst v1 v2..." (exactly one
+// value per schema edge attribute, whitespace separated) inserts an edge; a
+// leading "-" — either its own field ("- src dst v1...") or glued to the
+// source ("-src dst v1...") — retracts one live edge matching the endpoints
+// and values exactly. Note the retraction syntax claims the leading "-": a
+// negative source id can no longer be spelled on a stream line (it was
+// always schema-rejected at apply time anyway).
+func parseFollowLine(line string, edgeAttrs int) (ins grminer.EdgeInsert, del grminer.EdgeDelete, isDel bool, err error) {
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "-") {
+		isDel = true
+		line = strings.TrimSpace(strings.TrimPrefix(line, "-"))
+		if line == "" || strings.HasPrefix(line, "-") {
+			return grminer.EdgeInsert{}, grminer.EdgeDelete{}, false, fmt.Errorf("malformed retraction %q", line)
+		}
+	}
+	src, dst, vals, err := parseEdgeFields(line, edgeAttrs)
+	if err != nil {
+		return grminer.EdgeInsert{}, grminer.EdgeDelete{}, false, err
+	}
+	if isDel {
+		return grminer.EdgeInsert{}, grminer.EdgeDelete{Src: src, Dst: dst, Vals: vals}, true, nil
+	}
+	return grminer.EdgeInsert{Src: src, Dst: dst, Vals: vals}, grminer.EdgeDelete{}, false, nil
+}
+
+// parseEdgeFields parses "src dst v1 v2..." with exactly one value per
+// schema edge attribute.
+func parseEdgeFields(line string, edgeAttrs int) (src, dst int, vals []grminer.Value, err error) {
+	if edgeAttrs < 0 {
+		return 0, 0, nil, fmt.Errorf("negative edge attribute count %d", edgeAttrs)
+	}
 	fields := strings.Fields(line)
 	if len(fields) != 2+edgeAttrs {
-		return grminer.EdgeInsert{}, fmt.Errorf("%d fields, want %d (src dst + %d edge values)",
+		return 0, 0, nil, fmt.Errorf("%d fields, want %d (src dst + %d edge values)",
 			len(fields), 2+edgeAttrs, edgeAttrs)
 	}
 	src, err1 := strconv.Atoi(fields[0])
 	dst, err2 := strconv.Atoi(fields[1])
 	if err1 != nil || err2 != nil {
-		return grminer.EdgeInsert{}, fmt.Errorf("bad endpoints %q %q", fields[0], fields[1])
+		return 0, 0, nil, fmt.Errorf("bad endpoints %q %q", fields[0], fields[1])
 	}
-	e := grminer.EdgeInsert{Src: src, Dst: dst}
 	for a := 0; a < edgeAttrs; a++ {
 		v, err := strconv.Atoi(fields[2+a])
 		if err != nil {
-			return grminer.EdgeInsert{}, fmt.Errorf("bad edge value %q: %v", fields[2+a], err)
+			return 0, 0, nil, fmt.Errorf("bad edge value %q: %v", fields[2+a], err)
 		}
 		// Reject values the uint16 conversion would silently wrap; the
 		// schema's domain check then runs when the batch is applied.
 		if v < 0 || v > 65535 {
-			return grminer.EdgeInsert{}, fmt.Errorf("edge value %d outside the attribute value range [0, 65535]", v)
+			return 0, 0, nil, fmt.Errorf("edge value %d outside the attribute value range [0, 65535]", v)
 		}
-		e.Vals = append(e.Vals, grminer.Value(v))
+		vals = append(vals, grminer.Value(v))
 	}
-	return e, nil
+	return src, dst, vals, nil
 }
 
 func writeResults(res *grminer.Result, g *grminer.Graph, path, format string) error {

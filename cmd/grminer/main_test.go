@@ -71,19 +71,27 @@ func TestWriteResults(t *testing.T) {
 	}
 }
 
-func TestParseEdgeLine(t *testing.T) {
-	e, err := parseEdgeLine("3\t7\t1", 1)
-	if err != nil || e.Src != 3 || e.Dst != 7 || len(e.Vals) != 1 || e.Vals[0] != 1 {
-		t.Fatalf("parseEdgeLine: %+v, %v", e, err)
+func TestParseFollowLine(t *testing.T) {
+	e, _, isDel, err := parseFollowLine("3\t7\t1", 1)
+	if err != nil || isDel || e.Src != 3 || e.Dst != 7 || len(e.Vals) != 1 || e.Vals[0] != 1 {
+		t.Fatalf("parseFollowLine: %+v del=%v, %v", e, isDel, err)
 	}
-	if _, err := parseEdgeLine("3 7 2 9", 2); err != nil {
+	if _, _, _, err := parseFollowLine("3 7 2 9", 2); err != nil {
 		t.Errorf("space-separated line rejected: %v", err)
 	}
+	// Retractions: the "-" prefix as its own field or glued to the source.
+	for _, line := range []string{"- 3 7 1", "-3 7 1", "  -\t3\t7\t1"} {
+		_, d, isDel, err := parseFollowLine(line, 1)
+		if err != nil || !isDel || d.Src != 3 || d.Dst != 7 || len(d.Vals) != 1 || d.Vals[0] != 1 {
+			t.Fatalf("retraction %q: %+v del=%v, %v", line, d, isDel, err)
+		}
+	}
 	// Out-of-range values must error, not wrap through the uint16
-	// conversion into a silently valid small value.
+	// conversion into a silently valid small value; a lone "-" or a doubly
+	// negative source is malformed, not a retraction of a retraction.
 	for _, bad := range []string{"3", "3 7", "3 x 1", "a 7 1", "3 7 z", "3 7 1 1",
-		"3 7 -65535", "3 7 -1", "3 7 65537"} {
-		if _, err := parseEdgeLine(bad, 1); err == nil {
+		"3 7 -65535", "3 7 -1", "3 7 65537", "-", "- 3 7", "--3 7 1", "- -3 7 1"} {
+		if _, _, _, err := parseFollowLine(bad, 1); err == nil {
 			t.Errorf("malformed line %q accepted", bad)
 		}
 	}
@@ -116,6 +124,82 @@ func TestRunFollowStream(t *testing.T) {
 	}
 	if _, err := os.Stat(outPath); err != nil {
 		t.Errorf("-out not honoured in follow mode: %v", err)
+	}
+}
+
+// A -follow stream mixing insertions and "-"-prefixed retractions must flow
+// through the engine and leave the maintained result equal to a fresh batch
+// mine of the surviving graph.
+func TestRunFollowRetractionStream(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "changes.stream")
+	// Toy edge 0 -> 1 exists with S=1 (the dating schema's single edge
+	// attribute); insert two edges, retract one pre-existing edge and one
+	// just-committed edge in a LATER batch (retractions resolve pre-batch).
+	content := "0\t1\t1\n2\t3\t1\n\n- 2\t3\t1\n-0 1 1\n4\t5\t1\n"
+	if err := os.WriteFile(stream, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := grminer.ToyDating()
+	before := g.NumLiveEdges()
+	in, closeIn, err := openFollowStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIn()
+	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}, grminer.ShardOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFollow(eng, g, grminer.NhpMetric, in, 0, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// +3 inserts, -2 retractions.
+	if got := g.NumLiveEdges(); got != before+1 {
+		t.Fatalf("stream left %d live edges, want %d", got, before+1)
+	}
+	if c := eng.Cumulative(); c.Edges != 3 || c.Deleted != 2 {
+		t.Fatalf("cumulative +%d/-%d, want +3/-2", c.Edges, c.Deleted)
+	}
+	ref, err := grminer.Mine(g, eng.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Result().TopK
+	if len(got) != len(ref.TopK) {
+		t.Fatalf("follow kept %d GRs, batch mine %d", len(got), len(ref.TopK))
+	}
+	for i := range got {
+		if got[i].GR.Key() != ref.TopK[i].GR.Key() || got[i].Score != ref.TopK[i].Score {
+			t.Fatalf("rank %d diverged: %v vs %v", i, got[i], ref.TopK[i])
+		}
+	}
+}
+
+// A retraction of a never-inserted edge must abort the run without mutating
+// the graph — the atomic-rejection contract extends to the new syntax.
+func TestRunFollowRejectsUnmatchedRetraction(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "bad.stream")
+	if err := os.WriteFile(stream, []byte("0\t1\t1\n- 0\t0\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := grminer.ToyDating()
+	edges := g.NumLiveEdges()
+	in, closeIn, err := openFollowStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIn()
+	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFollow(eng, g, grminer.NhpMetric, in, 0, false, "", ""); err == nil {
+		t.Fatal("unmatched retraction accepted")
+	}
+	if g.NumLiveEdges() != edges {
+		t.Fatalf("graph mutated to %d live edges despite rejection", g.NumLiveEdges())
 	}
 }
 

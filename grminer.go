@@ -88,6 +88,15 @@ type (
 	ShardStrategy = graph.ShardStrategy
 	// EdgeInsert is one edge for Incremental.Apply.
 	EdgeInsert = core.EdgeInsert
+	// EdgeDelete is one edge retraction for ApplyBatch: it removes one live
+	// edge matching the endpoints and edge values exactly, resolved against
+	// the graph as it stood before the batch.
+	EdgeDelete = core.EdgeDelete
+	// Batch is one mixed insert/delete change set for
+	// Incremental.ApplyBatch / IncrementalSharded.ApplyBatch. Malformed
+	// input anywhere in a batch — a schema-rejected insert or a retraction
+	// matching no live edge — rejects the whole batch atomically.
+	Batch = core.Batch
 	// IncStats reports the work one incremental batch performed.
 	IncStats = core.IncStats
 	// Metric is a pluggable interestingness measure (Section VII).
@@ -161,13 +170,17 @@ func AutoPlanGraph(g *Graph, procs int, opt Options) Plan {
 	return core.PlanForSize(g.NumEdges(), g.Schema(), procs, opt)
 }
 
-// NewIncremental seeds an incremental mining engine over g: the returned
-// engine maintains the same top-k a fresh Mine would produce while edge
-// batches are ingested with Apply, re-mining only the SFDF subtrees each
-// batch can actually change (a full re-mine per batch only for metrics
-// whose scores can rise with |E|, the lift family). The engine owns g —
-// Apply appends to it — and, like the parallel engine, a dynamic floor
-// forces ExactGenerality so the maintained result is order-independent
+// NewIncremental seeds a fully dynamic incremental mining engine over g:
+// the returned engine maintains the same top-k a fresh Mine would produce
+// while mixed edge batches are ingested with Apply (insertions) or
+// ApplyBatch (insertions + retractions), re-mining only the SFDF subtrees
+// each batch can actually change (a full re-mine per batch only for metrics
+// whose scores can rise with |E| — the lift family always, gain for batches
+// containing deletions). Options.PoolCap bounds the tracked candidate pool,
+// spilling low scorers to a score-ordered frontier and re-mining exactly
+// when the answer could depend on it. The engine owns g — batches mutate
+// it — and, like the parallel engine, a dynamic floor forces
+// ExactGenerality so the maintained result is order-independent
 // (Incremental.Options returns the effective settings).
 func NewIncremental(g *Graph, opt Options) (*Incremental, error) {
 	return core.NewIncremental(g, opt)
@@ -214,10 +227,12 @@ func NewShardCoordinator(g *Graph, opt Options, so ShardOptions) (*ShardCoordina
 	return core.NewShardCoordinator(g, opt, so)
 }
 
-// NewIncrementalSharded seeds a shard-aware incremental engine: every
-// applied EdgeInsert is routed to the shard that owns it under the plan's
-// deterministic strategy, per-shard candidate pools are delta-maintained
-// worker-side, and the global top-k is re-merged after every batch — for
+// NewIncrementalSharded seeds a shard-aware fully dynamic incremental
+// engine: every applied EdgeInsert and EdgeDelete is routed to the shard
+// that owns it under the plan's deterministic (endpoint-pure) strategy,
+// per-shard candidate pools are delta-maintained worker-side — deletions
+// decrement shard counts and can demote entries below the pigeonhole
+// threshold — and the global top-k is re-merged after every batch, for
 // every metric, with no full re-mine fallback. The engine owns g, like
 // NewIncremental.
 func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {

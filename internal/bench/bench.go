@@ -99,7 +99,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
-	"incremental", "sharding", "distributed",
+	"incremental", "dynamic", "sharding", "distributed",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -131,6 +131,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Scaling(w, cfg)
 	case "incremental":
 		return Incremental(w, cfg)
+	case "dynamic":
+		return Dynamic(w, cfg)
 	case "sharding":
 		return Sharding(w, cfg)
 	case "distributed":

@@ -1,45 +1,80 @@
-// Incremental top-k GR mining under edge insertions.
+// Fully dynamic top-k GR mining: edge insertions AND deletions in mixed
+// batches, over a bounded tracked pool.
 //
 // The batch miner re-enumerates the whole SFDF tree on every change; this
-// file maintains the same result while ingesting edge insertions in batches.
-// The engine rests on three pieces:
+// file maintains the same result while ingesting edge batches. The engine
+// rests on three pieces:
 //
-//  1. An append-friendly store: edges are appended to the graph and synced
-//     into the compact model with store.Append, which grows LArray/RArray
-//     rows as nodes become active and adds EArray rows in a tail segment.
+//  1. A fully dynamic store: insertions are appended to the graph and synced
+//     into the compact model with store.Append (EArray tail segment, new
+//     LArray/RArray rows as nodes activate); deletions tombstone their rows
+//     (store.RemoveEdges), which keeps the removed values readable for the
+//     delta recount and folds into a compaction once the dead fraction
+//     crosses the store's threshold. Per-(attribute, value) posting lists
+//     maintained by the store hand the scoped re-mine its first-level
+//     partitions directly, replacing the O(|E| × dims) per-batch partition
+//     pass that used to floor every Apply (Options.NoPostingLists keeps the
+//     old pass as the measured ablation baseline).
 //
 //  2. A tracked candidate pool — the "guarded frontier": the exact counts
 //     (LWR, LW, Hom, R, E) of every GR currently satisfying Definition 5
 //     condition (1). The pool is a superset of the top-k (it also holds
-//     generality-blocked candidates, which insertions can unblock when
-//     their blocker's score decays below minScore), so conditions (2) and
-//     (3) can be re-applied exactly after every batch with the same
-//     most-general-first merge the parallel engine uses.
+//     generality-blocked candidates, which batches can unblock when their
+//     blocker decays below the thresholds), so conditions (2) and (3) can
+//     be re-applied exactly after every batch with the same
+//     most-general-first merge the parallel engine uses. Under
+//     Options.PoolCap the pool is bounded; see trimPool for the exactness
+//     argument (score-ordered spill + re-mine-on-underflow).
 //
-//  3. A scoped re-mine: insertions can promote GRs the pool has never seen
-//     (support crossing minSupp, or score rising past minScore). For
-//     DeltaSafe metrics a score can only *rise* when an inserted edge
-//     matches the GR's full descriptor l ∧ w ∧ r (see metrics.Metric), and
-//     such a GR's first-level SFDF subtree is then keyed by an
-//     (attribute, value) pair the inserted edge carries. Re-mining exactly
-//     the first-level subtrees whose key matches an inserted edge therefore
-//     discovers every possible riser; all other subtrees are provably
-//     unchanged-or-falling and are skipped. This is the same
-//     candidate-union soundness argument the parallel engine makes for its
-//     task decomposition (parallel.go), applied to the subset of tasks the
-//     batch touches. Metrics that are not DeltaSafe (the lift family, whose
-//     scores can rise when |E| grows) fall back to a full pool rebuild —
-//     still incremental on the store, not on the search.
+//  3. A scoped re-mine covering every possible pool *entrant*:
+//
+//     Insertions can promote GRs the pool has never seen (support crossing
+//     minSupp, or score rising past minScore). For DeltaSafe metrics a
+//     score can only rise when an inserted edge matches the GR's full
+//     descriptor l ∧ w ∧ r (see metrics.Metric), and such a GR's
+//     first-level SFDF subtree is then keyed by an (attribute, value) pair
+//     the inserted edge carries. Re-mining exactly the first-level subtrees
+//     whose key matches an inserted edge therefore discovers every
+//     possible riser; all other subtrees are provably unchanged-or-falling
+//     and are skipped.
+//
+//     Deletions never raise support, so a deletion-entrant must be a score
+//     riser, and for DeleteSafe metrics (score a pure function of LWR, LW,
+//     Hom) a score rises only when a deleted edge matched the GR's l ∧ w
+//     without matching r — shrinking the denominator. Such a GR's
+//     first-level LEFT or EDGE subtree is keyed by a value the deleted edge
+//     carries, so the insertion argument dualises — except for the root
+//     RIGHT block, whose GRs have empty l ∧ w (which every edge matches):
+//     ANY deletion can raise their scores, so a batch containing deletions
+//     re-mines every root RIGHT subtree. That block only ever extends the
+//     RHS, so it is the cheapest of the three.
+//
+//     This is the same candidate-union soundness argument the parallel
+//     engine makes for its task decomposition (parallel.go), applied to the
+//     subset of tasks the batch touches. Metrics that are not DeltaSafe
+//     (the lift family, whose scores can rise when |E| grows) rebuild the
+//     pool every batch; metrics that are DeltaSafe but not DeleteSafe
+//     (gain, which reads E) rebuild only for batches containing deletions.
+//
+// Floors are decrement-safe by construction: nothing about condition (3) is
+// persisted across batches. Every Apply re-derives the k-th best score from
+// the surviving pool in assemble — a deletion that demotes or evicts a
+// current top-k member simply yields a lower merged floor next batch,
+// whereas a CAS-raised floor carried across batches (the parallel engine's
+// in-run device) would wrongly keep pruning at the stale, higher value.
 //
 // Exactness: after every Apply, the returned top-k equals a fresh batch
-// mine of the grown graph under the engine's effective options. Like the
-// parallel engine, a dynamic floor forces ExactGenerality so condition (2)
-// is order-independent; the oracle tests in incremental_test.go assert the
-// equivalence after every batch, for every metric, in both floor modes.
+// mine of the surviving graph under the engine's effective options. Like
+// the parallel engine, a dynamic floor forces ExactGenerality so condition
+// (2) is order-independent; the oracle tests in incremental_test.go and
+// dynamic_test.go assert the equivalence after every batch, for every
+// metric, in both floor modes.
 package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"grminer/internal/gr"
@@ -55,13 +90,34 @@ type EdgeInsert struct {
 	Vals     []graph.Value
 }
 
+// EdgeDelete is one edge retraction: it removes one live edge matching the
+// endpoints and edge attribute values exactly (a multigraph can hold several
+// such edges; one unspecified instance is removed). Deletions resolve
+// against the graph as it stood BEFORE the batch — a batch cannot delete an
+// edge it also inserts — and a retraction matching no pre-batch live edge
+// rejects the whole batch.
+type EdgeDelete struct {
+	Src, Dst int
+	Vals     []graph.Value
+}
+
+// Batch is one mixed change set for ApplyBatch. Because deletions resolve
+// against the pre-batch graph, the two slices commute and carry no internal
+// order.
+type Batch struct {
+	Ins []EdgeInsert
+	Del []EdgeDelete
+}
+
 // IncStats describes the work one Apply batch performed (Cumulative sums
 // them over the engine's lifetime).
 type IncStats struct {
 	// Batches is 1 for a single Apply; cumulative totals sum it.
 	Batches int
-	// Edges is the number of edges ingested.
+	// Edges is the number of edges inserted.
 	Edges int
+	// Deleted is the number of edges retracted.
+	Deleted int
 	// Tracked is the pool size after the batch.
 	Tracked int
 	// Recounted is the number of pool entries whose counts were
@@ -74,8 +130,15 @@ type IncStats struct {
 	SubtreesRemined int
 	SubtreesTotal   int
 	// FullRemines counts batches that rebuilt the pool from scratch
-	// (non-DeltaSafe metric or negative minScore).
+	// (non-DeltaSafe metric, negative minScore, or a deletion under a
+	// metric that is not DeleteSafe).
 	FullRemines int
+	// Spilled counts pool entries spilled past Options.PoolCap;
+	// UnderflowRemines counts batches whose bounded pool could not prove
+	// the top-k independent of the spilled frontier and re-mined the
+	// complete pool before answering.
+	Spilled          int
+	UnderflowRemines int
 	// Duration is the wall-clock Apply time.
 	Duration time.Duration
 }
@@ -84,12 +147,15 @@ type IncStats struct {
 func (s *IncStats) add(b IncStats) {
 	s.Batches += b.Batches
 	s.Edges += b.Edges
+	s.Deleted += b.Deleted
 	s.Tracked = b.Tracked
 	s.Recounted += b.Recounted
 	s.Dropped += b.Dropped
 	s.SubtreesRemined += b.SubtreesRemined
 	s.SubtreesTotal += b.SubtreesTotal
 	s.FullRemines += b.FullRemines
+	s.Spilled += b.Spilled
+	s.UnderflowRemines += b.UnderflowRemines
 	s.Duration += b.Duration
 }
 
@@ -109,11 +175,21 @@ type Incremental struct {
 	st     *store.Store
 	opt    Options
 	metric metrics.Metric
-	// deltaSafe gates the scoped path; see metrics.Metric.DeltaSafe.
-	deltaSafe bool
-	pool      map[string]*tracked
-	last      *Result
-	cum       IncStats
+	// deltaSafe gates the scoped path for insertions; deleteSafe
+	// additionally gates it for batches containing deletions. See
+	// metrics.Metric.DeltaSafe / DeleteSafe.
+	deltaSafe  bool
+	deleteSafe bool
+	pool       map[string]*tracked
+	// spillFloor is the highest score ever spilled past Options.PoolCap
+	// since the pool was last complete (-Inf when nothing is spilled);
+	// spilled records whether the frontier is non-empty. Together they are
+	// the bounded pool's proof obligation: a merged top-k whose k-th score
+	// beats spillFloor is provably unaffected by every spilled entry.
+	spillFloor float64
+	spilled    bool
+	last       *Result
+	cum        IncStats
 }
 
 // NewIncremental builds the compact store for g, runs one full mine to seed
@@ -142,12 +218,19 @@ func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
 		metric: opt.Metric,
 		deltaSafe: opt.Metric.DeltaSafe && !opt.Metric.NeedsR &&
 			opt.MinScore >= 0,
-		pool: make(map[string]*tracked),
+		deleteSafe: opt.Metric.DeleteSafe,
+		pool:       make(map[string]*tracked),
+		spillFloor: math.Inf(-1),
+	}
+	if !opt.NoPostingLists {
+		inc.st.EnablePostings()
 	}
 	var stats Stats
+	var seedStats IncStats
 	start := time.Now()
 	inc.rebuildPool(&stats)
-	inc.last = inc.assemble(&stats, time.Since(start))
+	inc.last = inc.assembleBounded(&stats, &seedStats, start)
+	inc.cum.Spilled += seedStats.Spilled
 	inc.cum.Tracked = len(inc.pool)
 	return inc, nil
 }
@@ -164,17 +247,29 @@ func (inc *Incremental) Result() *Result { return inc.last }
 func (inc *Incremental) Cumulative() IncStats { return inc.cum }
 
 // Apply ingests one batch of edge insertions and returns the updated top-k.
-// The whole batch is validated against the schema before any state changes:
-// a malformed edge rejects the batch with an error and leaves the engine
-// (and the owned graph) untouched.
+// It is ApplyBatch with no deletions.
 func (inc *Incremental) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
+	return inc.ApplyBatch(Batch{Ins: edges})
+}
+
+// ApplyBatch ingests one mixed batch of insertions and deletions and returns
+// the updated top-k. The whole batch is validated before any state changes:
+// a malformed insert, or a retraction matching no pre-batch live edge,
+// rejects the batch with an error and leaves the engine (and the owned
+// graph) untouched. Deletions resolve against the pre-batch edge set, so the
+// two slices commute.
+func (inc *Incremental) ApplyBatch(b Batch) (*Result, IncStats, error) {
 	start := time.Now()
-	for i, e := range edges {
+	for i, e := range b.Ins {
 		if err := inc.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			return nil, IncStats{}, fmt.Errorf("core: batch edge %d: %w", i, err)
 		}
 	}
-	for _, e := range edges {
+	delRows, err := resolveDeletes(inc.st, b.Del)
+	if err != nil {
+		return nil, IncStats{}, err
+	}
+	for _, e := range b.Ins {
 		if _, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			// Unreachable after CheckEdge; kept as an invariant guard.
 			return nil, IncStats{}, err
@@ -182,24 +277,143 @@ func (inc *Incremental) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
 	}
 	newIDs := inc.st.Append()
 
-	bs := IncStats{Batches: 1, Edges: len(edges)}
+	bs := IncStats{Batches: 1, Edges: len(b.Ins), Deleted: len(delRows)}
 	var stats Stats
-	if len(newIDs) > 0 {
-		if inc.deltaSafe {
-			bs.Recounted, bs.Dropped = inc.recount(newIDs)
-			bs.SubtreesRemined, bs.SubtreesTotal = inc.remineAffected(newIDs, &stats)
-		} else {
-			// Full rebuild: the whole tree is re-walked, so no subtree
-			// selectivity is reported (SubtreesRemined/Total stay 0).
-			inc.rebuildPool(&stats)
-			bs.FullRemines = 1
+	scoped := inc.deltaSafe && (len(delRows) == 0 || inc.deleteSafe)
+	if scoped {
+		// Order matters: the recount and the affected-key collection read
+		// the doomed rows' values, so both run before the rows tombstone;
+		// the re-mine then runs over the surviving store (RemoveEdges may
+		// compact and renumber rows — newIDs and delRows are dead after it).
+		bs.Recounted, bs.Dropped = inc.recount(newIDs, delRows)
+		aff := collectAffected(inc.st, newIDs, delRows)
+		if err := inc.applyDeletes(delRows); err != nil {
+			return nil, IncStats{}, err
 		}
+		bs.SubtreesRemined, bs.SubtreesTotal = inc.remineAffected(aff, &stats)
+	} else if len(newIDs) > 0 || len(delRows) > 0 {
+		// Full rebuild: the whole tree is re-walked, so no subtree
+		// selectivity is reported (SubtreesRemined/Total stay 0). The
+		// rebuild recovers a complete pool, so the spilled frontier (if
+		// any) is subsumed and its floor resets.
+		if err := inc.applyDeletes(delRows); err != nil {
+			return nil, IncStats{}, err
+		}
+		inc.rebuildPool(&stats)
+		bs.FullRemines = 1
 	}
-	inc.last = inc.assemble(&stats, time.Since(start))
+	inc.last = inc.assembleBounded(&stats, &bs, start)
 	bs.Tracked = len(inc.pool)
 	bs.Duration = inc.last.Stats.Duration
 	inc.cum.add(bs)
 	return inc.last, bs, nil
+}
+
+// resolveDeletes maps each retraction to a distinct live store row matching
+// its endpoints and edge values exactly, by one pass over the live rows. An
+// unmatched retraction is an error (the caller rejects the batch unmutated).
+func resolveDeletes(st *store.Store, dels []EdgeDelete) ([]int32, error) {
+	ne := len(st.Graph().Schema().Edge)
+	ids, err := resolveRetractions(dels, ne, st.NumRows(), func(e int) (int, int, bool) {
+		if !st.Alive(int32(e)) {
+			return 0, 0, false
+		}
+		return int(st.SrcNode(int32(e))), int(st.DstNode(int32(e))), true
+	}, func(e, a int) graph.Value {
+		return st.EVal(int32(e), a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int32, len(ids))
+	for i, id := range ids {
+		rows[i] = int32(id)
+	}
+	return rows, nil
+}
+
+// resolveRetractions is the shared retraction-resolution loop of the
+// single-store engine (over EArray rows), the sharded coordinator, and the
+// shard workers (over graph edges): match each EdgeDelete to a distinct
+// live edge with identical endpoints and edge values, deterministically
+// claiming candidates in id order (a multigraph may hold several; the
+// lowest-id unclaimed instance goes). The scan pre-filters by an endpoint
+// hash so the common case — a huge edge set, a handful of retractions —
+// touches two ints per row, not a per-row formatted key. An unmatched
+// retraction is an error; callers reject the whole batch unmutated.
+func resolveRetractions(dels []EdgeDelete, ne, numRows int, endpoints func(e int) (src, dst int, alive bool), val func(e, a int) graph.Value) ([]int, error) {
+	if len(dels) == 0 {
+		return nil, nil
+	}
+	pack := func(src, dst int) uint64 {
+		return uint64(uint32(src))<<32 | uint64(uint32(dst))
+	}
+	pending := make(map[uint64][]int, len(dels))
+	for i, d := range dels {
+		if len(d.Vals) != ne {
+			return nil, fmt.Errorf("core: batch retraction %d: %d values for %d edge attributes", i, len(d.Vals), ne)
+		}
+		pending[pack(d.Src, d.Dst)] = append(pending[pack(d.Src, d.Dst)], i)
+	}
+	ids := make([]int, len(dels))
+	matched := 0
+	for e := 0; e < numRows && matched < len(dels); e++ {
+		src, dst, alive := endpoints(e)
+		if !alive {
+			continue
+		}
+		key := pack(src, dst)
+		idxs := pending[key]
+		if len(idxs) == 0 {
+			continue
+		}
+		for slot, i := range idxs {
+			d := dels[i]
+			// Re-check the endpoints (the 32-bit pack can collide) and
+			// compare the edge values directly.
+			if d.Src != src || d.Dst != dst {
+				continue
+			}
+			match := true
+			for a := 0; a < ne; a++ {
+				if val(e, a) != d.Vals[a] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			ids[i] = e
+			pending[key] = append(idxs[:slot], idxs[slot+1:]...)
+			matched++
+			break
+		}
+	}
+	if matched < len(dels) {
+		for _, idxs := range pending {
+			if len(idxs) > 0 {
+				d := dels[idxs[0]]
+				return nil, fmt.Errorf("core: batch retraction %d: no live edge %d->%d with those values",
+					idxs[0], d.Src, d.Dst)
+			}
+		}
+	}
+	return ids, nil
+}
+
+// applyDeletes tombstones the resolved rows in both the owned graph and the
+// store (which may compact).
+func (inc *Incremental) applyDeletes(delRows []int32) error {
+	if len(delRows) == 0 {
+		return nil
+	}
+	for _, row := range delRows {
+		if err := inc.g.RemoveEdge(int(inc.st.EdgeID(row))); err != nil {
+			return fmt.Errorf("core: retract row %d: %w", row, err)
+		}
+	}
+	return inc.st.RemoveEdges(delRows)
 }
 
 // captureOpts derives the options for pool-building mines: unbounded,
@@ -224,26 +438,33 @@ func (inc *Incremental) upsert(g gr.GR, c metrics.Counts, score float64) {
 }
 
 // rebuildPool re-seeds the pool with a full capture mine over the current
-// store (seed mine, and the per-batch fallback for non-DeltaSafe metrics).
+// store (seed mine, the per-batch fallback for non-delta-safe batches, and
+// the bounded pool's underflow re-mine). The rebuilt pool is complete, so
+// any spilled frontier is subsumed and its floor resets.
 func (inc *Incremental) rebuildPool(stats *Stats) {
 	inc.pool = make(map[string]*tracked, len(inc.pool))
 	m := newMiner(inc.st, inc.captureOpts())
 	m.capture = inc.upsert
 	m.run()
 	addStats(stats, &m.stats)
+	inc.spillFloor = math.Inf(-1)
+	inc.spilled = false
 }
 
-// recount delta-updates every pool entry against the inserted edges and
-// drops entries whose score decayed below minScore (their support cannot
-// have decayed, and a later score rise requires a full-descriptor match,
-// which re-discovers them through the scoped re-mine). Counts stay exact:
-// an inserted edge matching l ∧ w grows LW; matching r on top of that grows
-// LWR (and by the β-value conflict can never also match l[β]); matching
-// l[β] instead grows Hom alongside LW.
-func (inc *Incremental) recount(newIDs []int32) (recounted, dropped int) {
+// recount delta-updates every pool entry against the batch's inserted and
+// doomed rows (deletions are still readable — they tombstone only after this
+// pass) and drops entries that no longer satisfy condition (1): a score
+// decayed below minScore, or — deletions only — a support fallen below
+// minSupp. Dropped entries are re-discovered by the scoped re-mine the
+// moment a later batch lifts them back over a threshold. Counts stay exact:
+// an edge matching l ∧ w moves LW; matching r on top of that moves LWR (and
+// by the β-value conflict can never also match l[β]); matching l[β] instead
+// moves Hom alongside LW — with inserted rows adding and deleted rows
+// subtracting.
+func (inc *Incremental) recount(newIDs, delRows []int32) (recounted, dropped int) {
 	// NeedsR metrics are never DeltaSafe, so Counts.R needs no maintenance
 	// here — only the full-rebuild path serves them.
-	totalE := inc.st.NumEdges()
+	totalE := inc.st.NumEdges() - len(delRows)
 	for key, t := range inc.pool {
 		changed := false
 		for _, e := range newIDs {
@@ -258,12 +479,24 @@ func (inc *Incremental) recount(newIDs []int32) (recounted, dropped int) {
 				t.c.Hom++
 			}
 		}
+		for _, e := range delRows {
+			if !matchOn(inc.st.LVal, e, t.gr.L) || !matchOn(inc.st.EVal, e, t.gr.W) {
+				continue
+			}
+			t.c.LW--
+			changed = true
+			if matchOn(inc.st.RVal, e, t.gr.R) {
+				t.c.LWR--
+			} else if t.betaMask != 0 && inc.matchHom(e, t) {
+				t.c.Hom--
+			}
+		}
 		t.c.E = totalE
 		t.score = inc.metric.Score(t.c)
 		if changed {
 			recounted++
 		}
-		if t.score < inc.opt.MinScore {
+		if t.score < inc.opt.MinScore || t.c.LWR < inc.opt.MinSupp {
 			delete(inc.pool, key)
 			dropped++
 		}
@@ -305,25 +538,30 @@ func matchHomOn(st *store.Store, e int32, l gr.Descriptor, betaMask uint64) bool
 	return true
 }
 
-// remineAffected re-mines exactly the first-level SFDF subtrees an inserted
-// edge can change, upserting every candidate found into the pool.
-func (inc *Incremental) remineAffected(newIDs []int32, stats *Stats) (remined, total int) {
-	return remineAffectedSubtrees(inc.st, inc.captureOpts(), newIDs, inc.upsert, stats)
+// affectedKeys is the scoped re-mine's work list: for each block, the
+// (attribute, value) first-level subtree keys a batch can have changed, plus
+// the AllRight flag deletions raise (every root RIGHT subtree holds GRs with
+// empty l ∧ w, which every deleted edge matched — see the package comment).
+type affectedKeys struct {
+	L, R     []map[graph.Value]bool
+	W        []map[graph.Value]bool
+	AllRight bool
 }
 
-// remineAffectedSubtrees re-mines exactly the first-level SFDF subtrees
-// whose (dimension, attribute, value) key appears on one of the store rows
-// in newIDs, feeding every candidate found to the capture hook. The
-// enumeration mirrors the decomposition of parallel.go's buildTasks (root
-// RIGHT, EDGE, and LEFT blocks) so every GR of the full walk belongs to
-// exactly one subtree. Shared by the single-store incremental engine and
-// the per-shard scoped re-mine of the sharded incremental engine.
-func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+// collectAffected gathers the affected subtree keys from the batch's
+// inserted rows and doomed rows (called before the latter tombstone, while
+// their values are still readable). Inserted rows mark all three blocks
+// (a riser's full descriptor is carried by the inserted edge); deleted rows
+// mark only LEFT and EDGE keys — a deletion-riser's l ∧ w is carried by the
+// deleted edge, but its RHS need not be, so deletions flip AllRight instead.
+func collectAffected(st *store.Store, newIDs, delRows []int32) affectedKeys {
 	schema := st.Graph().Schema()
 	nv, ne := len(schema.Node), len(schema.Edge)
-	affL := make([]map[graph.Value]bool, nv)
-	affR := make([]map[graph.Value]bool, nv)
-	affW := make([]map[graph.Value]bool, ne)
+	aff := affectedKeys{
+		L: make([]map[graph.Value]bool, nv),
+		R: make([]map[graph.Value]bool, nv),
+		W: make([]map[graph.Value]bool, ne),
+	}
 	mark := func(sets []map[graph.Value]bool, a int, v graph.Value) {
 		if v == graph.Null {
 			return
@@ -335,14 +573,154 @@ func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, captur
 	}
 	for _, e := range newIDs {
 		for a := 0; a < nv; a++ {
-			mark(affL, a, st.LVal(e, a))
-			mark(affR, a, st.RVal(e, a))
+			mark(aff.L, a, st.LVal(e, a))
+			mark(aff.R, a, st.RVal(e, a))
 		}
 		for a := 0; a < ne; a++ {
-			mark(affW, a, st.EVal(e, a))
+			mark(aff.W, a, st.EVal(e, a))
 		}
 	}
+	for _, e := range delRows {
+		aff.AllRight = true
+		for a := 0; a < nv; a++ {
+			mark(aff.L, a, st.LVal(e, a))
+		}
+		for a := 0; a < ne; a++ {
+			mark(aff.W, a, st.EVal(e, a))
+		}
+	}
+	return aff
+}
 
+// rightSubtreeAffected decides whether a root RIGHT subtree with n live
+// edges in its partition needs re-mining. Insert-marked subtrees always do.
+// In deletion mode (aff.AllRight) every RIGHT subtree is a potential riser —
+// its GRs' empty l ∧ w matches every deleted edge — but a sharp score bound
+// prunes most of them: every GR in the subtree has LW = |E|, Hom = 0 (empty
+// LHS ⇒ empty β, so nhp degenerates to conf throughout), and LWR ≤ n, and
+// every DeleteSafe metric is non-decreasing in LWR at fixed LW, so
+// Score({LWR: n, LW: E, E: E}) bounds every score below the subtree from
+// above. A subtree whose bound misses minScore holds no condition-(1)
+// entrant and is skipped — the saving that keeps deletion batches from
+// re-walking the whole RIGHT block.
+func rightSubtreeAffected(opt Options, aff affectedKeys, attr int, val graph.Value, n, liveE int) bool {
+	if aff.R[attr][val] {
+		return true
+	}
+	if !aff.AllRight {
+		return false
+	}
+	bound := opt.Metric.Score(metrics.Counts{LWR: n, LW: liveE, E: liveE})
+	return bound >= opt.MinScore
+}
+
+// remineAffected re-mines exactly the first-level SFDF subtrees the batch
+// can have changed, upserting every candidate found into the pool.
+func (inc *Incremental) remineAffected(aff affectedKeys, stats *Stats) (remined, total int) {
+	return remineAffectedSubtrees(inc.st, inc.captureOpts(), aff, inc.upsert, stats)
+}
+
+// remineAffectedSubtrees re-mines exactly the first-level SFDF subtrees in
+// the affected set, feeding every candidate found to the capture hook. The
+// enumeration mirrors the decomposition of parallel.go's buildTasks (root
+// RIGHT, EDGE, and LEFT blocks) so every GR of the full walk belongs to
+// exactly one subtree. Shared by the single-store incremental engine and
+// the per-shard scoped re-mine of the sharded incremental engine.
+//
+// Two implementations maintain the same pool (the oracle and posting-list
+// invariant tests pin their equivalence):
+//
+//   - reminePostings, the default: first-level partitions come straight from
+//     the store's per-(attribute, value) posting lists — no O(|E| × dims)
+//     counting-sort pass over the full edge set — and the walk additionally
+//     filters every deeper descent by the affected keys (miner.aff), which
+//     the entrant argument licenses at every depth, not just the first.
+//   - reminePartition, the PR 2 Apply path kept behind NoPostingLists as
+//     the measured baseline (`grbench -exp dynamic`): one counting sort
+//     over the full edge set per dimension recovers the first-level
+//     partitions, and affected subtrees are re-walked in full, exactly as
+//     the pre-posting-list engine did.
+func remineAffectedSubtrees(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+	if st.PostingsEnabled() {
+		return reminePostings(st, opt, aff, capture, stats)
+	}
+	return reminePartition(st, opt, aff, capture, stats)
+}
+
+// reminePostings is the posting-list re-mine: first-level partitions come
+// straight from the store's per-(attribute, value) lists, and the deep
+// affected-key filter scopes every level below them.
+func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+	schema := st.Graph().Schema()
+	m := newMiner(st, opt)
+	m.capture = capture
+	m.aff, m.affSkipR = &aff, aff.AllRight
+
+	// The full live edge list is only needed as the base partition (the LW
+	// denominator) of root RIGHT subtrees; materialise it lazily so
+	// insert-only batches that touch no RIGHT subtree skip the O(|E|) walk.
+	var all []int32
+	sr := rhsOrder(schema, gr.Descriptor(nil).Has)
+	if m.opt.StaticRHSOrder {
+		sr = staticRHSOrder(schema)
+	}
+	for pos := 0; pos < len(sr); pos++ {
+		attr := sr[pos]
+		for val := graph.Value(1); int(val) <= schema.Node[attr].Domain; val++ {
+			n := st.LiveCountR(attr, val)
+			if n < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !rightSubtreeAffected(opt, aff, attr, val, n, st.NumEdges()) {
+				continue
+			}
+			remined++
+			if all == nil {
+				all = st.AllEdges()
+			}
+			rc := &rctx{base: all, sr: sr}
+			m.rightGroup(rc, st.RRows(attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
+		}
+	}
+	for pos := 0; pos < len(m.swOrder); pos++ {
+		attr := m.swOrder[pos]
+		for val := graph.Value(1); int(val) <= schema.Edge[attr].Domain; val++ {
+			if st.LiveCountW(attr, val) < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !aff.W[attr][val] {
+				continue
+			}
+			remined++
+			m.edgeGroup(st.WRows(attr, val), 1, nil, gr.Descriptor(nil).With(attr, val), pos)
+		}
+	}
+	for pos := 0; pos < len(m.slOrder); pos++ {
+		attr := m.slOrder[pos]
+		for val := graph.Value(1); int(val) <= schema.Node[attr].Domain; val++ {
+			if st.LiveCountL(attr, val) < m.opt.MinSupp {
+				continue
+			}
+			total++
+			if !aff.L[attr][val] {
+				continue
+			}
+			remined++
+			m.leftGroup(st.LRows(attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
+		}
+	}
+	addStats(stats, &m.stats)
+	return remined, total
+}
+
+// reminePartition is the PR 2 re-mine, verbatim in behaviour: one counting
+// sort over the full edge set per dimension recovers the first-level
+// partitions (affected or not), and affected subtrees are re-walked in
+// full — no deep affected-key filtering.
+func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+	schema := st.Graph().Schema()
 	m := newMiner(st, opt)
 	m.capture = capture
 	all := st.AllEdges()
@@ -363,7 +741,7 @@ func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, captur
 				continue
 			}
 			total++
-			if !affR[attr][graph.Value(grp.Val)] {
+			if !rightSubtreeAffected(opt, aff, attr, graph.Value(grp.Val), int(grp.Hi-grp.Lo), st.NumEdges()) {
 				continue
 			}
 			remined++
@@ -382,7 +760,7 @@ func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, captur
 				continue
 			}
 			total++
-			if !affW[attr][graph.Value(grp.Val)] {
+			if !aff.W[attr][graph.Value(grp.Val)] {
 				continue
 			}
 			remined++
@@ -400,7 +778,7 @@ func remineAffectedSubtrees(st *store.Store, opt Options, newIDs []int32, captur
 				continue
 			}
 			total++
-			if !affL[attr][graph.Value(grp.Val)] {
+			if !aff.L[attr][graph.Value(grp.Val)] {
 				continue
 			}
 			remined++
@@ -428,6 +806,103 @@ func (inc *Incremental) assemble(stats *Stats, d time.Duration) *Result {
 	stats.Candidates = int64(len(collected))
 	stats.Duration = d
 	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.st.NumEdges()}
+}
+
+// assembleBounded is assemble wrapped in the bounded-pool protocol: when a
+// spilled frontier exists and the merged top-k cannot be proven independent
+// of it, the complete pool is re-mined from the store (re-mine-on-underflow)
+// and the merge repeated — the answer is then exact by the unbounded
+// argument. Afterwards the pool is trimmed back under PoolCap. With PoolCap
+// unset this is exactly assemble.
+func (inc *Incremental) assembleBounded(stats *Stats, bs *IncStats, start time.Time) *Result {
+	res := inc.assemble(stats, time.Since(start))
+	if inc.opt.PoolCap > 0 {
+		if inc.spilled && inc.underflow(res) {
+			inc.rebuildPool(stats)
+			bs.UnderflowRemines = 1
+			res = inc.assemble(stats, time.Since(start))
+		}
+		bs.Spilled += inc.trimPool()
+	}
+	return res
+}
+
+// underflow reports whether the merged result may depend on a spilled pool
+// entry. Every spilled entry's current score is at most spillFloor: its
+// score at spill time was, and any rise since would have required a batch
+// edge matching its l ∧ w (insertions: full descriptor; deletions: l ∧ w, or
+// anything for the empty-l∧w root RIGHT GRs) — exactly the cases whose
+// first-level subtrees the scoped re-mine re-walks, re-capturing the entry
+// into the pool. So a top-k whose k-th score strictly beats spillFloor, at
+// full length, is provably what the unbounded pool would have produced
+// (spilled generality blockers are retained by trimPool, so blocking
+// decisions cannot depend on the frontier either). Ties are treated as
+// underflow: rank order among equal scores could differ.
+func (inc *Incremental) underflow(res *Result) bool {
+	if len(res.TopK) < inc.opt.K {
+		return true
+	}
+	return res.TopK[len(res.TopK)-1].Score <= inc.spillFloor
+}
+
+// trimPool spills the pool down to PoolCap entries, keeping the cap
+// best-scoring ones plus — a soft overflow — every would-be-spilled entry
+// that generalises a kept one (same RHS, L and W subsets): those are the
+// generality blockers condition (2) needs, and dropping one could wrongly
+// surface a kept specialisation. Transitivity makes checking against the
+// top-cap set sufficient: a blocker's blocker generalises the same kept
+// entry. The highest spilled score feeds spillFloor, the underflow bound;
+// the floor resets only when rebuildPool recovers the complete pool.
+//
+// Exactness of the spill itself rests on the re-capture argument in
+// underflow's comment: a spilled entry re-enters the pool in the same Apply
+// that could raise its score or make it block a new entrant (the batch edge
+// driving either change carries the entry's first-level subtree key, or
+// deletions re-walk the whole root RIGHT block), so between batches the
+// frontier only ever holds entries that are provably irrelevant while the
+// k-th score stays above spillFloor.
+func (inc *Incremental) trimPool() (spilled int) {
+	cap := inc.opt.PoolCap
+	if cap <= 0 || len(inc.pool) <= cap {
+		return 0
+	}
+	entries := make([]*tracked, 0, len(inc.pool))
+	for _, t := range inc.pool {
+		entries = append(entries, t)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score > entries[j].score
+		}
+		return entries[i].gr.Key() < entries[j].gr.Key()
+	})
+	kept := entries[:cap]
+	byRHS := make(map[string][]*tracked, cap)
+	if !inc.opt.NoGeneralityFilter {
+		for _, t := range kept {
+			key := t.gr.RHSKey()
+			byRHS[key] = append(byRHS[key], t)
+		}
+	}
+	for _, t := range entries[cap:] {
+		blocks := false
+		for _, k := range byRHS[t.gr.RHSKey()] {
+			if t.gr.L.SubsetOf(k.gr.L) && t.gr.W.SubsetOf(k.gr.W) {
+				blocks = true
+				break
+			}
+		}
+		if blocks {
+			continue // retained as a generality blocker (soft overflow)
+		}
+		delete(inc.pool, t.gr.Key())
+		if t.score > inc.spillFloor {
+			inc.spillFloor = t.score
+		}
+		inc.spilled = true
+		spilled++
+	}
+	return spilled
 }
 
 // betaMaskOf computes β (Equation 4) as a node-attribute bitmask; shared by

@@ -60,6 +60,28 @@ type Options struct {
 	// withhold nhp pruning in exactly those states and examines strictly
 	// more GRs. `grbench -exp ablation` quantifies the cost.
 	StaticRHSOrder bool
+	// PoolCap bounds the incremental engine's tracked candidate pool
+	// (0 = unbounded; batch mining ignores it). With a cap, the pool keeps
+	// its PoolCap best-scoring condition-(1) entries (plus any spilled
+	// entry's generality blockers, a soft overflow) and spills the rest to a
+	// score-ordered frontier recorded only as the highest spilled score.
+	// Results stay exact: whenever the merged top-k cannot be proven
+	// independent of the spilled frontier (its k-th score does not beat the
+	// spill floor, or fewer than K results survive), the engine re-mines the
+	// complete pool from the store before answering — re-mine-on-underflow,
+	// never approximation. Requires K > 0: an unbounded result list can
+	// never be proven independent of spilled entries. Only the single-store
+	// incremental engine supports it; sharded pools are support-gated by the
+	// pigeonhole threshold and bounding them would break offer completeness
+	// (DESIGN.md §4e).
+	PoolCap int
+	// NoPostingLists makes the incremental engines maintain their pools with
+	// the PR 2 Apply path — a counting-sort partition pass over the full
+	// edge set per dimension, and full re-walks of affected subtrees —
+	// instead of the store's per-(attribute, value) posting lists with deep
+	// affected-key descent filtering. It is the measured baseline of
+	// `grbench -exp dynamic`, kept as an ablation knob.
+	NoPostingLists bool
 	// Parallelism > 1 mines first-level partitions on that many worker
 	// goroutines, drained largest-partition-first from a lock-free task
 	// queue; workers keep private top-k lists and share only an atomic
@@ -91,6 +113,12 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Parallelism < 0 {
 		return o, fmt.Errorf("core: negative Parallelism %d", o.Parallelism)
+	}
+	if o.PoolCap < 0 {
+		return o, fmt.Errorf("core: negative PoolCap %d", o.PoolCap)
+	}
+	if o.PoolCap > 0 && o.K == 0 {
+		return o, fmt.Errorf("core: PoolCap requires K > 0 (an unbounded result can never be proven independent of spilled pool entries)")
 	}
 	if o.Parallelism > 1 && o.DynamicFloor && !o.NoGeneralityFilter {
 		// Parallel dynamic-floor pruning needs order-independent blocking
@@ -234,6 +262,16 @@ type miner struct {
 	// support threshold — the local MinSupp here is the relaxed per-shard
 	// one, so this is the only global pruning a shard walk gets.
 	bound *OfferBound
+	// aff, when set (scoped incremental re-mines), filters every partition
+	// descent by the batch's affected (attribute, value) keys: a pool
+	// entrant's promoting edge carries the entrant's full descriptor, so
+	// every partition key on the entrant's SFDF path is affected-marked and
+	// the walk still reaches it; descents through unmarked keys provably
+	// lead to no entrant. affSkipR disables the filter for RHS descents —
+	// deletion entrants carry only l ∧ w (see incremental.go), so batches
+	// containing deletions must not filter R positions.
+	aff      *affectedKeys
+	affSkipR bool
 
 	slOrder []int
 	swOrder []int
@@ -325,6 +363,9 @@ func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := m.slOrder[pos]
+		if m.aff != nil && len(m.aff.L[attr]) == 0 {
+			continue // no affected value ⇒ no entrant below any group
+		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
 			return uint16(m.st.LVal(e, attr))
 		}, buf)
@@ -335,6 +376,9 @@ func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
 			part := buf[grp.Lo:grp.Hi]
 			if len(part) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
+				continue
+			}
+			if m.aff != nil && !m.aff.L[attr][graph.Value(grp.Val)] {
 				continue
 			}
 			lhs2 := lhs.With(attr, graph.Value(grp.Val))
@@ -364,6 +408,9 @@ func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) 
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := m.swOrder[pos]
+		if m.aff != nil && len(m.aff.W[attr]) == 0 {
+			continue // no affected value ⇒ no entrant below any group
+		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
 			return uint16(m.st.EVal(e, attr))
 		}, buf)
@@ -374,6 +421,9 @@ func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) 
 			part := buf[grp.Lo:grp.Hi]
 			if len(part) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
+				continue
+			}
+			if m.aff != nil && !m.aff.W[attr][graph.Value(grp.Val)] {
 				continue
 			}
 			w2 := w.With(attr, graph.Value(grp.Val))
@@ -430,6 +480,9 @@ func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxP
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := rc.sr[pos]
+		if m.aff != nil && !m.affSkipR && len(m.aff.R[attr]) == 0 {
+			continue // no affected value ⇒ no entrant below any group
+		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
 			return uint16(m.st.RVal(e, attr))
 		}, buf)
@@ -440,6 +493,9 @@ func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxP
 			part := buf[grp.Lo:grp.Hi]
 			if len(part) < m.opt.MinSupp {
 				m.stats.PrunedSupp++
+				continue
+			}
+			if m.aff != nil && !m.affSkipR && !m.aff.R[attr][graph.Value(grp.Val)] {
 				continue
 			}
 			rhs2 := rhs.With(attr, graph.Value(grp.Val))
@@ -727,14 +783,17 @@ func (m *miner) homEffect(rc *rctx, mask uint64) int {
 	return count
 }
 
-// rCount returns |E(r)| over the whole edge set, memoised per RHS.
+// rCount returns |E(r)| over the whole live edge set, memoised per RHS.
 func (m *miner) rCount(g gr.GR) int {
 	key := g.RHSKey()
 	if v, ok := m.rCounts[key]; ok {
 		return v
 	}
 	count := 0
-	for e := int32(0); int(e) < m.totalE; e++ {
+	for e := int32(0); int(e) < m.st.NumRows(); e++ {
+		if !m.st.Alive(e) {
+			continue
+		}
 		match := true
 		for _, c := range g.R {
 			if m.st.RVal(e, c.Attr) != c.Val {

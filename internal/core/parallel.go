@@ -348,14 +348,14 @@ func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scor
 		return topk.MergeItems(opt.K, collected).Items()
 	}
 	list := topk.New(opt.K)
-	sort.Slice(collected, func(i, j int) bool {
-		li := len(collected[i].GR.L) + len(collected[i].GR.W)
-		lj := len(collected[j].GR.L) + len(collected[j].GR.W)
-		if li != lj {
-			return li < lj
-		}
-		return collected[i].GR.Key() < collected[j].GR.Key()
-	})
+	// Keys are precomputed once: the comparator runs O(n log n) times per
+	// merge and this merge runs once per incremental batch over the whole
+	// tracked pool, where per-comparison Key() calls dominated profiles.
+	keys := make([]string, len(collected))
+	for i := range collected {
+		keys[i] = collected[i].GR.Key()
+	}
+	sort.Sort(&keyedCandidates{items: collected, keys: keys})
 	blockers := make(blockerMap)
 	for _, s := range collected {
 		if blockers.blocks(s.GR) {
@@ -366,4 +366,25 @@ func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scor
 		list.Consider(s)
 	}
 	return list.Items()
+}
+
+// keyedCandidates sorts candidates most-general-first (fewest L∪W
+// conditions, then canonical key) with the keys computed once up front.
+type keyedCandidates struct {
+	items []gr.Scored
+	keys  []string
+}
+
+func (k *keyedCandidates) Len() int { return len(k.items) }
+func (k *keyedCandidates) Less(i, j int) bool {
+	li := len(k.items[i].GR.L) + len(k.items[i].GR.W)
+	lj := len(k.items[j].GR.L) + len(k.items[j].GR.W)
+	if li != lj {
+		return li < lj
+	}
+	return k.keys[i] < k.keys[j]
+}
+func (k *keyedCandidates) Swap(i, j int) {
+	k.items[i], k.items[j] = k.items[j], k.items[i]
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
 }

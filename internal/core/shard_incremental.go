@@ -142,28 +142,41 @@ func (inc *IncrementalSharded) Cumulative() IncStats { return inc.cum }
 // Close releases the workers (remote connections, for a remote deployment).
 func (inc *IncrementalSharded) Close() error { return closeWorkers(inc.workers) }
 
-// Apply validates the whole batch, appends it to the owned graph, routes
-// every edge to its owning shard, hands each worker its slice to ingest
-// (worker-side pool maintenance), applies the returned deltas to the union
-// pool, and re-merges the global top-k. Like Incremental.Apply, a malformed
-// edge rejects the batch before any state changes. A failure *after* the
-// graph has grown — a worker that could not ingest its slice, which only a
-// remote transport can produce — permanently poisons the engine: the
-// coordinator and that worker now disagree on the edge set, so every
-// further Apply returns the original error instead of a silently
-// under-counted result.
+// Apply ingests one batch of edge insertions; it is ApplyBatch with no
+// deletions.
 func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, error) {
+	return inc.ApplyBatch(Batch{Ins: edges})
+}
+
+// ApplyBatch validates the whole mixed batch, applies it to the owned graph,
+// routes every insertion and retraction to its owning shard (the routing
+// strategies are endpoint-pure, so a retraction lands on the shard holding
+// the edge), hands each worker its slice to ingest (worker-side pool
+// maintenance, including below-threshold demotions), applies the returned
+// deltas to the union pool, and re-merges the global top-k. Like
+// Incremental.ApplyBatch, a malformed insert or an unmatched retraction
+// rejects the batch before any state changes; retractions resolve against
+// the pre-batch edge set. A failure *after* the graph has changed — a
+// worker that could not ingest its slice, which only a remote transport can
+// produce — permanently poisons the engine: the coordinator and that worker
+// now disagree on the edge set, so every further Apply returns the original
+// error instead of a silently under-counted result.
+func (inc *IncrementalSharded) ApplyBatch(b Batch) (*Result, IncStats, error) {
 	if inc.broken != nil {
 		return nil, IncStats{}, fmt.Errorf("core: sharded incremental engine unusable after earlier failure: %w", inc.broken)
 	}
 	start := time.Now()
-	for i, e := range edges {
+	for i, e := range b.Ins {
 		if err := inc.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			return nil, IncStats{}, fmt.Errorf("core: batch edge %d: %w", i, err)
 		}
 	}
-	owned := make([][]EdgeInsert, len(inc.workers))
-	for _, e := range edges {
+	delIDs, err := resolveGraphDeletes(inc.g, b.Del)
+	if err != nil {
+		return nil, IncStats{}, err
+	}
+	owned := make([]Batch, len(inc.workers))
+	for _, e := range b.Ins {
 		if _, err := inc.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			// Unreachable after CheckEdge; kept as an invariant guard.
 			return nil, IncStats{}, err
@@ -172,18 +185,32 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 		if err != nil {
 			return nil, IncStats{}, err
 		}
-		owned[s] = append(owned[s], e)
+		owned[s].Ins = append(owned[s].Ins, e)
 		// The coordinator routes every edge, so it keeps the coarse count
 		// sketches fresh without a round trip.
 		inc.sketches[s].addEdge(inc.g.NodeValues(e.Src), inc.g.NodeValues(e.Dst), e.Vals)
 	}
+	for i, id := range delIDs {
+		src, dst := inc.g.Src(id), inc.g.Dst(id)
+		s, err := inc.g.ShardOf(inc.plan.Strategy, inc.plan.Shards, src, dst)
+		if err != nil {
+			return nil, IncStats{}, err
+		}
+		if err := inc.g.RemoveEdge(id); err != nil {
+			return nil, IncStats{}, err
+		}
+		owned[s].Del = append(owned[s].Del, b.Del[i])
+		// Tombstoned values stay readable; the sketch keeps matching the
+		// shard's surviving edges.
+		inc.sketches[s].removeEdge(inc.g.NodeValues(src), inc.g.NodeValues(dst), inc.g.EdgeValues(id))
+	}
 
-	bs := IncStats{Batches: 1, Edges: len(edges)}
+	bs := IncStats{Batches: 1, Edges: len(b.Ins), Deleted: len(b.Del)}
 	replies := make([]IngestReply, len(inc.workers))
 	ingErrs := make([]error, len(inc.workers))
 	var wg sync.WaitGroup
 	for s := range inc.workers {
-		if len(owned[s]) == 0 {
+		if len(owned[s].Ins) == 0 && len(owned[s].Del) == 0 {
 			continue
 		}
 		wg.Add(1)
@@ -195,7 +222,7 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 	wg.Wait()
 	var stats Stats
 	for s := range inc.workers {
-		if len(owned[s]) == 0 {
+		if len(owned[s].Ins) == 0 && len(owned[s].Del) == 0 {
 			continue
 		}
 		if ingErrs[s] != nil {
@@ -212,7 +239,6 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 			inc.upsertShard(s, cand)
 		}
 	}
-	var err error
 	inc.last, err = inc.assemble(&stats, time.Since(start))
 	if err != nil {
 		// The batch is already ingested everywhere; only the merge's
@@ -227,6 +253,20 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 	return inc.last, bs, nil
 }
 
+// resolveGraphDeletes maps each retraction to a distinct live graph edge
+// matching its endpoints and edge values exactly (the shared
+// resolveRetractions loop over graph edges); results index-align with dels.
+// An unmatched retraction is an error (the caller rejects the batch
+// unmutated).
+func resolveGraphDeletes(g *graph.Graph, dels []EdgeDelete) ([]int, error) {
+	return resolveRetractions(dels, len(g.Schema().Edge), g.NumEdges(), func(e int) (int, int, bool) {
+		if !g.EdgeAlive(e) {
+			return 0, 0, false
+		}
+		return g.Src(e), g.Dst(e), true
+	}, g.EdgeValue)
+}
+
 // upsertShard records (or refreshes) one shard's exact counts for a GR.
 // Other shards' counts are NOT fetched here: the merge requests them lazily
 // and only for candidates whose support bound survives (see
@@ -234,10 +274,29 @@ func (inc *IncrementalSharded) Apply(edges []EdgeInsert) (*Result, IncStats, err
 // invariant the bound needs — have[s] false ⟹ shard s's support is below
 // ShardMinSupp — holds throughout: the batch that pushes a GR's support
 // over the threshold on shard s matches the GR's full descriptor there, so
-// that shard's scoped re-mine re-captures it and the delta lands back here.
+// that shard's scoped re-mine re-captures it and the delta lands back here;
+// and a deletion that demotes it below the threshold arrives as a delta
+// with final counts under ShardMinSupp, flipping have[s] back to false
+// (the worker stopped tracking it, so its future counts are unknown here).
+// An entry no worker tracks leaves the pool entirely — n·(t−1) < minSupp,
+// so it cannot qualify globally.
 func (inc *IncrementalSharded) upsertShard(s int, cand ShardCandidate) {
 	key := cand.GR.Key()
 	t := inc.pool[key]
+	if cand.Counts.LWR < inc.plan.ShardMinSupp {
+		if t == nil {
+			return
+		}
+		t.per[s] = metrics.Counts{}
+		t.have[s] = false
+		for _, h := range t.have {
+			if h {
+				return
+			}
+		}
+		delete(inc.pool, key)
+		return
+	}
 	if t == nil {
 		t = &shardCand{
 			gr:   cand.GR,
@@ -253,10 +312,10 @@ func (inc *IncrementalSharded) upsertShard(s int, cand ShardCandidate) {
 // assemble runs the coordinator merge (with its round-2 exact-count
 // fetches) over the maintained pool.
 func (inc *IncrementalSharded) assemble(stats *Stats, d time.Duration) (*Result, error) {
-	top, err := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumEdges(), inc.workers, inc.sketches, inc.pool, stats)
+	top, err := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumLiveEdges(), inc.workers, inc.sketches, inc.pool, stats)
 	if err != nil {
 		return nil, err
 	}
 	stats.Duration = d
-	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.g.NumEdges()}, nil
+	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.g.NumLiveEdges()}, nil
 }

@@ -225,11 +225,11 @@ type failingIngestWorker struct {
 	fail *bool
 }
 
-func (w failingIngestWorker) Ingest(edges []core.EdgeInsert) (core.IngestReply, error) {
+func (w failingIngestWorker) Ingest(batch core.Batch) (core.IngestReply, error) {
 	if *w.fail {
 		return core.IngestReply{}, fmt.Errorf("injected transport failure")
 	}
-	return w.ShardWorker.Ingest(edges)
+	return w.ShardWorker.Ingest(batch)
 }
 
 // A worker failure after the owned graph has grown must poison the engine:

@@ -76,6 +76,12 @@ type WireOptions struct {
 	ExactGenerality    bool
 	StaticRHSOrder     bool
 	Parallelism        int
+	// PoolCap travels for completeness; normalizeSharded rejects a non-zero
+	// value before any spec is built (per-shard pools are support-gated and
+	// cannot be bounded without losing offer completeness), so workers only
+	// ever see zero. NoPostingLists selects the worker-side re-mine path.
+	PoolCap        int
+	NoPostingLists bool
 }
 
 // Wire converts Options to its wire form.
@@ -89,6 +95,8 @@ func (o Options) Wire() WireOptions {
 		ExactGenerality:    o.ExactGenerality,
 		StaticRHSOrder:     o.StaticRHSOrder,
 		Parallelism:        o.Parallelism,
+		PoolCap:            o.PoolCap,
+		NoPostingLists:     o.NoPostingLists,
 	}
 }
 
@@ -103,6 +111,8 @@ func (w WireOptions) Options() (Options, error) {
 		ExactGenerality:    w.ExactGenerality,
 		StaticRHSOrder:     w.StaticRHSOrder,
 		Parallelism:        w.Parallelism,
+		PoolCap:            w.PoolCap,
+		NoPostingLists:     w.NoPostingLists,
 	}
 	if w.Metric != "" {
 		m, err := metrics.ByName(w.Metric)
@@ -181,9 +191,11 @@ type ShardCandidate struct {
 }
 
 // IngestReply reports one worker's side of an incremental batch: its new
-// edge count, the pool deltas (every entry whose counts changed or that the
-// batch promoted into the pool, with exact shard counts), and the scoped
-// re-mine's selectivity.
+// edge count, the pool deltas (every entry whose counts changed, that the
+// batch promoted into the pool, or that a deletion demoted below the shard
+// threshold — the last with final counts under ShardMinSupp, which tell the
+// coordinator the shard no longer tracks it), and the scoped re-mine's
+// selectivity.
 type IngestReply struct {
 	NumEdges        int
 	Deltas          []ShardCandidate
@@ -203,7 +215,8 @@ type IngestReply struct {
 //     pigeonhole pool and additionally seeds the worker's maintained pool
 //     for later Ingest calls.
 //   - Counts answers the batched round-2 exact-count query.
-//   - Ingest applies a routed incremental batch slice worker-side.
+//   - Ingest applies a routed incremental batch slice (insertions and
+//     retractions) worker-side.
 //   - Close releases transport resources (a no-op in-process).
 //
 // Implementations need not be safe for concurrent calls; the coordinator
@@ -213,7 +226,7 @@ type ShardWorker interface {
 	NumEdges() int
 	Offer(bound *OfferBound) ([]ShardCandidate, Stats, error)
 	Counts(grs []gr.GR) ([]metrics.Counts, error)
-	Ingest(edges []EdgeInsert) (IngestReply, error)
+	Ingest(batch Batch) (IngestReply, error)
 	Close() error
 }
 
@@ -269,6 +282,22 @@ func (sk *ShardSketch) addEdge(srcVals, dstVals, edgeVals []graph.Value) {
 	}
 	for a, v := range edgeVals {
 		sk.W[a][v]++
+	}
+}
+
+// removeEdge retracts one edge's attribute values; the sketch stays the
+// exact singleton histogram of the shard's surviving edges, so every bound
+// derived from it remains a valid upper bound under deletions.
+func (sk *ShardSketch) removeEdge(srcVals, dstVals, edgeVals []graph.Value) {
+	sk.Edges--
+	for a, v := range srcVals {
+		sk.L[a][v]--
+	}
+	for a, v := range dstVals {
+		sk.R[a][v]--
+	}
+	for a, v := range edgeVals {
+		sk.W[a][v]--
 	}
 }
 
@@ -484,9 +513,13 @@ func NewWorkerState(spec WorkerSpec) (*WorkerState, error) {
 	if spec.ShardMinSupp < 1 {
 		return nil, fmt.Errorf("core: worker spec: shard minSupp %d < 1", spec.ShardMinSupp)
 	}
+	st := store.Build(g)
+	if !opt.NoPostingLists {
+		st.EnablePostings()
+	}
 	return &WorkerState{
 		g:       g,
-		st:      store.Build(g),
+		st:      st,
 		opt:     opt,
 		metric:  opt.Metric,
 		minSupp: spec.ShardMinSupp,
@@ -567,25 +600,35 @@ func (w *WorkerState) upsert(g gr.GR, c metrics.Counts) {
 	t.c = c
 }
 
-// Ingest applies one routed batch slice worker-side: validate, append to the
-// private graph and store, delta-recount the maintained pool, re-mine the
-// affected first-level subtrees, and reply with every pool entry the batch
-// touched. Entries are never dropped — pool membership is support-gated and
-// supports only grow under insertions — so the deltas are exactly the
-// entries whose counts changed plus the batch's promotions, and the
-// coordinator's union pool stays a faithful mirror of the worker pools.
-// Like the single-store engine, the whole slice is validated before any
-// state changes.
-func (w *WorkerState) Ingest(edges []EdgeInsert) (IngestReply, error) {
+// Ingest applies one routed batch slice worker-side: validate, append
+// insertions to the private graph and store, resolve retractions against the
+// pre-batch shard rows, delta-recount the maintained pool, tombstone the
+// retracted rows, re-mine the affected first-level subtrees, and reply with
+// every pool entry the batch touched. The per-shard pool is support-gated
+// at ShardMinSupp, which keeps deletions simpler than the single-store
+// engine's: supports only fall, so a retraction can never promote a new
+// entry (no deletion-scoped re-mine and no DeltaSafe/DeleteSafe gate is
+// needed — global score movement, including the lift family's under a
+// shrinking |E|, is re-evaluated at merge time from summed counts). A
+// retraction CAN demote an entry below the shard threshold; the worker then
+// stops tracking it but still reports it in the deltas with its final
+// below-threshold counts, so the coordinator's union pool stays a faithful
+// mirror of the worker pools. Like the single-store engine, the whole slice
+// is validated before any state changes.
+func (w *WorkerState) Ingest(batch Batch) (IngestReply, error) {
 	if w.pool == nil {
 		return IngestReply{}, fmt.Errorf("core: worker %d: ingest before a seeding Offer", w.idx)
 	}
-	for i, e := range edges {
+	for i, e := range batch.Ins {
 		if err := w.g.CheckEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			return IngestReply{}, fmt.Errorf("core: worker %d: batch edge %d: %w", w.idx, i, err)
 		}
 	}
-	for _, e := range edges {
+	delRows, err := resolveDeletes(w.st, batch.Del)
+	if err != nil {
+		return IngestReply{}, fmt.Errorf("core: worker %d: %w", w.idx, err)
+	}
+	for _, e := range batch.Ins {
 		if _, err := w.g.AddEdge(e.Src, e.Dst, e.Vals...); err != nil {
 			// Unreachable after CheckEdge; kept as an invariant guard.
 			return IngestReply{}, err
@@ -595,17 +638,34 @@ func (w *WorkerState) Ingest(edges []EdgeInsert) (IngestReply, error) {
 
 	rep := IngestReply{}
 	changed := make(map[string]bool)
-	rep.Recounted = w.recount(newRows, changed)
+	dropped := make(map[string]ShardCandidate)
+	rep.Recounted = w.recount(newRows, delRows, changed, dropped)
+	// Affected keys come from the inserted rows only (support-gated pools
+	// have no deletion entrants), read before the doomed rows tombstone.
+	aff := collectAffected(w.st, newRows, nil)
+	for _, row := range delRows {
+		if err := w.g.RemoveEdge(int(w.st.EdgeID(row))); err != nil {
+			return IngestReply{}, fmt.Errorf("core: worker %d: retract row %d: %w", w.idx, row, err)
+		}
+	}
+	if err := w.st.RemoveEdges(delRows); err != nil {
+		return IngestReply{}, fmt.Errorf("core: worker %d: %w", w.idx, err)
+	}
 	var stats Stats
-	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), newRows,
+	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), aff,
 		func(g gr.GR, c metrics.Counts, score float64) {
 			w.upsert(g, c)
 			changed[g.Key()] = true
+			delete(dropped, g.Key())
 		}, &stats)
-	rep.Deltas = make([]ShardCandidate, 0, len(changed))
+	rep.Deltas = make([]ShardCandidate, 0, len(changed)+len(dropped))
 	for key := range changed {
-		t := w.pool[key]
-		rep.Deltas = append(rep.Deltas, ShardCandidate{GR: t.gr, Counts: t.c})
+		if t := w.pool[key]; t != nil {
+			rep.Deltas = append(rep.Deltas, ShardCandidate{GR: t.gr, Counts: t.c})
+		}
+	}
+	for _, cand := range dropped {
+		rep.Deltas = append(rep.Deltas, cand)
 	}
 	rep.NumEdges = w.st.NumEdges()
 	rep.Stats = stats
@@ -613,11 +673,13 @@ func (w *WorkerState) Ingest(edges []EdgeInsert) (IngestReply, error) {
 }
 
 // recount delta-updates every maintained-pool entry against the shard's new
-// store rows, marking changed keys. Mirrors the single-store engine's
-// recount, minus score-based drops (per-shard pools are support-gated only;
-// scores are a global-side concern).
-func (w *WorkerState) recount(newRows []int32, changed map[string]bool) (recounted int) {
-	totalE := w.st.NumEdges()
+// rows and doomed rows, marking changed keys. Mirrors the single-store
+// engine's recount, minus score-based drops (per-shard pools are
+// support-gated only; scores are a global-side concern) — but deletions can
+// demote an entry below the shard threshold, in which case it leaves the
+// pool and lands in dropped with its final counts for the coordinator.
+func (w *WorkerState) recount(newRows, delRows []int32, changed map[string]bool, dropped map[string]ShardCandidate) (recounted int) {
+	totalE := w.st.NumEdges() - len(delRows)
 	needHom := w.metric.NeedsHom
 	needR := w.metric.NeedsR
 	for key, t := range w.pool {
@@ -637,10 +699,33 @@ func (w *WorkerState) recount(newRows []int32, changed map[string]bool) (recount
 				touched = true
 			}
 		}
+		for _, e := range delRows {
+			if matchOn(w.st.LVal, e, t.gr.L) && matchOn(w.st.EVal, e, t.gr.W) {
+				t.c.LW--
+				touched = true
+				if matchOn(w.st.RVal, e, t.gr.R) {
+					t.c.LWR--
+				} else if needHom && t.betaMask != 0 && matchHomOn(w.st, e, t.gr.L, t.betaMask) {
+					t.c.Hom--
+				}
+			}
+			if needR && matchOn(w.st.RVal, e, t.gr.R) {
+				t.c.R--
+				touched = true
+			}
+		}
 		t.c.E = totalE
 		if touched {
 			changed[key] = true
 			recounted++
+		}
+		if t.c.LWR < w.minSupp {
+			// Demoted below the shard threshold: stop tracking (a later
+			// re-promotion needs a full-descriptor insert, which the scoped
+			// re-mine re-captures) and report the final counts.
+			delete(w.pool, key)
+			delete(changed, key)
+			dropped[key] = ShardCandidate{GR: t.gr, Counts: t.c}
 		}
 	}
 	return recounted
@@ -653,7 +738,10 @@ func countOnStore(st *store.Store, m metrics.Metric, g gr.GR) metrics.Counts {
 	c := metrics.Counts{E: st.NumEdges()}
 	eff, hasBeta := g.HomophilyEffect(st.Graph().Schema())
 	needHom := m.NeedsHom && hasBeta
-	for e := int32(0); int(e) < st.NumEdges(); e++ {
+	for e := int32(0); int(e) < st.NumRows(); e++ {
+		if !st.Alive(e) {
+			continue
+		}
 		if matchOn(st.LVal, e, g.L) && matchOn(st.EVal, e, g.W) {
 			c.LW++
 			if matchOn(st.RVal, e, g.R) {

@@ -9,6 +9,7 @@ package gr
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"grminer/internal/graph"
@@ -248,27 +249,39 @@ func StrictlyMoreGeneral(a, b GR) bool {
 // Key returns a canonical, schema-independent encoding used for maps and for
 // the deterministic "alphabetical" tie-break of Definition 5.
 func (g GR) Key() string {
-	var b strings.Builder
-	writeDesc := func(tag byte, d Descriptor) {
-		b.WriteByte(tag)
-		for _, c := range d {
-			fmt.Fprintf(&b, "%d:%d;", c.Attr, c.Val)
-		}
+	// Hand-rolled integer formatting: Key sits on the hot path of every
+	// incremental merge (sorted once per batch over the whole tracked pool)
+	// and fmt-based formatting dominated those profiles.
+	b := make([]byte, 0, 8*(len(g.L)+len(g.W)+len(g.R))+3)
+	b = appendDesc(b, 'L', g.L)
+	b = appendDesc(b, 'W', g.W)
+	b = appendDesc(b, 'R', g.R)
+	return string(b)
+}
+
+// appendDesc appends tag then "attr:val;" per condition, the Key encoding.
+func appendDesc(b []byte, tag byte, d Descriptor) []byte {
+	b = append(b, tag)
+	for _, c := range d {
+		b = strconv.AppendInt(b, int64(c.Attr), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(c.Val), 10)
+		b = append(b, ';')
 	}
-	writeDesc('L', g.L)
-	writeDesc('W', g.W)
-	writeDesc('R', g.R)
-	return b.String()
+	return b
 }
 
 // RHSKey canonically encodes only the RHS; the generality filter groups
 // candidate blockers by identical RHS.
 func (g GR) RHSKey() string {
-	var b strings.Builder
+	b := make([]byte, 0, 8*len(g.R))
 	for _, c := range g.R {
-		fmt.Fprintf(&b, "%d:%d;", c.Attr, c.Val)
+		b = strconv.AppendInt(b, int64(c.Attr), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(c.Val), 10)
+		b = append(b, ';')
 	}
-	return b.String()
+	return string(b)
 }
 
 // Format renders the GR with schema labels, e.g.

@@ -13,6 +13,13 @@ type Graph struct {
 	src      []int32
 	dst      []int32
 	edgeVals []Value // numEdges * len(schema.Edge), row-major
+
+	// dead marks tombstoned edges (RemoveEdge). Edge ids are never reused
+	// or renumbered — tombstones keep every previously returned id stable,
+	// which is what lets the compact store and the incremental engines refer
+	// to graph edges across deletions. nil until the first removal.
+	dead      []bool
+	deadCount int
 }
 
 // New creates a graph with numNodes nodes (all attribute values null) and no
@@ -46,8 +53,40 @@ func (g *Graph) Schema() *Schema { return g.schema }
 // NumNodes returns |V|.
 func (g *Graph) NumNodes() int { return g.numNodes }
 
-// NumEdges returns |E|.
+// NumEdges returns the edge id space bound: every edge ever added, including
+// tombstoned ones. Iterate 0..NumEdges-1 and skip !EdgeAlive ids to visit the
+// live edge set; use NumLiveEdges for |E| in metric denominators. For a graph
+// that never saw RemoveEdge the two coincide.
 func (g *Graph) NumEdges() int { return len(g.src) }
+
+// NumLiveEdges returns |E|, the number of non-tombstoned edges.
+func (g *Graph) NumLiveEdges() int { return len(g.src) - g.deadCount }
+
+// EdgeAlive reports whether edge e has not been removed.
+func (g *Graph) EdgeAlive(e int) bool { return g.dead == nil || !g.dead[e] }
+
+// HasDeadEdges reports whether any edge has been removed.
+func (g *Graph) HasDeadEdges() bool { return g.deadCount > 0 }
+
+// RemoveEdge tombstones edge e. The id stays valid — Src, Dst, and
+// EdgeValue keep answering for it — but it no longer belongs to the edge
+// set: EdgeAlive turns false, NumLiveEdges drops, and every dead-aware
+// consumer (store builds, Eval, partitioning, degrees, Stats, SaveFiles)
+// skips it. Removing an already-dead or out-of-range edge is an error.
+func (g *Graph) RemoveEdge(e int) error {
+	if e < 0 || e >= len(g.src) {
+		return fmt.Errorf("graph: edge %d out of range [0, %d)", e, len(g.src))
+	}
+	if g.dead == nil {
+		g.dead = make([]bool, len(g.src))
+	}
+	if g.dead[e] {
+		return fmt.Errorf("graph: edge %d already removed", e)
+	}
+	g.dead[e] = true
+	g.deadCount++
+	return nil
+}
 
 // SetNodeValue sets node n's value for node attribute attr.
 func (g *Graph) SetNodeValue(n, attr int, v Value) error {
@@ -124,6 +163,9 @@ func (g *Graph) AddEdge(src, dst int, vals ...Value) (int, error) {
 	g.src = append(g.src, int32(src))
 	g.dst = append(g.dst, int32(dst))
 	g.edgeVals = append(g.edgeVals, vals...)
+	if g.dead != nil {
+		g.dead = append(g.dead, false)
+	}
 	return e, nil
 }
 
@@ -157,20 +199,24 @@ func (g *Graph) EdgeValues(e int) []Value {
 	return g.edgeVals[e*w : e*w+w]
 }
 
-// OutDegrees returns the out-degree of every node.
+// OutDegrees returns the out-degree of every node (live edges only).
 func (g *Graph) OutDegrees() []int32 {
 	deg := make([]int32, g.numNodes)
-	for _, s := range g.src {
-		deg[s]++
+	for e, s := range g.src {
+		if g.EdgeAlive(e) {
+			deg[s]++
+		}
 	}
 	return deg
 }
 
-// InDegrees returns the in-degree of every node.
+// InDegrees returns the in-degree of every node (live edges only).
 func (g *Graph) InDegrees() []int32 {
 	deg := make([]int32, g.numNodes)
-	for _, d := range g.dst {
-		deg[d]++
+	for e, d := range g.dst {
+		if g.EdgeAlive(e) {
+			deg[d]++
+		}
 	}
 	return deg
 }
@@ -190,13 +236,16 @@ type Stats struct {
 func (g *Graph) Stats() Stats {
 	st := Stats{
 		Nodes:     g.numNodes,
-		Edges:     len(g.src),
+		Edges:     g.NumLiveEdges(),
 		NodeAttrs: len(g.schema.Node),
 		EdgeAttrs: len(g.schema.Edge),
 	}
 	outSeen := make([]bool, g.numNodes)
 	inSeen := make([]bool, g.numNodes)
 	for i := range g.src {
+		if !g.EdgeAlive(i) {
+			continue
+		}
 		outSeen[g.src[i]] = true
 		inSeen[g.dst[i]] = true
 	}
@@ -244,5 +293,9 @@ func (g *Graph) Restrict(nodeAttrs []int) (*Graph, error) {
 	out.src = append([]int32(nil), g.src...)
 	out.dst = append([]int32(nil), g.dst...)
 	out.edgeVals = append([]Value(nil), g.edgeVals...)
+	if g.dead != nil {
+		out.dead = append([]bool(nil), g.dead...)
+		out.deadCount = g.deadCount
+	}
 	return out, nil
 }

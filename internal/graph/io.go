@@ -230,6 +230,9 @@ func WriteNodes(w io.Writer, g *Graph) error {
 func WriteEdges(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
 		fmt.Fprintf(bw, "%d\t%d", g.Src(e), g.Dst(e))
 		for a := 0; a < len(g.schema.Edge); a++ {
 			fmt.Fprintf(bw, "\t%d", g.EdgeValue(e, a))

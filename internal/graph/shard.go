@@ -92,6 +92,9 @@ func PartitionEdges(g *Graph, n int, strategy ShardStrategy) ([][]int32, error) 
 	}
 	parts := make([][]int32, n)
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
 		s, err := g.ShardOf(strategy, n, g.Src(e), g.Dst(e))
 		if err != nil {
 			return nil, err

@@ -124,6 +124,9 @@ func (w *Workbench) Distribution(attr int) ([]int, error) {
 	}
 	counts := make([]int, w.g.Schema().Node[attr].Domain+1)
 	for e := 0; e < w.g.NumEdges(); e++ {
+		if !w.g.EdgeAlive(e) {
+			continue
+		}
 		counts[w.g.NodeValue(w.g.Dst(e), attr)]++
 	}
 	return counts, nil
@@ -151,6 +154,9 @@ func (w *Workbench) MatchingEdges(g gr.GR, limit int) ([]int, error) {
 	}
 	var out []int
 	for e := 0; e < w.g.NumEdges(); e++ {
+		if !w.g.EdgeAlive(e) {
+			continue
+		}
 		if metrics.MatchEdge(w.g, e, g) {
 			out = append(out, e)
 			if limit > 0 && len(out) >= limit {

@@ -39,12 +39,17 @@ func MatchEdge(g *graph.Graph, e int, r gr.GR) bool {
 		MatchNode(g, g.Dst(e), r.R)
 }
 
-// Eval scans the whole edge list and returns the Counts of r, including the
-// homophily-effect support (β handling per Equation 4-5) and Counts.R.
+// Eval scans the whole (live) edge list and returns the Counts of r,
+// including the homophily-effect support (β handling per Equation 4-5) and
+// Counts.R. Tombstoned edges are skipped, so Eval agrees with the compact
+// store on fully dynamic graphs.
 func Eval(g *graph.Graph, r gr.GR) Counts {
 	eff, hasBeta := r.HomophilyEffect(g.Schema())
-	c := Counts{E: g.NumEdges()}
+	c := Counts{E: g.NumLiveEdges()}
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
 		srcOK := MatchNode(g, g.Src(e), r.L) && MatchEdgeAttrs(g, e, r.W)
 		if srcOK {
 			c.LW++
@@ -66,7 +71,7 @@ func Eval(g *graph.Graph, r gr.GR) Counts {
 // full edge count so relative supports stay comparable.
 func EvalSubset(g *graph.Graph, edges []int32, r gr.GR) Counts {
 	eff, hasBeta := r.HomophilyEffect(g.Schema())
-	c := Counts{E: g.NumEdges()}
+	c := Counts{E: g.NumLiveEdges()}
 	for _, e32 := range edges {
 		e := int(e32)
 		srcOK := MatchNode(g, g.Src(e), r.L) && MatchEdgeAttrs(g, e, r.W)

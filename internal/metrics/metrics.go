@@ -117,6 +117,18 @@ type Metric struct {
 	// support); only nhp does, and only then does the miner pay for the
 	// β-restricted counting scan.
 	NeedsHom bool
+	// DeleteSafe reports that Score is a pure function of LWR, LW, and Hom —
+	// it never reads E or R — so deleting an edge outside E(l ∧ w) cannot
+	// change a GR's score. Together with DeltaSafe this is what lets the
+	// incremental engine keep the scoped re-mine for deletion batches: a
+	// deletion can only raise the score of a GR whose l ∧ w the deleted edge
+	// matched (it shrinks the denominator), and such a GR's first-level LEFT
+	// or EDGE subtree is keyed by a value the deleted edge carries (root
+	// RIGHT subtrees, whose GRs have empty l ∧ w that every edge matches,
+	// are always rescanned on a deletion). Metrics that read E (gain) or R
+	// (the lift family) can rise on *any* deletion — |E| shrinks — and force
+	// a full pool rebuild for batches containing deletions.
+	DeleteSafe bool
 	// DeltaSafe reports that, under pure edge insertions and a non-negative
 	// score threshold, a GR's score can only increase when an inserted edge
 	// matches the GR's full descriptor l ∧ w ∧ r. This holds for metrics
@@ -134,15 +146,16 @@ type Metric struct {
 // Builtin metrics, keyed by name.
 var (
 	// NhpMetric is the paper's default ranking metric.
-	NhpMetric = Metric{Name: "nhp", Score: Nhp, RHSAntiMonotone: true, NeedsHom: true, DeltaSafe: true}
+	NhpMetric = Metric{Name: "nhp", Score: Nhp, RHSAntiMonotone: true, NeedsHom: true, DeltaSafe: true, DeleteSafe: true}
 	// ConfMetric is standard confidence; used by the Table II comparison.
-	ConfMetric = Metric{Name: "conf", Score: Conf, RHSAntiMonotone: true, DeltaSafe: true}
+	ConfMetric = Metric{Name: "conf", Score: Conf, RHSAntiMonotone: true, DeltaSafe: true, DeleteSafe: true}
 	// LaplaceMetric uses k = 2, the smallest integer the paper allows.
 	LaplaceMetric = Metric{
 		Name:            "laplace",
 		Score:           func(c Counts) float64 { return Laplace(c, 2) },
 		RHSAntiMonotone: true,
 		DeltaSafe:       true,
+		DeleteSafe:      true,
 	}
 	// GainMetric uses θ = 0.5. Gain is DeltaSafe because its numerator
 	// LWR − θ·LW only rises on a full-descriptor match and |E| growth drives

@@ -206,6 +206,9 @@ func Run(g *graph.Graph, influence [][]float64, cfg Config) (*Result, error) {
 			copy(next[v], prior[v])
 		}
 		for e := 0; e < g.NumEdges(); e++ {
+			if !g.EdgeAlive(e) {
+				continue
+			}
 			src, dst := g.Src(e), g.Dst(e)
 			bs, bd := beliefs[src], beliefs[dst]
 			// Forward: a source believed to be class i pushes H[i][j]

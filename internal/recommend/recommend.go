@@ -65,7 +65,7 @@ func (r *Recommender) ForNode(v int, topN int) ([]Suggestion, error) {
 	}
 	acc := make(map[string]*Suggestion)
 	for e := 0; e < r.g.NumEdges(); e++ {
-		if r.g.Dst(e) != v {
+		if !r.g.EdgeAlive(e) || r.g.Dst(e) != v {
 			continue
 		}
 		u := r.g.Src(e)
@@ -124,6 +124,9 @@ func (r *Recommender) Campaign(rhs gr.Descriptor, topN int) ([]Prospect, error) 
 	key := gr.GR{R: rhs}.RHSKey()
 	scores := make(map[int]*Prospect)
 	for e := 0; e < r.g.NumEdges(); e++ {
+		if !r.g.EdgeAlive(e) {
+			continue
+		}
 		v := r.g.Dst(e)
 		if metrics.MatchNode(r.g, v, rhs) {
 			continue // already adopted

@@ -96,9 +96,10 @@ func (c *Client) Counts(grs []gr.GR) ([]metrics.Counts, error) {
 	return rep.Counts, nil
 }
 
-// Ingest applies a routed incremental batch slice worker-side.
-func (c *Client) Ingest(edges []core.EdgeInsert) (core.IngestReply, error) {
-	rep, err := c.call(Request{Op: OpIngest, Edges: edges})
+// Ingest applies a routed incremental batch slice (insertions and
+// retractions) worker-side.
+func (c *Client) Ingest(batch core.Batch) (core.IngestReply, error) {
+	rep, err := c.call(Request{Op: OpIngest, Edges: batch.Ins, Deletes: batch.Del})
 	if err != nil {
 		return core.IngestReply{}, err
 	}

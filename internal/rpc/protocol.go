@@ -12,7 +12,7 @@
 //	client → Request{Op: "build", Spec}        server → Reply{NumEdges}
 //	client → Request{Op: "offer", Bound}       server → Reply{Offers, Stats}
 //	client → Request{Op: "counts", GRs}        server → Reply{Counts}
-//	client → Request{Op: "ingest", Edges}      server → Reply{Ingest}
+//	client → Request{Op: "ingest", Edges, Deletes}  server → Reply{Ingest}
 //	... more ops ...
 //	client closes the connection; the daemon discards the worker state and
 //	accepts the next session.
@@ -33,9 +33,17 @@ import (
 
 // Magic identifies the protocol; Version its revision. A peer advertising
 // anything else is rejected during the handshake.
+//
+// Version history:
+//
+//	1: build/offer/counts/ingest with insert-only ingest batches.
+//	2: ingest requests grew the Deletes slice (fully dynamic streams). A
+//	   v1 daemon would silently drop a v2 coordinator's retractions — the
+//	   handshake bump turns that silent divergence into a loud rejection
+//	   on both sides.
 const (
 	Magic   = "grminer-shard"
-	Version = 1
+	Version = 2
 )
 
 // Hello is the client's first message on a fresh connection.
@@ -61,11 +69,12 @@ const (
 // Request is one coordinator → worker message after the handshake. Op
 // selects which payload field is meaningful.
 type Request struct {
-	Op    string
-	Spec  *core.WorkerSpec
-	Bound *core.OfferBound
-	GRs   []gr.GR
-	Edges []core.EdgeInsert
+	Op      string
+	Spec    *core.WorkerSpec
+	Bound   *core.OfferBound
+	GRs     []gr.GR
+	Edges   []core.EdgeInsert
+	Deletes []core.EdgeDelete
 }
 
 // Reply is one worker → coordinator message. A non-empty Err reports an

@@ -127,7 +127,7 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 				rep.Err = "ingest before build"
 				break
 			}
-			ing, err := worker.Ingest(req.Edges)
+			ing, err := worker.Ingest(core.Batch{Ins: req.Edges, Del: req.Deletes})
 			if err != nil {
 				rep.Err = err.Error()
 				break

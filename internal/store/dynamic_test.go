@@ -1,0 +1,291 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"grminer/internal/graph"
+)
+
+// dynSchema builds a small mixed schema for the dynamic store tests.
+func dynSchema(t *testing.T) *graph.Schema {
+	t.Helper()
+	schema, err := graph.NewSchema(
+		[]graph.Attribute{
+			{Name: "A", Domain: 3, Homophily: true},
+			{Name: "B", Domain: 4},
+		},
+		[]graph.Attribute{{Name: "W", Domain: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+// TestAppendHighWaterAfterBuildSubset pins the high-water-mark semantics of
+// Append and AppendEdges:
+//
+//   - Append on a subset store is a no-op — the shard owner routes edges
+//     explicitly with AppendEdges, and catching up to the graph would pull
+//     in edges belonging to other shards.
+//   - AppendEdges advances the full-store high-water mark to max(id)+1 of
+//     the ingested edges: it is a MARK, not a set. A caller that skips an
+//     intermediate graph edge id has taken ownership of routing, and a
+//     later Append will NOT backfill the skipped id.
+func TestAppendHighWaterAfterBuildSubset(t *testing.T) {
+	schema := dynSchema(t)
+	g := graph.MustNew(schema, 6)
+	for v := 0; v < 6; v++ {
+		if err := g.SetNodeValues(v, graph.Value(1+v%3), graph.Value(1+v%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 8; e++ {
+		if _, err := g.AddEdge(e%6, (e+1)%6, graph.Value(1+e%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub := BuildSubset(g, []int32{0, 2, 4})
+	if _, err := g.AddEdge(0, 5, 1); err != nil { // edge 8
+		t.Fatal(err)
+	}
+	if rows := sub.Append(); rows != nil {
+		t.Fatalf("Append on a subset store ingested %v", rows)
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("subset store grew to %d edges", sub.NumEdges())
+	}
+	// Explicit routing still works and keeps the subset coherent.
+	if rows := sub.AppendEdges([]int32{8}); len(rows) != 1 {
+		t.Fatalf("AppendEdges ingested %v", rows)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	full := Build(g)                              // 9 edges
+	if _, err := g.AddEdge(1, 2, 1); err != nil { // edge 9
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(2, 3, 2); err != nil { // edge 10
+		t.Fatal(err)
+	}
+	// Explicitly ingest only edge 10: the mark advances past 9.
+	if rows := full.AppendEdges([]int32{10}); len(rows) != 1 {
+		t.Fatalf("AppendEdges ingested %v", rows)
+	}
+	if rows := full.Append(); rows != nil {
+		t.Fatalf("Append backfilled past the high-water mark: %v", rows)
+	}
+	if full.NumEdges() != 10 {
+		t.Fatalf("full store holds %d edges, want 10 (edge 9 skipped by contract)", full.NumEdges())
+	}
+	// New appends beyond the mark flow normally again.
+	if _, err := g.AddEdge(3, 4, 1); err != nil { // edge 11
+		t.Fatal(err)
+	}
+	if rows := full.Append(); len(rows) != 1 {
+		t.Fatalf("Append after the mark ingested %v", rows)
+	}
+}
+
+// scanCounts recomputes one (side, attr) histogram of live rows by brute
+// force — the from-scratch partition pass the posting lists must match.
+func scanCounts(s *Store, side byte, attr, domain int) []int {
+	counts := make([]int, domain+1)
+	for e := int32(0); int(e) < s.NumRows(); e++ {
+		if !s.Alive(e) {
+			continue
+		}
+		var v graph.Value
+		switch side {
+		case 'L':
+			v = s.LVal(e, attr)
+		case 'R':
+			v = s.RVal(e, attr)
+		case 'W':
+			v = s.EVal(e, attr)
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+// assertPostingsMatchScan checks every posting list and live counter against
+// the brute-force partition pass.
+func assertPostingsMatchScan(t *testing.T, s *Store) {
+	t.Helper()
+	schema := s.Graph().Schema()
+	for a := range schema.Node {
+		wantL := scanCounts(s, 'L', a, schema.Node[a].Domain)
+		wantR := scanCounts(s, 'R', a, schema.Node[a].Domain)
+		for v := graph.Value(1); int(v) <= schema.Node[a].Domain; v++ {
+			if got := s.LiveCountL(a, v); got != wantL[v] {
+				t.Fatalf("LiveCountL(%d,%d) = %d, scan says %d", a, v, got, wantL[v])
+			}
+			if got := len(s.LRows(a, v)); got != wantL[v] {
+				t.Fatalf("LRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantL[v])
+			}
+			if got := s.LiveCountR(a, v); got != wantR[v] {
+				t.Fatalf("LiveCountR(%d,%d) = %d, scan says %d", a, v, got, wantR[v])
+			}
+			if got := len(s.RRows(a, v)); got != wantR[v] {
+				t.Fatalf("RRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantR[v])
+			}
+		}
+	}
+	for a := range schema.Edge {
+		wantW := scanCounts(s, 'W', a, schema.Edge[a].Domain)
+		for v := graph.Value(1); int(v) <= schema.Edge[a].Domain; v++ {
+			if got := s.LiveCountW(a, v); got != wantW[v] {
+				t.Fatalf("LiveCountW(%d,%d) = %d, scan says %d", a, v, got, wantW[v])
+			}
+			if got := len(s.WRows(a, v)); got != wantW[v] {
+				t.Fatalf("WRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantW[v])
+			}
+		}
+	}
+}
+
+// TestPostingListsMatchScanUnderChurn drives a randomized insert/delete
+// sequence — long enough to cross the compaction threshold several times —
+// and asserts after every batch that posting-list counts equal a
+// from-scratch partition pass, and that the store still validates.
+func TestPostingListsMatchScanUnderChurn(t *testing.T) {
+	schema := dynSchema(t)
+	r := rand.New(rand.NewSource(7))
+	n := 10
+	g := graph.MustNew(schema, n)
+	for v := 0; v < n; v++ {
+		if err := g.SetNodeValues(v, graph.Value(r.Intn(4)), graph.Value(r.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 120; e++ {
+		if _, err := g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Build(g)
+	s.EnablePostings()
+	assertPostingsMatchScan(t, s)
+
+	live := make([]int32, 0, s.NumEdges())
+	live = append(live, s.AllEdges()...)
+	compactions := 0
+	for step := 0; step < 40; step++ {
+		// Delete a random handful of live rows...
+		del := make([]int32, 0, 4)
+		seen := map[int32]bool{}
+		for i := 0; i < 1+r.Intn(6) && len(live) > 0; i++ {
+			j := r.Intn(len(live))
+			row := live[j]
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			del = append(del, row)
+		}
+		before := s.NumRows()
+		for _, row := range del {
+			if err := g.RemoveEdge(int(s.EdgeID(row))); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if err := s.RemoveEdges(del); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if s.NumRows() < before {
+			compactions++
+			// Rows renumbered: rebuild the live id list from scratch.
+			live = append(live[:0], s.AllEdges()...)
+		}
+		// ...and insert a few fresh edges through the append path.
+		for i := 0; i < r.Intn(5); i++ {
+			if _, err := g.AddEdge(r.Intn(n), r.Intn(n), graph.Value(r.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live = append(live, s.Append()...)
+
+		if err := s.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if s.NumEdges() != g.NumLiveEdges() {
+			t.Fatalf("step %d: store holds %d live rows, graph %d live edges", step, s.NumEdges(), g.NumLiveEdges())
+		}
+		assertPostingsMatchScan(t, s)
+	}
+	if compactions == 0 {
+		t.Error("churn never triggered a compaction — threshold untested")
+	}
+}
+
+// TestRemoveEdgesErrors pins the tombstone API's failure modes: out-of-range
+// rows and double deletion are loud errors, not silent corruption.
+func TestRemoveEdgesErrors(t *testing.T) {
+	schema := dynSchema(t)
+	g := graph.MustNew(schema, 4)
+	for v := 0; v < 4; v++ {
+		if err := g.SetNodeValues(v, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 5; e++ {
+		if _, err := g.AddEdge(e%4, (e+1)%4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Build(g)
+	if err := s.RemoveEdges([]int32{99}); err == nil {
+		t.Error("out-of-range row removed")
+	}
+	if err := s.RemoveEdges([]int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveEdges([]int32{1}); err == nil {
+		t.Error("double removal accepted")
+	}
+	if s.NumEdges() != 4 || s.NumRows() != 5 || s.Alive(1) {
+		t.Errorf("tombstone bookkeeping off: live=%d rows=%d alive(1)=%v", s.NumEdges(), s.NumRows(), s.Alive(1))
+	}
+}
+
+// TestBuildOverTombstonedGraph: Build on a graph with removed edges must
+// cover exactly the live set (the reference mines of the dynamic oracles
+// rely on this).
+func TestBuildOverTombstonedGraph(t *testing.T) {
+	schema := dynSchema(t)
+	g := graph.MustNew(schema, 5)
+	for v := 0; v < 5; v++ {
+		if err := g.SetNodeValues(v, graph.Value(1+v%3), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 10; e++ {
+		if _, err := g.AddEdge(e%5, (e+2)%5, graph.Value(1+e%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []int{0, 3, 9} {
+		if err := g.RemoveEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Build(g)
+	if s.NumEdges() != 7 {
+		t.Fatalf("store covers %d edges, want 7", s.NumEdges())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for e := int32(0); int(e) < s.NumRows(); e++ {
+		if !g.EdgeAlive(int(s.EdgeID(e))) {
+			t.Fatalf("row %d maps to dead graph edge %d", e, s.EdgeID(e))
+		}
+	}
+}

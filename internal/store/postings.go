@@ -1,0 +1,155 @@
+package store
+
+import (
+	"fmt"
+
+	"grminer/internal/graph"
+)
+
+// Per-(attribute, value) posting lists: for every non-null value of every
+// node attribute (on the source and destination side) and every edge
+// attribute, the EArray rows carrying it. They exist for the incremental
+// engines, whose per-batch scoped re-mine otherwise has to counting-sort the
+// full edge set once per dimension just to recover the handful of first-level
+// partitions a batch touched — the O(|E| × dims) floor of every Apply.
+// With postings enabled a re-mine fetches each affected partition directly.
+//
+// Invariants (asserted by the store tests against a from-scratch partition
+// pass after arbitrary insert/delete sequences):
+//
+//   - rows[side][attr][val] contains every live row whose side-value for
+//     attr is val, plus possibly tombstoned rows (removals do not splice
+//     lists — consumers filter through Alive); compaction rebuilds the lists
+//     tombstone-free against the renumbered rows.
+//   - live[side][attr][val] is the exact live-row count, maintained
+//     incrementally on every AppendEdges/RemoveEdges.
+//
+// Null values are never indexed: descriptors cannot constrain on null, so no
+// subtree is keyed by one.
+type postings struct {
+	l, w, r    [][][]int32 // [attr][val] -> EArray rows (may include dead rows)
+	nl, nw, nr [][]int     // [attr][val] -> live row count
+}
+
+// EnablePostings builds (or rebuilds) the posting lists for the store's
+// current rows and keeps them maintained by AppendEdges/RemoveEdges from now
+// on. Idempotent rebuild; O(rows × dims).
+func (s *Store) EnablePostings() {
+	schema := s.g.Schema()
+	p := &postings{
+		l: newPostingRows(schema.Node), w: newPostingRows(schema.Edge), r: newPostingRows(schema.Node),
+		nl: newPostingCounts(schema.Node), nw: newPostingCounts(schema.Edge), nr: newPostingCounts(schema.Node),
+	}
+	s.post = p
+	for row := int32(0); int(row) < len(s.ePtr); row++ {
+		if !s.Alive(row) {
+			continue
+		}
+		p.addRow(s, row)
+	}
+}
+
+// PostingsEnabled reports whether the store maintains posting lists.
+func (s *Store) PostingsEnabled() bool { return s.post != nil }
+
+func newPostingRows(attrs []graph.Attribute) [][][]int32 {
+	out := make([][][]int32, len(attrs))
+	for a := range attrs {
+		out[a] = make([][]int32, attrs[a].Domain+1)
+	}
+	return out
+}
+
+func newPostingCounts(attrs []graph.Attribute) [][]int {
+	out := make([][]int, len(attrs))
+	for a := range attrs {
+		out[a] = make([]int, attrs[a].Domain+1)
+	}
+	return out
+}
+
+// addRow indexes one live row's values.
+func (p *postings) addRow(s *Store, row int32) {
+	nv := len(s.g.Schema().Node)
+	ne := len(s.g.Schema().Edge)
+	for a := 0; a < nv; a++ {
+		if v := s.LVal(row, a); v != graph.Null {
+			p.l[a][v] = append(p.l[a][v], row)
+			p.nl[a][v]++
+		}
+		if v := s.RVal(row, a); v != graph.Null {
+			p.r[a][v] = append(p.r[a][v], row)
+			p.nr[a][v]++
+		}
+	}
+	for a := 0; a < ne; a++ {
+		if v := s.EVal(row, a); v != graph.Null {
+			p.w[a][v] = append(p.w[a][v], row)
+			p.nw[a][v]++
+		}
+	}
+}
+
+// removeRow decrements the live counts for a row being tombstoned. The row
+// stays inside the lists (filtered by Alive on read) until compaction.
+func (p *postings) removeRow(s *Store, row int32) {
+	nv := len(s.g.Schema().Node)
+	ne := len(s.g.Schema().Edge)
+	for a := 0; a < nv; a++ {
+		if v := s.LVal(row, a); v != graph.Null {
+			p.nl[a][v]--
+		}
+		if v := s.RVal(row, a); v != graph.Null {
+			p.nr[a][v]--
+		}
+	}
+	for a := 0; a < ne; a++ {
+		if v := s.EVal(row, a); v != graph.Null {
+			p.nw[a][v]--
+		}
+	}
+}
+
+// LiveCountL returns the number of live rows whose source node carries val
+// on node attribute attr — the size of the first-level LEFT partition keyed
+// by (attr, val). Panics if postings are disabled.
+func (s *Store) LiveCountL(attr int, val graph.Value) int { return s.post.nl[attr][val] }
+
+// LiveCountR is LiveCountL for the destination side.
+func (s *Store) LiveCountR(attr int, val graph.Value) int { return s.post.nr[attr][val] }
+
+// LiveCountW is LiveCountL for edge attribute attr.
+func (s *Store) LiveCountW(attr int, val graph.Value) int { return s.post.nw[attr][val] }
+
+// LRows returns a fresh slice of the live rows whose source node carries val
+// on node attribute attr. Panics if postings are disabled.
+func (s *Store) LRows(attr int, val graph.Value) []int32 {
+	return s.filterLive(s.post.l[attr][val], s.post.nl[attr][val])
+}
+
+// RRows is LRows for the destination side.
+func (s *Store) RRows(attr int, val graph.Value) []int32 {
+	return s.filterLive(s.post.r[attr][val], s.post.nr[attr][val])
+}
+
+// WRows is LRows for edge attribute attr.
+func (s *Store) WRows(attr int, val graph.Value) []int32 {
+	return s.filterLive(s.post.w[attr][val], s.post.nw[attr][val])
+}
+
+// filterLive copies the live rows out of a posting list.
+func (s *Store) filterLive(rows []int32, live int) []int32 {
+	out := make([]int32, 0, live)
+	for _, row := range rows {
+		if s.Alive(row) {
+			out = append(out, row)
+		}
+	}
+	if len(out) != live {
+		// The live counters and the lists are maintained together; diverging
+		// means a store invariant broke — fail loudly instead of mining over
+		// a wrong partition.
+		panic(fmt.Sprintf("store: posting list holds %d live rows, counter says %d", len(out), live))
+	}
+	return out
+}

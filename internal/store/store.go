@@ -58,11 +58,40 @@ type Store struct {
 	// (-1 when absent), so Append can route new edges without a rebuild.
 	lRowOf []int32
 	rRowOf []int32
+
+	// dead marks tombstoned EArray rows (RemoveEdges); deadCount tracks how
+	// many. Tombstones keep the remaining row ids stable and the removed
+	// row's values readable until the next compaction folds them away.
+	dead      []bool
+	deadCount int
+
+	// post, when non-nil (EnablePostings), holds the per-(attribute, value)
+	// posting lists the incremental engines partition from.
+	post *postings
 }
 
-// Build constructs the compact model for g.
+// Compaction policy: fold tombstones away once they are both numerous enough
+// to matter and a large enough fraction of the row space that a rebuild
+// amortises. Until then RemoveEdges is O(batch × dims).
+const (
+	compactMinDead  = 32
+	compactFraction = 4 // compact when deadCount ≥ len(rows)/compactFraction
+)
+
+// Build constructs the compact model for g, covering its live edges.
 func Build(g *graph.Graph) *Store {
-	s := buildFrom(g, nil)
+	var edges []int32
+	if g.HasDeadEdges() {
+		// Tombstoned graphs build over the explicit live id list; the common
+		// append-only case keeps the allocation-free full-build fast path.
+		edges = make([]int32, 0, g.NumLiveEdges())
+		for e := 0; e < g.NumEdges(); e++ {
+			if g.EdgeAlive(e) {
+				edges = append(edges, int32(e))
+			}
+		}
+	}
+	s := buildFrom(g, edges)
 	s.ingested = g.NumEdges()
 	return s
 }
@@ -191,9 +220,15 @@ func (s *Store) Append() []int32 {
 	}
 	ids := make([]int32, 0, total-s.ingested)
 	for e := s.ingested; e < total; e++ {
-		ids = append(ids, int32(e))
+		if s.g.EdgeAlive(e) {
+			ids = append(ids, int32(e))
+		}
 	}
-	return s.AppendEdges(ids)
+	rows := s.AppendEdges(ids)
+	// Dead ids in the scanned range were skipped, not ingested; advance the
+	// high-water mark past them so they are not rescanned forever.
+	s.ingested = total
+	return rows
 }
 
 // AppendEdges ingests the given graph edges (which must already exist in the
@@ -234,6 +269,12 @@ func (s *Store) AppendEdges(edges []int32) []int32 {
 		if ne > 0 {
 			s.eVals = append(s.eVals, s.g.EdgeValues(e)...)
 		}
+		if s.dead != nil {
+			s.dead = append(s.dead, false)
+		}
+		if s.post != nil {
+			s.post.addRow(s, row)
+		}
 		if e >= s.ingested {
 			s.ingested = e + 1
 		}
@@ -242,11 +283,71 @@ func (s *Store) AppendEdges(edges []int32) []int32 {
 	return ids
 }
 
+// RemoveEdges tombstones the given EArray rows (which must be distinct and
+// alive). The removed rows' values stay readable — callers delta-recounting
+// against a deletion read them first — until the dead fraction crosses the
+// compaction threshold, at which point the arrays are rebuilt over the
+// surviving rows and ALL ROW IDS ARE RENUMBERED: treat previously returned
+// row ids as invalid after any RemoveEdges call. Posting lists and live
+// counts are maintained either way. Not safe to call concurrently with
+// readers.
+func (s *Store) RemoveEdges(rows []int32) error {
+	for _, row := range rows {
+		if row < 0 || int(row) >= len(s.ePtr) {
+			return fmt.Errorf("store: remove: row %d out of range [0, %d)", row, len(s.ePtr))
+		}
+		if s.dead != nil && s.dead[row] {
+			return fmt.Errorf("store: remove: row %d already dead", row)
+		}
+		if s.dead == nil {
+			s.dead = make([]bool, len(s.ePtr))
+		}
+		s.dead[row] = true
+		s.deadCount++
+		if lRow := s.eSrc[row]; s.lOut[lRow] > 0 {
+			s.lOut[lRow]--
+		}
+		if s.post != nil {
+			s.post.removeRow(s, row)
+		}
+	}
+	if s.deadCount >= compactMinDead && s.deadCount*compactFraction >= len(s.ePtr) {
+		s.compact()
+	}
+	return nil
+}
+
+// compact rebuilds the arrays over the surviving rows, dropping tombstones
+// and renumbering rows; subset/high-water bookkeeping and posting lists are
+// preserved (lists are rebuilt against the new row ids).
+func (s *Store) compact() {
+	live := make([]int32, 0, s.NumEdges())
+	for row := range s.ePtr {
+		if !s.dead[row] {
+			live = append(live, s.eID[row])
+		}
+	}
+	n := buildFrom(s.g, live)
+	n.subset = s.subset
+	n.ingested = s.ingested
+	if s.post != nil {
+		n.EnablePostings()
+	}
+	*s = *n
+}
+
 // Graph returns the underlying graph.
 func (s *Store) Graph() *graph.Graph { return s.g }
 
-// NumEdges returns the number of EArray rows.
-func (s *Store) NumEdges() int { return len(s.ePtr) }
+// NumEdges returns |E| over the store: the number of live EArray rows.
+func (s *Store) NumEdges() int { return len(s.ePtr) - s.deadCount }
+
+// NumRows returns the EArray row id space bound (live + tombstoned rows).
+// Iterate 0..NumRows-1 and skip !Alive rows to visit the live edge set.
+func (s *Store) NumRows() int { return len(s.ePtr) }
+
+// Alive reports whether EArray row e has not been tombstoned.
+func (s *Store) Alive(e int32) bool { return s.dead == nil || !s.dead[e] }
 
 // NumLRows and NumRRows return the LArray and RArray row counts.
 func (s *Store) NumLRows() int { return len(s.lNode) }
@@ -281,12 +382,14 @@ func (s *Store) SrcNode(e int32) int32 { return s.lNode[s.eSrc[e]] }
 // DstNode returns the destination graph node id of EArray row e.
 func (s *Store) DstNode(e int32) int32 { return s.rNode[s.ePtr[e]] }
 
-// AllEdges returns a fresh slice of every EArray row id, the root partition
-// for the miner.
+// AllEdges returns a fresh slice of every live EArray row id, the root
+// partition for the miner.
 func (s *Store) AllEdges() []int32 {
-	ids := make([]int32, s.NumEdges())
-	for i := range ids {
-		ids[i] = int32(i)
+	ids := make([]int32, 0, s.NumEdges())
+	for i := 0; i < len(s.ePtr); i++ {
+		if s.Alive(int32(i)) {
+			ids = append(ids, int32(i))
+		}
 	}
 	return ids
 }
@@ -295,12 +398,15 @@ func (s *Store) AllEdges() []int32 {
 // guard after Build on huge inputs. A subset store validates only the edges
 // it covers.
 func (s *Store) Validate() error {
-	if !s.subset && s.NumEdges() != s.g.NumEdges() {
-		return fmt.Errorf("store: %d EArray rows for %d edges", s.NumEdges(), s.g.NumEdges())
+	if !s.subset && s.NumEdges() != s.g.NumLiveEdges() {
+		return fmt.Errorf("store: %d live EArray rows for %d live edges", s.NumEdges(), s.g.NumLiveEdges())
 	}
 	nv := len(s.g.Schema().Node)
 	ne := len(s.g.Schema().Edge)
-	for e := int32(0); int(e) < s.NumEdges(); e++ {
+	for e := int32(0); int(e) < s.NumRows(); e++ {
+		if !s.Alive(e) {
+			continue
+		}
 		orig := int(s.eID[e])
 		if int(s.SrcNode(e)) != s.g.Src(orig) || int(s.DstNode(e)) != s.g.Dst(orig) {
 			return fmt.Errorf("store: edge %d endpoints mismatch", e)
@@ -334,7 +440,7 @@ func (s *Store) CompactSizeCells() int {
 // SingleTableSizeCells returns the cell count of the single-table layout the
 // paper's baseline BL1 materialises: |E| × (2×#AttrV + #AttrE).
 func SingleTableSizeCells(g *graph.Graph) int {
-	return g.NumEdges() * (2*len(g.Schema().Node) + len(g.Schema().Edge))
+	return g.NumLiveEdges() * (2*len(g.Schema().Node) + len(g.Schema().Edge))
 }
 
 // FlatTable is the single-table representation: one row per edge holding the
@@ -349,7 +455,7 @@ type FlatTable struct {
 	vals      []graph.Value
 }
 
-// Flatten materialises the single table for g.
+// Flatten materialises the single table for g (live edges only).
 func Flatten(g *graph.Graph) *FlatTable {
 	nv := len(g.Schema().Node)
 	ne := len(g.Schema().Edge)
@@ -357,14 +463,19 @@ func Flatten(g *graph.Graph) *FlatTable {
 		NodeAttrs: nv,
 		EdgeAttrs: ne,
 		Width:     2*nv + ne,
-		Rows:      g.NumEdges(),
+		Rows:      g.NumLiveEdges(),
 	}
 	t.vals = make([]graph.Value, t.Rows*t.Width)
-	for e := 0; e < t.Rows; e++ {
-		row := t.vals[e*t.Width : (e+1)*t.Width]
+	i := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
+		row := t.vals[i*t.Width : (i+1)*t.Width]
 		copy(row[:nv], g.NodeValues(g.Src(e)))
 		copy(row[nv:nv+ne], g.EdgeValues(e))
 		copy(row[nv+ne:], g.NodeValues(g.Dst(e)))
+		i++
 	}
 	return t
 }
