@@ -1,0 +1,179 @@
+package main
+
+// The go vet driver protocol ("unitchecker" in x/tools terms): `go vet
+// -vettool=grlint` invokes the tool once per compilation unit with a JSON
+// config file describing the unit — source files, the import → export-data
+// map the compiler produced, and output obligations. Running under vet
+// buys exactly what standalone mode cannot cheaply reproduce: every test
+// variant (internal and external test packages against their test-variant
+// export data) and every -tags combination the build graph selects, with
+// the go command's caching.
+//
+// grlint declares no cross-package facts, so the facts output (VetxOutput)
+// is written empty; annotation-driven checks still see every declaration
+// that matters because the engine's annotated symbols are package-local.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"grminer/internal/lint/analysis"
+)
+
+// vetConfig mirrors the config JSON the go command writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "grlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Discharge the facts obligation first: the go command expects the
+	// vetx file to exist even though grlint produces no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "grlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "grlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "grlint:", err)
+		return 1
+	}
+
+	modpath := moduleRootPath(cfg.Dir)
+	var findings []finding
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			TypesInfo:  info,
+			ModulePath: modpath,
+			Dir:        cfg.Dir,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			posn := fset.Position(d.Pos)
+			findings = append(findings, finding{pos: posn.String(), message: d.Message, analyzer: a.Name})
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "grlint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+		}
+	}
+	findings = append(findings, checkIgnoreHygiene(&analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files})...)
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.pos, f.message, f.analyzer)
+	}
+	return 2
+}
+
+// moduleRootPath reads the module path from the go.mod above dir, giving
+// vet-mode passes the same module-locality knowledge standalone mode gets
+// from go list.
+func moduleRootPath(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs a grlint analyzer over fixture packages and
+// checks its diagnostics against "// want" expectations embedded in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	s.floor = 1 // want `only be accessed through sync/atomic`
+//
+// A want comment holds one or more quoted (or backquoted) regular
+// expressions; each must match a distinct diagnostic reported on that line,
+// and every diagnostic must be claimed by a want. Fixtures live under
+// testdata/src/<pkg>/ next to the analyzer's test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"grminer/internal/lint/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies the
+// analyzer, and reports mismatches between actual diagnostics and // want
+// expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		loader := analysis.NewLoader("")
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", name, err)
+			continue
+		}
+		if pkg.IllTyped {
+			t.Errorf("%s: fixture does not type-check: %s", name, pkg.TypeErrors)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, pkg, func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer failed: %v", name, err)
+			continue
+		}
+		checkWants(t, pkg.Fset, pkg.Files, diags)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// wantsByLine extracts // want expectations, keyed by filename:line.
+func wantsByLine(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := wantsByLine(t, fset, files)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+			}
+		}
+	}
+}

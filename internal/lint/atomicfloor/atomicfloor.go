@@ -1,0 +1,150 @@
+// Package atomicfloor enforces the engine's one-word shared-state contract:
+// a struct field annotated "grlint:atomic" may only be touched through
+// sync/atomic operations. The parallel miner's correctness argument
+// (internal/core/parallel.go) rests on the CAS-raised floor being exactly
+// such a word, and the upcoming serving layer's RCU-style published-results
+// pointer will make the same promise; this analyzer turns the comment into
+// a build-time invariant.
+//
+// Allowed accesses to an annotated field f of struct value x:
+//
+//   - method calls on a sync/atomic-typed field: x.f.Load(), x.f.Store(v),
+//     x.f.CompareAndSwap(o, n), including method values;
+//   - &x.f passed directly as an argument to a sync/atomic function
+//     (atomic.AddInt64(&x.f, 1)) for plain integer/pointer fields;
+//   - keyed initialization inside a composite literal (construction happens
+//     before the value is published to other goroutines).
+//
+// Everything else — plain loads, stores, copies, comparisons, taking the
+// address for any non-atomic callee — is reported.
+package atomicfloor
+
+import (
+	"go/ast"
+	"go/types"
+
+	"grminer/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfloor",
+	Doc:  "fields annotated grlint:atomic may only be accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	annotated := collectAnnotated(pass)
+	if len(annotated) == 0 {
+		return nil, nil
+	}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal || !annotated[s.Obj()] {
+			return true
+		}
+		if !accessOK(pass, sel, stack) {
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is annotated grlint:atomic and may only be accessed through sync/atomic operations",
+				s.Obj().Name())
+		}
+		return true
+	})
+	reportCompositeKeys(pass, annotated)
+	return nil, nil
+}
+
+// collectAnnotated gathers the field objects carrying a grlint:atomic
+// comment in this package's syntax.
+func collectAnnotated(pass *analysis.Pass) map[types.Object]bool {
+	annotated := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.HasDirective(field.Doc, "atomic") && !analysis.HasDirective(field.Comment, "atomic") {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						annotated[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return annotated
+}
+
+// accessOK decides whether the selector (an annotated-field access) is one
+// of the allowed forms. stack[len-1] is the selector itself.
+func accessOK(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	parent := parentOf(stack, 1)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.M — allowed iff M is a method provided by sync/atomic (the
+		// field's type is atomic.Uint64 and friends).
+		if p.X == sel {
+			if s := pass.TypesInfo.Selections[p]; s != nil && s.Kind() == types.MethodVal {
+				return analysis.IsPkgFunc(s.Obj(), "sync/atomic")
+			}
+		}
+	case *ast.UnaryExpr:
+		// &x.f — allowed only as a direct argument to a sync/atomic call.
+		if p.Op.String() == "&" {
+			if call, ok := parentOf(stack, 2).(*ast.CallExpr); ok {
+				for _, arg := range call.Args {
+					if ast.Unparen(arg) == p {
+						return analysis.IsPkgFunc(analysis.Callee(pass.TypesInfo, call), "sync/atomic")
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reportCompositeKeys flags non-zero initialization of annotated fields in
+// composite literals when the field's type is itself a sync/atomic type
+// (copying an atomic.Uint64 by value is a vet-level bug; keyed init of a
+// plain integer field is the allowed construction form and is not flagged).
+func reportCompositeKeys(pass *analysis.Pass, annotated map[types.Object]bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[key]
+			if obj == nil || !annotated[obj] {
+				return true
+			}
+			if named := analysis.NamedOf(obj.Type()); named != nil &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic" {
+				pass.Reportf(key.Pos(),
+					"field %s is annotated grlint:atomic; initializing a sync/atomic value by copy is not atomic-safe",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+func parentOf(stack []ast.Node, up int) ast.Node {
+	i := len(stack) - 1 - up
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}

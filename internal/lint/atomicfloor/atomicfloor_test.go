@@ -1,0 +1,12 @@
+package atomicfloor_test
+
+import (
+	"testing"
+
+	"grminer/internal/lint/analysistest"
+	"grminer/internal/lint/atomicfloor"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfloor.Analyzer, "a")
+}

@@ -1,0 +1,49 @@
+// Package a is the atomicfloor fixture: mixed good and bad accesses to
+// grlint:atomic fields of both shapes (atomic struct types and plain words
+// driven through atomic package functions).
+package a
+
+import "sync/atomic"
+
+type floor struct {
+	// bits holds float64 bits of the shared pruning floor.
+	bits atomic.Uint64 // grlint:atomic
+	// raw is a plain word accessed via atomic package functions.
+	// grlint:atomic
+	raw uint64
+	// plain is not annotated; anything goes.
+	plain uint64
+}
+
+func good(f *floor) uint64 {
+	f.bits.Store(1)
+	if f.bits.CompareAndSwap(1, 2) {
+		atomic.AddUint64(&f.raw, 1)
+	}
+	_ = atomic.LoadUint64(&f.raw)
+	store := f.bits.Store // method value, still atomic-mediated
+	store(3)
+	f.plain = f.bits.Load() // unannotated LHS, annotated RHS via Load
+	return f.bits.Load()
+}
+
+func construct() *floor {
+	return &floor{raw: 7, plain: 9} // keyed init of a plain word is construction, not access
+}
+
+func bad(f *floor, other floor) {
+	f.raw = 1   // want `annotated grlint:atomic`
+	f.raw++     // want `annotated grlint:atomic`
+	_ = f.raw   // want `annotated grlint:atomic`
+	p := &f.raw // want `annotated grlint:atomic`
+	*p = 2
+	use(&f.raw)          // want `annotated grlint:atomic`
+	copied := other.bits // want `annotated grlint:atomic`
+	_ = copied
+	if f.raw > 3 { // want `annotated grlint:atomic`
+		f.plain = 4
+	}
+	_ = floor{bits: atomic.Uint64{}} // want `initializing a sync/atomic value by copy`
+}
+
+func use(p *uint64) { *p = 0 }

@@ -1,0 +1,12 @@
+package deadedge_test
+
+import (
+	"testing"
+
+	"grminer/internal/lint/analysistest"
+	"grminer/internal/lint/deadedge"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deadedge.Analyzer, "a", "b")
+}

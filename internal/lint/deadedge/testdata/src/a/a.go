@@ -1,0 +1,73 @@
+// Package a is the deadedge fixture: tombstone-aware and tombstone-blind
+// loops over graph/store edge-id spaces.
+package a
+
+type Graph struct{ dead []bool }
+
+func (g *Graph) NumEdges() int        { return len(g.dead) }
+func (g *Graph) EdgeAlive(e int) bool { return !g.dead[e] }
+func (g *Graph) Src(e int) int        { return e }
+
+type Store struct{ dead []bool }
+
+func (s *Store) NumEdges() int      { return len(s.dead) }
+func (s *Store) NumRows() int       { return len(s.dead) }
+func (s *Store) Alive(e int32) bool { return !s.dead[e] }
+func (s *Store) AllEdges() []int32  { return nil }
+
+type Other struct{}
+
+func (Other) NumEdges() int { return 0 }
+
+func good(g *Graph, s *Store) int {
+	sum := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
+		sum += g.Src(e)
+	}
+	for e := int32(0); int(e) < s.NumRows(); e++ {
+		if s.Alive(e) {
+			sum++
+		}
+	}
+	for range s.AllEdges() { // live accessor, no bound call
+		sum++
+	}
+	for e := range g.NumEdges() { // int-range form with aliveness check
+		if g.EdgeAlive(e) {
+			sum++
+		}
+	}
+	for e := 0; e < (Other{}).NumEdges(); e++ { // not a Graph/Store
+		sum += e
+	}
+	return sum
+}
+
+func bad(g *Graph, s *Store) int {
+	sum := 0
+	for e := 0; e < g.NumEdges(); e++ { // want `iterates tombstoned edges`
+		sum += g.Src(e)
+	}
+	for e := range g.NumEdges() { // want `iterates tombstoned edges`
+		sum += e
+	}
+	for e := 0; e < s.NumRows(); e++ { // want `iterates tombstoned edges`
+		sum += e
+	}
+	for e := 0; e < s.NumEdges(); e++ { // want `iterates tombstoned edges`
+		sum += e
+	}
+	return sum
+}
+
+func suppressed(g *Graph) int {
+	sum := 0
+	//grlint:ignore deadedge graph is freshly generated, deletions impossible
+	for e := 0; e < g.NumEdges(); e++ {
+		sum += g.Src(e)
+	}
+	return sum
+}

@@ -1,0 +1,21 @@
+// Package b is the deadedge allowlist fixture: a file marked as an
+// accessor implementation may iterate raw edge-id ranges.
+//
+// grlint:edge-accessors
+package b
+
+type Store struct{ dead []bool }
+
+func (s *Store) NumRows() int { return len(s.dead) }
+
+// compact is the kind of code the allowlist exists for: it must visit
+// tombstoned rows to drop them.
+func compact(s *Store) int {
+	n := 0
+	for e := 0; e < s.NumRows(); e++ {
+		if !s.dead[e] {
+			n++
+		}
+	}
+	return n
+}

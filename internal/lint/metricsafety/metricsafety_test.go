@@ -1,0 +1,12 @@
+package metricsafety_test
+
+import (
+	"testing"
+
+	"grminer/internal/lint/analysistest"
+	"grminer/internal/lint/metricsafety"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricsafety.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Package a is the metricsafety fixture: guarded and naked calls to
+// grlint:requires helpers, plus metric-shaped literals with and without
+// explicit safety flags.
+package a
+
+type Metric struct {
+	Name       string
+	DeltaSafe  bool
+	DeleteSafe bool
+}
+
+type engine struct {
+	metric     Metric
+	deltaSafe  bool
+	deleteSafe bool
+}
+
+// remineScoped is only sound for DeltaSafe metrics.
+//
+// grlint:requires DeltaSafe
+func remineScoped(e *engine) {}
+
+// remineDeletion needs both safety properties.
+//
+// grlint:requires DeltaSafe DeleteSafe
+func remineDeletion(e *engine) {}
+
+func guardedDirect(e *engine) {
+	if e.metric.DeltaSafe {
+		remineScoped(e)
+	}
+}
+
+func guardedMirror(e *engine) {
+	if e.deltaSafe && e.deleteSafe {
+		remineDeletion(e)
+	}
+}
+
+func guardedIndirect(e *engine, dels int) {
+	scoped := e.deltaSafe && (dels == 0 || e.deleteSafe)
+	if scoped {
+		remineDeletion(e)
+	}
+}
+
+func guardedEarlyReturn(e *engine) {
+	if !e.deltaSafe {
+		return
+	}
+	remineScoped(e)
+}
+
+// propagated pushes the obligation to its own callers.
+//
+// grlint:requires DeltaSafe DeleteSafe
+func propagated(e *engine) {
+	remineScoped(e)
+	remineDeletion(e)
+}
+
+func naked(e *engine) {
+	remineScoped(e) // want `requires a DeltaSafe guard`
+}
+
+func halfGuarded(e *engine) {
+	if e.deltaSafe {
+		remineDeletion(e) // want `requires a DeleteSafe guard`
+	}
+}
+
+func wrongFlag(e *engine) {
+	if e.deleteSafe {
+		remineScoped(e) // want `requires a DeltaSafe guard`
+	}
+}
+
+func suppressed(e *engine) {
+	//grlint:ignore metricsafety support-gated pools need no delta gate here
+	remineScoped(e)
+}
+
+var (
+	good = Metric{Name: "good", DeltaSafe: true, DeleteSafe: false}
+	full = Metric{"positional", true, true}
+
+	missingOne  = Metric{Name: "gain", DeltaSafe: true} // want `missing DeleteSafe`
+	missingBoth = Metric{Name: "lift"}                  // want `missing DeltaSafe, DeleteSafe`
+	zero        Metric                                  // zero value, not a literal: fine
+)

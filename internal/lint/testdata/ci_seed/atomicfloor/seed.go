@@ -1,0 +1,17 @@
+// Package seed is a deliberately broken fixture: CI runs grlint -dir over
+// it and requires a nonzero exit, proving the atomicfloor gate actually
+// fails on a violation (not just passes on clean code).
+package seed
+
+import "sync/atomic"
+
+type floor struct {
+	// grlint:atomic
+	bits atomic.Uint64
+}
+
+// Broken reads the annotated field through a copy instead of Load.
+func Broken(f *floor) uint64 {
+	raw := f.bits // copies the atomic value out from under the CAS loop
+	return raw.Load()
+}

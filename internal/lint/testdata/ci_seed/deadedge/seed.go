@@ -1,0 +1,20 @@
+// Package seed is a deliberately broken fixture: CI runs grlint -dir over
+// it and requires a nonzero exit, proving the deadedge gate actually fails
+// on a raw edge-id loop.
+package seed
+
+// Graph mimics the engine's tombstone-aware graph shape.
+type Graph struct{ n int }
+
+func (g *Graph) NumEdges() int        { return g.n }
+func (g *Graph) EdgeAlive(e int) bool { return true }
+func (g *Graph) Src(e int) int        { return e }
+
+// Broken walks the id space without an aliveness check.
+func Broken(g *Graph) int {
+	total := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		total += g.Src(e)
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package seed is a deliberately broken fixture: CI runs grlint -dir over
+// it and requires a nonzero exit, proving the metricsafety gate actually
+// fails on an unguarded re-mine call.
+package seed
+
+// remine stands in for the engine's scoped re-mine helpers.
+//
+// grlint:requires DeltaSafe DeleteSafe
+func remine() int { return 0 }
+
+type options struct {
+	DeltaSafe  bool
+	DeleteSafe bool
+}
+
+// Broken calls the annotated helper with no safety guard in sight.
+func Broken(o options) int {
+	return remine()
+}

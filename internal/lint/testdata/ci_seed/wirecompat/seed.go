@@ -1,0 +1,13 @@
+// Package seed is a deliberately broken fixture: CI runs grlint -dir over
+// it and requires a nonzero exit, proving the wirecompat gate actually
+// fails on a wire struct missing from the golden snapshot (the same
+// diagnostic an unsnapshotted schema change produces).
+package seed
+
+// Rogue is annotated as a wire struct but absent from
+// internal/rpc/wire_schema.json.
+//
+// grlint:wire v1
+type Rogue struct {
+	Payload []byte
+}

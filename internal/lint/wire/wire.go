@@ -1,0 +1,276 @@
+// Package wire extracts and compares the gob wire schema of structs
+// annotated "grlint:wire vN". It is the single source of truth shared by
+// the wirecompat analyzer, the grlint -update-wire regenerator, and
+// internal/rpc's golden regression test, so all three agree on what "the
+// schema changed" means: the ordered list of exported field declarations
+// (name + declared type) per annotated struct, plus the struct's version
+// marker.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"grminer/internal/lint/analysis"
+)
+
+// Struct is one wire struct's schema: the version its marker declares and
+// its field declarations in source order ("Name Type").
+type Struct struct {
+	Version int      `json:"version"`
+	Fields  []string `json:"fields"`
+}
+
+// Schema maps "pkgpath.StructName" to its wire schema. JSON-marshalling a
+// map keeps keys sorted, so the snapshot diffs cleanly in review.
+type Schema map[string]Struct
+
+// Decl is one annotated struct found in source, with enough position info
+// for diagnostics.
+type Decl struct {
+	Key     string // pkgpath.Name
+	Name    string
+	Pos     token.Pos
+	Struct  Struct
+	BadMark string // non-empty when the version marker is malformed
+	Fields  *ast.FieldList
+}
+
+var versionRE = regexp.MustCompile(`^v(\d+)$`)
+
+// FromFiles extracts every grlint:wire-annotated struct declared in the
+// files, keyed under pkgPath.
+func FromFiles(files []*ast.File, pkgPath string) []Decl {
+	var decls []Decl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gen.Specs) == 1 {
+					doc = gen.Doc
+				}
+				args, ok := analysis.DirectiveArgs(doc, "wire")
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				decl := Decl{
+					Key:    pkgPath + "." + ts.Name.Name,
+					Name:   ts.Name.Name,
+					Pos:    ts.Pos(),
+					Fields: st.Fields,
+				}
+				if m := versionRE.FindStringSubmatch(strings.TrimSpace(args)); m != nil {
+					fmt.Sscanf(m[1], "%d", &decl.Struct.Version)
+				} else {
+					decl.BadMark = args
+				}
+				decl.Struct.Fields = fieldStrings(st.Fields)
+				decls = append(decls, decl)
+			}
+		}
+	}
+	return decls
+}
+
+// fieldStrings renders the field declarations: one entry per name (gob
+// addresses fields by name), embedded fields by their type alone.
+func fieldStrings(fl *ast.FieldList) []string {
+	var out []string
+	for _, f := range fl.List {
+		typ := types.ExprString(f.Type)
+		if len(f.Names) == 0 {
+			out = append(out, typ)
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, name.Name+" "+typ)
+		}
+	}
+	return out
+}
+
+// FromDir parses one package directory (tests excluded) and extracts its
+// annotated structs keyed under pkgPath. Used by the golden test, which has
+// source on disk but no loaded packages.
+func FromDir(dir, pkgPath string) ([]Decl, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var decls []Decl
+	var names []string
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var files []*ast.File
+		var fnames []string
+		for fn := range pkgs[name].Files {
+			fnames = append(fnames, fn)
+		}
+		sort.Strings(fnames)
+		for _, fn := range fnames {
+			files = append(files, pkgs[name].Files[fn])
+		}
+		decls = append(decls, FromFiles(files, pkgPath)...)
+	}
+	return decls, nil
+}
+
+// ToSchema folds decls into a Schema.
+func ToSchema(decls []Decl) Schema {
+	s := make(Schema, len(decls))
+	for _, d := range decls {
+		s[d.Key] = d.Struct
+	}
+	return s
+}
+
+// Load reads a snapshot; a missing file returns an empty schema and
+// os.ErrNotExist.
+func Load(path string) (Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Schema{}, err
+	}
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schema{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the snapshot with a trailing newline, stable for diffs.
+func Save(path string, s Schema) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FieldDiff renders a readable one-struct field diff (old → new), used in
+// both the analyzer message and the golden test failure.
+func FieldDiff(old, new []string) string {
+	oldSet := make(map[string]bool, len(old))
+	for _, f := range old {
+		oldSet[f] = true
+	}
+	newSet := make(map[string]bool, len(new))
+	for _, f := range new {
+		newSet[f] = true
+	}
+	var parts []string
+	for _, f := range new {
+		if !oldSet[f] {
+			parts = append(parts, "+{"+f+"}")
+		}
+	}
+	for _, f := range old {
+		if !newSet[f] {
+			parts = append(parts, "-{"+f+"}")
+		}
+	}
+	if len(parts) == 0 {
+		return "field order changed"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Diff renders a full-schema diff for the golden test: one line per
+// changed struct, empty when the schemas agree.
+func Diff(golden, current Schema) string {
+	var keys []string
+	seen := make(map[string]bool)
+	for k := range golden {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range current {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var lines []string
+	for _, k := range keys {
+		g, inG := golden[k]
+		c, inC := current[k]
+		switch {
+		case !inG:
+			lines = append(lines, fmt.Sprintf("  %s: new wire struct (v%d)", k, c.Version))
+		case !inC:
+			lines = append(lines, fmt.Sprintf("  %s: removed from source (was v%d)", k, g.Version))
+		case !equal(g.Fields, c.Fields) && g.Version == c.Version:
+			lines = append(lines, fmt.Sprintf("  %s: fields changed WITHOUT a version bump (still v%d): %s",
+				k, c.Version, FieldDiff(g.Fields, c.Fields)))
+		case !equal(g.Fields, c.Fields):
+			lines = append(lines, fmt.Sprintf("  %s: fields changed (v%d → v%d): %s",
+				k, g.Version, c.Version, FieldDiff(g.Fields, c.Fields)))
+		case g.Version != c.Version:
+			lines = append(lines, fmt.Sprintf("  %s: version marker v%d → v%d with identical fields", k, g.Version, c.Version))
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotName is the checked-in snapshot's path relative to the module
+// root; the analyzer, the regenerator, and the golden test all resolve it
+// through here.
+const SnapshotName = "internal/rpc/wire_schema.json"
+
+// FindSnapshot walks up from dir to the module root (go.mod) and returns
+// the snapshot path.
+func FindSnapshot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, filepath.FromSlash(SnapshotName)), nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

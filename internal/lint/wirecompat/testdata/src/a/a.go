@@ -1,0 +1,67 @@
+// Package a is the wirecompat fixture. Its golden snapshot lives next to
+// it (wire_schema.json) and the test points the analyzer at it.
+package a
+
+// Hello matches the snapshot exactly: clean.
+//
+// grlint:wire v1
+type Hello struct {
+	Magic   string
+	Version int
+}
+
+// Drifted gained field B but still declares v1; the snapshot froze v1
+// without it.
+//
+// grlint:wire v1
+type Drifted struct { // want `changed without a version bump`
+	A int
+	B int
+}
+
+// Bumped gained a field AND bumped its marker; only the snapshot refresh
+// is owed.
+//
+// grlint:wire v2
+type Bumped struct { // want `snapshot is stale`
+	A int
+	B string
+}
+
+// Fresh is annotated but was never snapshotted.
+//
+// grlint:wire v1
+type Fresh struct { // want `not in the wire schema snapshot`
+	X int
+}
+
+// Leaky smuggles state through fields gob will not carry.
+//
+// grlint:wire v1
+type Leaky struct {
+	Public  int
+	private int         // want `unexported field`
+	Done    chan int    // want `chan type`
+	Hook    func()      // want `func type`
+	Any     interface{} // want `interface-typed`
+}
+
+// payload is a plain struct no marker covers.
+type payload struct {
+	N int
+}
+
+// Referrer points at payload, whose drift the snapshot cannot see.
+//
+// grlint:wire v1
+type Referrer struct {
+	P []payload // want `not grlint:wire-annotated`
+}
+
+// marked has a bad version marker.
+//
+// grlint:wire version-two
+type marked struct { // want `malformed grlint:wire marker`
+	A int // The struct is also unexported+missing from the snapshot, but the
+	// malformed marker short-circuits before those fire.
+}

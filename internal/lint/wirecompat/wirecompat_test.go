@@ -1,0 +1,16 @@
+package wirecompat_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"grminer/internal/lint/analysistest"
+	"grminer/internal/lint/wirecompat"
+)
+
+func Test(t *testing.T) {
+	testdata := analysistest.TestData()
+	wirecompat.SnapshotPath = filepath.Join(testdata, "src", "a", "wire_schema.json")
+	defer func() { wirecompat.SnapshotPath = "" }()
+	analysistest.Run(t, testdata, wirecompat.Analyzer, "a")
+}
