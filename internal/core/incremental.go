@@ -85,6 +85,8 @@ import (
 
 // EdgeInsert is one edge to ingest: endpoints plus edge attribute values
 // (one per schema edge attribute, in order).
+//
+// grlint:wire v1
 type EdgeInsert struct {
 	Src, Dst int
 	Vals     []graph.Value
@@ -96,6 +98,8 @@ type EdgeInsert struct {
 // against the graph as it stood BEFORE the batch — a batch cannot delete an
 // edge it also inserts — and a retraction matching no pre-batch live edge
 // rejects the whole batch.
+//
+// grlint:wire v2
 type EdgeDelete struct {
 	Src, Dst int
 	Vals     []graph.Value
@@ -616,6 +620,11 @@ func rightSubtreeAffected(opt Options, aff affectedKeys, attr int, val graph.Val
 
 // remineAffected re-mines exactly the first-level SFDF subtrees the batch
 // can have changed, upserting every candidate found into the pool.
+//
+// Scoped re-mining is only sound when the metric cannot raise a score
+// outside the affected subtrees.
+//
+// grlint:requires DeltaSafe DeleteSafe
 func (inc *Incremental) remineAffected(aff affectedKeys, stats *Stats) (remined, total int) {
 	return remineAffectedSubtrees(inc.st, inc.captureOpts(), aff, inc.upsert, stats)
 }
@@ -640,6 +649,8 @@ func (inc *Incremental) remineAffected(aff affectedKeys, stats *Stats) (remined,
 //     over the full edge set per dimension recovers the first-level
 //     partitions, and affected subtrees are re-walked in full, exactly as
 //     the pre-posting-list engine did.
+//
+// grlint:requires DeltaSafe DeleteSafe
 func remineAffectedSubtrees(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
 	if st.PostingsEnabled() {
 		return reminePostings(st, opt, aff, capture, stats)
@@ -650,6 +661,8 @@ func remineAffectedSubtrees(st *store.Store, opt Options, aff affectedKeys, capt
 // reminePostings is the posting-list re-mine: first-level partitions come
 // straight from the store's per-(attribute, value) lists, and the deep
 // affected-key filter scopes every level below them.
+//
+// grlint:requires DeltaSafe DeleteSafe
 func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
 	schema := st.Graph().Schema()
 	m := newMiner(st, opt)
@@ -719,6 +732,8 @@ func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func
 // sort over the full edge set per dimension recovers the first-level
 // partitions (affected or not), and affected subtrees are re-walked in
 // full — no deep affected-key filtering.
+//
+// grlint:requires DeltaSafe DeleteSafe
 func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
 	schema := st.Graph().Schema()
 	m := newMiner(st, opt)

@@ -129,6 +129,8 @@ func (o Options) normalize() (Options, error) {
 }
 
 // Stats reports the work a run performed.
+//
+// grlint:wire v1
 type Stats struct {
 	// PartitionCalls counts counting-sort invocations.
 	PartitionCalls int64

@@ -62,6 +62,8 @@ import (
 // a CAS loop comparing as floats (bit-pattern ordering would be wrong for
 // negative scores, which gain and Piatetsky-Shapiro can produce).
 type parFloor struct {
+	// grlint:atomic every worker reads this on every candidate; a plain
+	// load/store would race with the CAS raise.
 	bits atomic.Uint64
 }
 

@@ -64,6 +64,8 @@ import (
 
 // WireOptions is Options in a transport-friendly form: the metric travels by
 // name, everything else by value. The zero Metric name means nhp.
+//
+// grlint:wire v2
 type WireOptions struct {
 	MinSupp            int
 	MinScore           float64
@@ -128,6 +130,8 @@ func (w WireOptions) Options() (Options, error) {
 // worker — in-process or a shardd daemon across a socket — needs to build
 // its private graph and store. All fields are value types so the spec
 // gob-encodes without registration.
+//
+// grlint:wire v1
 type WorkerSpec struct {
 	// NodeAttrs / EdgeAttrs reconstruct the schema.
 	NodeAttrs []graph.Attribute
@@ -185,6 +189,8 @@ func buildWorkerSpec(g *graph.Graph, opt Options, plan ShardPlan, part []int32, 
 
 // ShardCandidate is one offer crossing the coordinator/worker boundary: a
 // GR together with its exact counts on the offering shard.
+//
+// grlint:wire v1
 type ShardCandidate struct {
 	GR     gr.GR
 	Counts metrics.Counts
@@ -196,6 +202,8 @@ type ShardCandidate struct {
 // threshold — the last with final counts under ShardMinSupp, which tell the
 // coordinator the shard no longer tracks it), and the scoped re-mine's
 // selectivity.
+//
+// grlint:wire v2
 type IngestReply struct {
 	NumEdges        int
 	Deltas          []ShardCandidate
@@ -245,6 +253,8 @@ func InProcessWorkers(spec WorkerSpec) (ShardWorker, error) {
 // destination side (R), and the edge itself (W). Singleton supports bound
 // every descriptor's support from above, which is all the two-round
 // protocol needs from round 1.
+//
+// grlint:wire v1
 type ShardSketch struct {
 	Edges int
 	// L and R are indexed [nodeAttr][value], W is [edgeAttr][value];
@@ -365,6 +375,8 @@ func (sk *ShardSketch) contributes(m metrics.Metric, g gr.GR) bool {
 // prunes with (see the package comment for the math). HL/HW/HR are the
 // summed singleton supports over all shards; OL/OW/OR the sums over the
 // *other* shards (H minus the worker's own sketch).
+//
+// grlint:wire v1
 type OfferBound struct {
 	MinSupp    int
 	HL, HW, HR [][]int
@@ -652,6 +664,10 @@ func (w *WorkerState) Ingest(batch Batch) (IngestReply, error) {
 		return IngestReply{}, fmt.Errorf("core: worker %d: %w", w.idx, err)
 	}
 	var stats Stats
+	// The re-mine below is deliberately unguarded: deletions were resolved
+	// exactly by the recount above (support-gated pools have no deletion
+	// entrants), so only the insert side reaches the scoped walk.
+	//grlint:ignore metricsafety deletions are recounted exactly above; only inserts reach the scoped re-mine
 	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), aff,
 		func(g gr.GR, c metrics.Counts, score float64) {
 			w.upsert(g, c)

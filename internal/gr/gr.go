@@ -18,6 +18,8 @@ import (
 // Cond is one (attribute : value) pair of a descriptor. Attr indexes the
 // schema's node or edge attribute list depending on where the condition is
 // used; Val is never the null value in a well-formed descriptor.
+//
+// grlint:wire v1
 type Cond struct {
 	Attr int
 	Val  graph.Value
@@ -154,6 +156,8 @@ func (d Descriptor) format(attrs []graph.Attribute) string {
 
 // GR is a group relationship l -w-> r (Definition 1). L and R are node
 // descriptors, W an edge descriptor.
+//
+// grlint:wire v1
 type GR struct {
 	L Descriptor
 	W Descriptor

@@ -22,6 +22,8 @@ const Null Value = 0
 const MaxDomain = 1<<16 - 1
 
 // Attribute describes one node or edge attribute.
+//
+// grlint:wire v1
 type Attribute struct {
 	// Name is the attribute name, unique within its attribute set.
 	Name string

@@ -13,6 +13,8 @@ import (
 
 // Counts carries the absolute supports a metric may need for one GR
 // l -w-> r. All counts are edge counts.
+//
+// grlint:wire v1
 type Counts struct {
 	LWR int // |E(l ∧ w ∧ r)|, the support of the GR
 	LW  int // |E(l ∧ w)|

@@ -47,12 +47,16 @@ const (
 )
 
 // Hello is the client's first message on a fresh connection.
+//
+// grlint:wire v1
 type Hello struct {
 	Magic   string
 	Version int
 }
 
 // HelloReply acknowledges (or rejects) the handshake.
+//
+// grlint:wire v1
 type HelloReply struct {
 	OK  bool
 	Err string
@@ -68,6 +72,8 @@ const (
 
 // Request is one coordinator → worker message after the handshake. Op
 // selects which payload field is meaningful.
+//
+// grlint:wire v2
 type Request struct {
 	Op      string
 	Spec    *core.WorkerSpec
@@ -79,6 +85,8 @@ type Request struct {
 
 // Reply is one worker → coordinator message. A non-empty Err reports an
 // operation failure; the session stays open.
+//
+// grlint:wire v1
 type Reply struct {
 	Err      string
 	NumEdges int
