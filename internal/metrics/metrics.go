@@ -168,14 +168,24 @@ var (
 		Score:           func(c Counts) float64 { return Gain(c, 0.5) },
 		RHSAntiMonotone: true,
 		DeltaSafe:       true,
+		// Not DeleteSafe: removing edges shrinks LW, so LWR − θ·LW can rise
+		// on a GR no deletion touched.
+		DeleteSafe: false,
 	}
-	// PSMetric is Piatetsky-Shapiro; not RHS anti-monotone.
-	PSMetric = Metric{Name: "piatetsky-shapiro", Score: PiatetskyShapiro, NeedsR: true}
-	// ConvictionMetric is not RHS anti-monotone.
-	ConvictionMetric = Metric{Name: "conviction", Score: Conviction, NeedsR: true}
+	// PSMetric is Piatetsky-Shapiro; not RHS anti-monotone. Neither safety
+	// holds: the score depends on |E| and |E(r)|, which every change moves.
+	PSMetric = Metric{Name: "piatetsky-shapiro", Score: PiatetskyShapiro, NeedsR: true,
+		DeltaSafe: false, DeleteSafe: false}
+	// ConvictionMetric is not RHS anti-monotone; like the lift family its
+	// score can rise anywhere when |E| or supp(r) shifts, so neither safety
+	// flag holds.
+	ConvictionMetric = Metric{Name: "conviction", Score: Conviction, NeedsR: true,
+		DeltaSafe: false, DeleteSafe: false}
 	// LiftMetric reduces the influence of RHS popularity skew (the paper's
-	// D1 discussion); not RHS anti-monotone.
-	LiftMetric = Metric{Name: "lift", Score: Lift, NeedsR: true}
+	// D1 discussion); not RHS anti-monotone, and not delta- or delete-safe
+	// (scores rise when |E| grows or supp(r) shifts).
+	LiftMetric = Metric{Name: "lift", Score: Lift, NeedsR: true,
+		DeltaSafe: false, DeleteSafe: false}
 )
 
 // All lists every builtin metric.
