@@ -77,6 +77,9 @@ func main() {
 		}
 	}
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
 		if _, err := masked.AddEdge(g.Src(e), g.Dst(e), g.EdgeValues(e)...); err != nil {
 			log.Fatal(err)
 		}

@@ -76,7 +76,7 @@ func TestFacadeRecommendFlow(t *testing.T) {
 			continue
 		}
 		for e := 0; e < g.NumEdges(); e++ {
-			if g.Dst(e) == n && g.NodeValue(g.Src(e), 1) == 2 {
+			if g.EdgeAlive(e) && g.Dst(e) == n && g.NodeValue(g.Src(e), 1) == 2 {
 				target = n
 				break
 			}

@@ -163,7 +163,9 @@ func dynamicWorkload(full *graph.Graph, base, batchSize, batches int, seed int64
 	}
 	live := make([]int, 0, sim.NumEdges())
 	for e := 0; e < sim.NumEdges(); e++ {
-		live = append(live, e)
+		if sim.EdgeAlive(e) {
+			live = append(live, e)
+		}
 	}
 	out := make([]core.Batch, 0, batches)
 	cut := base
@@ -187,6 +189,11 @@ func dynamicWorkload(full *graph.Graph, base, batchSize, batches int, seed int64
 			}
 		}
 		for i := 0; i < ins && cut < full.NumEdges(); i++ {
+			if !full.EdgeAlive(cut) {
+				// The source graph is a static snapshot; a tombstone here
+				// means the workload would replay a retracted edge.
+				return nil, fmt.Errorf("bench: source graph edge %d is tombstoned", cut)
+			}
 			src, dst := full.Src(cut), full.Dst(cut)
 			vals := append([]graph.Value(nil), full.EdgeValues(cut)...)
 			batch.Ins = append(batch.Ins, core.EdgeInsert{Src: src, Dst: dst, Vals: vals})

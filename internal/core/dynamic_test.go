@@ -32,7 +32,9 @@ func newDynamicStream(t *testing.T, label string, seed int64, base *graph.Graph)
 	sim := prefixGraph(base, base.NumEdges())
 	live := make([]int, 0, sim.NumEdges())
 	for e := 0; e < sim.NumEdges(); e++ {
-		live = append(live, e)
+		if sim.EdgeAlive(e) {
+			live = append(live, e)
+		}
 	}
 	return &dynamicStream{
 		t: t, label: label,

@@ -50,6 +50,7 @@ func TestIncrementalShardedOracle(t *testing.T) {
 					t.Fatal(err)
 				}
 				assertSameResults(t, label+"-seed", inc.Result().TopK, ref.TopK)
+				//grlint:ignore deadedge cut is a stream position over a static snapshot; insertsFor skips tombstoned rows
 				for cut := base; cut < full.NumEdges(); {
 					next := cut + 1 + r.Intn(9)
 					if next > full.NumEdges() {
@@ -87,6 +88,7 @@ func TestIncrementalShardedRoutesToOwningShard(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//grlint:ignore deadedge cut is a stream position over a static snapshot; insertsFor skips tombstoned rows
 		for cut := base; cut < full.NumEdges(); {
 			next := min(cut+7, full.NumEdges())
 			if _, _, err := inc.Apply(insertsFor(full, cut, next)); err != nil {
@@ -201,6 +203,7 @@ func TestIncrementalShardedThresholdCrossing(t *testing.T) {
 			t.Fatalf("ShardMinSupp = %d; this test requires a lowered threshold > 1", got)
 		}
 		seedTracked := inc.Cumulative().Tracked
+		//grlint:ignore deadedge cut is a stream position over a static snapshot; insertsFor skips tombstoned rows
 		for cut := base; cut < full.NumEdges(); {
 			next := min(cut+40, full.NumEdges())
 			res, _, err := inc.Apply(insertsFor(full, cut, next))

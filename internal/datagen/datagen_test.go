@@ -89,6 +89,9 @@ func TestPokecDeterminismAndShape(t *testing.T) {
 		}
 	}
 	for e := 0; e < g1.NumEdges(); e++ {
+		if !g1.EdgeAlive(e) {
+			t.Fatalf("generator produced dead edge %d", e)
+		}
 		if g1.Src(e) != g2.Src(e) || g1.Dst(e) != g2.Dst(e) {
 			t.Fatal("generator not deterministic (edges)")
 		}
@@ -101,6 +104,9 @@ func TestPokecDeterminismAndShape(t *testing.T) {
 	g3 := Pokec(cfg)
 	same := true
 	for e := 0; e < g1.NumEdges() && same; e++ {
+		if !g1.EdgeAlive(e) {
+			t.Fatalf("generator produced dead edge %d", e)
+		}
 		if g1.Src(e) != g3.Src(e) || g1.Dst(e) != g3.Dst(e) {
 			same = false
 		}
@@ -145,6 +151,9 @@ func TestPokecPlantedStructure(t *testing.T) {
 	var basicSrc, basicToBasic, basicToSecondary int
 	var sameRegion int
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			t.Fatalf("generator produced dead edge %d", e)
+		}
 		src, dst := g.Src(e), g.Dst(e)
 		if g.NodeValue(src, PokecRegion) == g.NodeValue(dst, PokecRegion) {
 			sameRegion++
@@ -204,6 +213,9 @@ func TestDBLPShape(t *testing.T) {
 	// D2 shape: among DB-sourced "often" edges leaving DB, DM dominates.
 	var dbOftenOut, dbOftenToDM int
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			t.Fatalf("generator produced dead edge %d", e)
+		}
 		if g.NodeValue(g.Src(e), DBLPArea) != AreaDB {
 			continue
 		}
@@ -232,6 +244,9 @@ func TestDBLPUndirected(t *testing.T) {
 	g := DBLP(cfg)
 	// Every even edge must have an odd reverse twin with equal strength.
 	for e := 0; e < g.NumEdges(); e += 2 {
+		if !g.EdgeAlive(e) || !g.EdgeAlive(e+1) {
+			t.Fatalf("generator produced dead edge pair %d", e)
+		}
 		if g.Src(e) != g.Dst(e+1) || g.Dst(e) != g.Src(e+1) {
 			t.Fatalf("edge %d has no reverse twin", e)
 		}

@@ -52,6 +52,9 @@ func TestToyDatingStructure(t *testing.T) {
 	}
 	// Every edge has its reverse twin and the dates type.
 	for e := 0; e < g.NumEdges(); e += 2 {
+		if !g.EdgeAlive(e) || !g.EdgeAlive(e+1) {
+			t.Fatalf("toy dataset has dead edge pair %d", e)
+		}
 		if g.Src(e) != g.Dst(e+1) || g.Dst(e) != g.Src(e+1) {
 			t.Fatalf("edge %d lacks reverse twin", e)
 		}
@@ -75,7 +78,7 @@ func TestToyDatingStructure(t *testing.T) {
 	// 14 edges originate from males (GR1's conf denominator).
 	maleSrc := 0
 	for e := 0; e < g.NumEdges(); e++ {
-		if g.NodeValue(g.Src(e), ToySex) == SexM {
+		if g.EdgeAlive(e) && g.NodeValue(g.Src(e), ToySex) == SexM {
 			maleSrc++
 		}
 	}

@@ -51,7 +51,9 @@ func TestRemoteDynamicOracle(t *testing.T) {
 			sim := copyGraph(g)
 			live := make([]int, 0, sim.NumEdges())
 			for e := 0; e < sim.NumEdges(); e++ {
-				live = append(live, e)
+				if sim.EdgeAlive(e) {
+					live = append(live, e)
+				}
 			}
 			workers := 2 + (mi+boolInt(dyn))%3
 			addrs := startWorkers(t, workers)

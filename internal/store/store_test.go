@@ -66,7 +66,10 @@ func TestCSRGrouping(t *testing.T) {
 	// Edges must be contiguous per source in EArray.
 	lastSrc := int32(-1)
 	seen := map[int32]bool{}
-	for e := int32(0); int(e) < s.NumEdges(); e++ {
+	for e := int32(0); int(e) < s.NumRows(); e++ {
+		if !s.Alive(e) {
+			continue
+		}
 		src := s.SrcNode(e)
 		if src != lastSrc {
 			if seen[src] {
@@ -102,6 +105,9 @@ func TestFlatten(t *testing.T) {
 		t.Fatalf("flat table %dx%d", ft.Rows, ft.Width)
 	}
 	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
 		for a := 0; a < 3; a++ {
 			if ft.Value(int32(e), ft.LCol(a)) != g.NodeValue(g.Src(e), a) {
 				t.Fatalf("edge %d L attr %d mismatch", e, a)
@@ -210,10 +216,16 @@ func TestAppendMatchesRebuild(t *testing.T) {
 			// the original edge id (row layouts legitimately differ).
 			fresh := Build(g)
 			byID := make(map[int32]int32, fresh.NumEdges())
-			for e := int32(0); int(e) < fresh.NumEdges(); e++ {
+			for e := int32(0); int(e) < fresh.NumRows(); e++ {
+				if !fresh.Alive(e) {
+					continue
+				}
 				byID[fresh.EdgeID(e)] = e
 			}
-			for e := int32(0); int(e) < s.NumEdges(); e++ {
+			for e := int32(0); int(e) < s.NumRows(); e++ {
+				if !s.Alive(e) {
+					continue
+				}
 				f, ok := byID[s.EdgeID(e)]
 				if !ok {
 					t.Fatalf("seed %d: edge id %d missing from fresh build", seed, s.EdgeID(e))
@@ -297,7 +309,10 @@ func TestBuildSubset(t *testing.T) {
 	if s.NumEdges() != len(subset) {
 		t.Fatalf("NumEdges = %d, want %d", s.NumEdges(), len(subset))
 	}
-	for row := int32(0); int(row) < s.NumEdges(); row++ {
+	for row := int32(0); int(row) < s.NumRows(); row++ {
+		if !s.Alive(row) {
+			continue
+		}
 		orig := int(s.EdgeID(row))
 		if int(s.SrcNode(row)) != g.Src(orig) || int(s.DstNode(row)) != g.Dst(orig) {
 			t.Fatalf("row %d endpoints mismatch", row)
