@@ -1,0 +1,65 @@
+package rpc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"grminer/internal/lint/wire"
+)
+
+// wireDirs lists every package directory (relative to this one) declaring
+// grlint:wire structs, with its import path for schema keys.
+var wireDirs = []struct{ dir, pkg string }{
+	{".", "grminer/internal/rpc"},
+	{"../core", "grminer/internal/core"},
+	{"../gr", "grminer/internal/gr"},
+	{"../metrics", "grminer/internal/metrics"},
+	{"../graph", "grminer/internal/graph"},
+}
+
+// TestWireSchemaGolden pins the gob wire schema: every annotated struct's
+// field list and version must match wire_schema.json exactly. It fails with
+// a per-struct diff when a wire struct drifts without a version bump (and a
+// Version bump in protocol.go); regenerate deliberately with
+//
+//	go run ./cmd/grlint -update-wire ./...
+func TestWireSchemaGolden(t *testing.T) {
+	current := make(wire.Schema)
+	for _, d := range wireDirs {
+		decls, err := wire.FromDir(d.dir, d.pkg)
+		if err != nil {
+			t.Fatalf("collecting %s: %v", d.dir, err)
+		}
+		for _, decl := range decls {
+			if decl.BadMark != "" {
+				t.Fatalf("%s: malformed grlint:wire marker %q", d.dir, decl.BadMark)
+			}
+		}
+		for k, s := range wire.ToSchema(decls) {
+			current[k] = s
+		}
+	}
+
+	golden, err := wire.Load(filepath.Base(wire.SnapshotName))
+	if err != nil {
+		t.Fatalf("loading golden snapshot: %v", err)
+	}
+	if diff := wire.Diff(golden, current); diff != "" {
+		t.Errorf("wire schema drifted from %s:\n%s\nIf the change is intentional, bump the struct's grlint:wire version (and rpc.Version for handshake-breaking changes), then run `go run ./cmd/grlint -update-wire ./...`.", wire.SnapshotName, diff)
+	}
+
+	// The protocol's load-bearing structs must never silently drop out of
+	// the snapshot (e.g. by an annotation being deleted).
+	for _, key := range []string{
+		"grminer/internal/rpc.Hello",
+		"grminer/internal/rpc.Request",
+		"grminer/internal/rpc.Reply",
+		"grminer/internal/core.WireOptions",
+		"grminer/internal/core.WorkerSpec",
+		"grminer/internal/core.IngestReply",
+	} {
+		if _, ok := current[key]; !ok {
+			t.Errorf("wire struct %s lost its grlint:wire annotation", key)
+		}
+	}
+}
