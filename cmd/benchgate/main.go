@@ -1,0 +1,83 @@
+// benchgate compares a `go test -bench -benchmem` run against a committed
+// baseline and exits non-zero on regression — the comparator behind the CI
+// bench-gate job (DESIGN.md §7).
+//
+// Usage:
+//
+//	go test ./internal/core/ -run '^$' -bench . -benchtime 10x -count 5 -benchmem > current.txt
+//	go run ./cmd/benchgate -baseline internal/bench/gate/baseline.txt current.txt
+//
+// Several result files (one per package) may be given; "-" reads stdin. By
+// default allocs/op is gated at +10%, B/op at +25%, and ns/op is reported
+// but not gated (CI wall time is noise); -ns-pct opts it in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"grminer/internal/bench/gate"
+)
+
+func main() {
+	baseline := flag.String("baseline", "internal/bench/gate/baseline.txt", "committed baseline file")
+	allocsPct := flag.Float64("allocs-pct", 0.10, "allowed allocs/op regression fraction (negative disables)")
+	bytesPct := flag.Float64("bytes-pct", 0.25, "allowed B/op regression fraction (negative disables)")
+	nsPct := flag.Float64("ns-pct", -1, "allowed ns/op regression fraction (negative disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchgate [flags] current.txt [current2.txt ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := parseFiles(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFiles(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	th := gate.Thresholds{NsPct: *nsPct, BytesPct: *bytesPct, AllocsPct: *allocsPct}
+	rep := gate.Compare(gate.Medians(base), gate.Medians(cur), th)
+	rep.Format(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// parseFiles parses one suite out of the concatenation of the given files
+// ("-" for stdin).
+func parseFiles(paths ...string) (gate.Suite, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, p := range paths {
+		if p == "-" {
+			readers = append(readers, os.Stdin)
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		readers = append(readers, f)
+	}
+	return gate.Parse(io.MultiReader(readers...))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

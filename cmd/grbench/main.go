@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"grminer/internal/bench"
@@ -39,16 +41,49 @@ func main() {
 	flag.IntVar(&cfg.MaxShards, "shards", cfg.MaxShards, "shard-count cap for the sharding experiment (0 = 8)")
 	flag.StringVar(&cfg.ShardBy, "shard-by", cfg.ShardBy, "restrict the sharding experiment to one strategy: src | rhs (empty = both)")
 	flag.StringVar(&cfg.JSONDir, "json-dir", ".", "directory for BENCH_*.json snapshots (empty = skip)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (captured after the run) to this file")
 	flag.Parse()
 
-	if cfg.JSONDir != "" {
-		if err := os.MkdirAll(cfg.JSONDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "grbench:", err)
-			os.Exit(1)
-		}
-	}
-	if err := bench.Run(*exp, os.Stdout, cfg); err != nil {
+	if err := run(*exp, cfg, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "grbench:", err)
 		os.Exit(1)
 	}
+}
+
+func run(exp string, cfg bench.Config, cpuprofile, memprofile string) error {
+	if cfg.JSONDir != "" {
+		if err := os.MkdirAll(cfg.JSONDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := bench.Run(exp, os.Stdout, cfg); err != nil {
+		return err
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// The allocs profile carries total allocation counts since process
+		// start — the hot-path allocation evidence DESIGN.md §7 asks CI to
+		// publish — alongside the post-GC live heap.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return err
+		}
+	}
+	return nil
 }

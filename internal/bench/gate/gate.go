@@ -1,0 +1,242 @@
+// Package gate implements the benchmark-regression comparator behind the CI
+// bench-gate job (DESIGN.md §7). It parses `go test -bench -benchmem` output,
+// reduces the -count repetitions of each benchmark to per-metric medians, and
+// compares those medians against a committed baseline file with per-metric
+// regression thresholds.
+//
+// The package is stdlib-only on purpose: the gate must run in CI (and
+// locally) without fetching any comparison tool, and its verdict must be
+// auditable from a couple of hundred lines of code.
+//
+// Metrics are gated asymmetrically by design. allocs/op is near-deterministic
+// for a fixed -benchtime, so it gets the tightest threshold; B/op wobbles
+// with buffer-growth amortisation across iteration counts, so it gets a
+// looser one; ns/op on shared CI runners is noise and is not gated unless a
+// threshold is explicitly configured.
+package gate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark run's measurements. NsPerOp is always present in
+// `go test -bench` output; BytesPerOp/AllocsPerOp require -benchmem (or
+// b.ReportAllocs, which every gate benchmark sets).
+type Sample struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
+}
+
+// Suite maps a benchmark name (GOMAXPROCS suffix stripped, e.g.
+// "BenchmarkApplyBatch/mixed") to its runs, in input order.
+type Suite map[string][]Sample
+
+// Parse reads `go test -bench` output, collecting every benchmark result
+// line. Non-result lines (goos/pkg headers, PASS, timings) are ignored, so
+// the concatenated output of several packages parses as one suite.
+func Parse(r io.Reader) (Suite, error) {
+	suite := make(Suite)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("gate: malformed benchmark line %q", line)
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		name := stripProcs(fields[0])
+		var s Sample
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gate: bad value in %q: %v", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = val
+			case "B/op":
+				s.BytesPerOp = val
+				s.HasMem = true
+			case "allocs/op":
+				s.AllocsPerOp = val
+				s.HasMem = true
+			}
+		}
+		suite[name] = append(suite[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("gate: no benchmark result lines found")
+	}
+	return suite, nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS from a benchmark name
+// ("BenchmarkFoo/bar-8" -> "BenchmarkFoo/bar"), so baselines transfer
+// between machines with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Medians reduces each benchmark's runs to the per-metric median — medians,
+// not means, so one descheduled run out of -count cannot move the verdict.
+func Medians(s Suite) map[string]Sample {
+	out := make(map[string]Sample, len(s))
+	for name, runs := range s {
+		m := Sample{
+			NsPerOp:     median(runs, func(r Sample) float64 { return r.NsPerOp }),
+			HasMem:      runs[0].HasMem,
+			BytesPerOp:  median(runs, func(r Sample) float64 { return r.BytesPerOp }),
+			AllocsPerOp: median(runs, func(r Sample) float64 { return r.AllocsPerOp }),
+		}
+		out[name] = m
+	}
+	return out
+}
+
+func median(runs []Sample, get func(Sample) float64) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = get(r)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Thresholds are the allowed regression fractions per metric: 0.10 allows a
+// 10% increase over baseline before a delta counts as a regression. A
+// negative threshold disables gating that metric (it is still reported).
+type Thresholds struct {
+	NsPct     float64
+	BytesPct  float64
+	AllocsPct float64
+}
+
+// DefaultThresholds gates allocations tightly, bytes loosely, and leaves
+// wall time ungated (CI runners share cores; see the package comment).
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsPct: -1, BytesPct: 0.25, AllocsPct: 0.10}
+}
+
+// Delta is one benchmark metric's baseline-to-current movement.
+type Delta struct {
+	Benchmark string
+	Metric    string // "ns/op", "B/op", "allocs/op"
+	Base      float64
+	Cur       float64
+	Pct       float64 // (Cur-Base)/Base; +0.25 = 25% worse
+	Gated     bool    // counted toward the verdict
+}
+
+// Report is the comparator's verdict over a baseline/current pair.
+type Report struct {
+	Regressions  []Delta  // gated metrics beyond threshold — the gate fails
+	Improvements []Delta  // metrics that moved meaningfully in our favour
+	Missing      []string // in baseline, absent from current — the gate fails
+	Extra        []string // in current, absent from baseline (informational)
+}
+
+// OK reports whether the gate passes.
+func (r *Report) OK() bool { return len(r.Regressions) == 0 && len(r.Missing) == 0 }
+
+// Compare gates current against base. Both maps are medians (see Medians). A
+// benchmark present in base but missing from current fails the gate —
+// deleting a benchmark must be an explicit baseline update, not a silent
+// skip.
+func Compare(base, cur map[string]Sample, th Thresholds) *Report {
+	rep := &Report{}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		rep.judge(name, "ns/op", b.NsPerOp, c.NsPerOp, th.NsPct)
+		if b.HasMem && c.HasMem {
+			rep.judge(name, "B/op", b.BytesPerOp, c.BytesPerOp, th.BytesPct)
+			rep.judge(name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, th.AllocsPct)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.Extra = append(rep.Extra, name)
+		}
+	}
+	sort.Strings(rep.Extra)
+	return rep
+}
+
+// judge classifies one metric delta. Improvements use a fixed 5% notability
+// floor; tiny wobbles in either direction are not worth reporting.
+func (rep *Report) judge(bench, metric string, base, cur, threshold float64) {
+	d := Delta{Benchmark: bench, Metric: metric, Base: base, Cur: cur, Gated: threshold >= 0}
+	switch {
+	case base == 0:
+		// A zero baseline (allocs/op 0) regresses on any increase at all.
+		if cur > 0 && d.Gated {
+			d.Pct = 1
+			rep.Regressions = append(rep.Regressions, d)
+		}
+		return
+	default:
+		d.Pct = (cur - base) / base
+	}
+	if d.Gated && d.Pct > threshold {
+		rep.Regressions = append(rep.Regressions, d)
+	} else if d.Pct < -0.05 {
+		rep.Improvements = append(rep.Improvements, d)
+	}
+}
+
+// Format renders the report for humans (and CI logs).
+func (r *Report) Format(w io.Writer) {
+	for _, d := range r.Regressions {
+		fmt.Fprintf(w, "REGRESSION %-45s %-10s %12.1f -> %12.1f  (%+.1f%%)\n",
+			d.Benchmark, d.Metric, d.Base, d.Cur, 100*d.Pct)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "MISSING    %-45s (in baseline, not in current run)\n", name)
+	}
+	for _, d := range r.Improvements {
+		fmt.Fprintf(w, "improved   %-45s %-10s %12.1f -> %12.1f  (%+.1f%%)\n",
+			d.Benchmark, d.Metric, d.Base, d.Cur, 100*d.Pct)
+	}
+	for _, name := range r.Extra {
+		fmt.Fprintf(w, "new        %-45s (not in baseline; update the baseline to gate it)\n", name)
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "bench gate OK\n")
+	}
+}

@@ -1,0 +1,179 @@
+package gate
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func parseFile(t *testing.T, path string) map[string]Sample {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	suite, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Medians(suite)
+}
+
+func TestParseStripsProcsAndCollectsRuns(t *testing.T) {
+	in := `goos: linux
+pkg: grminer/internal/core
+BenchmarkApplyBatch/mixed-8   	      10	  45131569 ns/op	  260677 B/op	    8640 allocs/op
+BenchmarkApplyBatch/mixed-8   	      10	  44676790 ns/op	  260679 B/op	    8642 allocs/op
+BenchmarkApplyBatch/mixed-8   	      10	  46464560 ns/op	  260678 B/op	    8641 allocs/op
+BenchmarkNoMem-8              	 1000000	      1042 ns/op
+PASS
+`
+	suite, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, ok := suite["BenchmarkApplyBatch/mixed"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped; names: %v", keys(suite))
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	med := Medians(suite)["BenchmarkApplyBatch/mixed"]
+	if med.AllocsPerOp != 8641 {
+		t.Errorf("median allocs/op = %v, want 8641", med.AllocsPerOp)
+	}
+	if med.NsPerOp != 45131569 {
+		t.Errorf("median ns/op = %v, want 45131569", med.NsPerOp)
+	}
+	if nm := Medians(suite)["BenchmarkNoMem"]; nm.HasMem {
+		t.Error("benchmark without -benchmem columns marked HasMem")
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok pkg 1.0s\n")); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}
+
+func TestEvenRunCountMedian(t *testing.T) {
+	in := `BenchmarkX 10 100 ns/op
+BenchmarkX 10 300 ns/op
+`
+	suite, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := Medians(suite)["BenchmarkX"].NsPerOp; med != 200 {
+		t.Errorf("even-count median = %v, want 200", med)
+	}
+}
+
+// TestGatePassesOnItself is the positive gate: the committed baseline
+// compared against itself (and against an across-the-board improvement)
+// passes.
+func TestGatePassesOnItself(t *testing.T) {
+	base := parseFile(t, "baseline.txt")
+	rep := Compare(base, base, DefaultThresholds())
+	if !rep.OK() {
+		var sb strings.Builder
+		rep.Format(&sb)
+		t.Fatalf("baseline vs itself failed:\n%s", sb.String())
+	}
+
+	imp := parseFile(t, "testdata/improved.txt")
+	rep = Compare(base, imp, DefaultThresholds())
+	if !rep.OK() {
+		var sb strings.Builder
+		rep.Format(&sb)
+		t.Fatalf("improvement flagged as regression:\n%s", sb.String())
+	}
+	if len(rep.Improvements) == 0 {
+		t.Error("20% across-the-board improvement not reported")
+	}
+}
+
+// TestGateCatchesSeededRegression is the negative gate: the committed
+// ci_seed fixture (ApplyBatch/mixed allocating 50% more) must fail, and must
+// fail on that benchmark. CI runs the same comparison through cmd/benchgate
+// so a broken comparator cannot silently pass itself.
+func TestGateCatchesSeededRegression(t *testing.T) {
+	base := parseFile(t, "baseline.txt")
+	reg := parseFile(t, "testdata/ci_seed/regressed.txt")
+	rep := Compare(base, reg, DefaultThresholds())
+	if rep.OK() {
+		t.Fatal("seeded 50% allocs/op regression passed the gate")
+	}
+	found := false
+	for _, d := range rep.Regressions {
+		if d.Benchmark == "BenchmarkApplyBatch/mixed" && d.Metric == "allocs/op" {
+			found = true
+		}
+		if d.Benchmark != "BenchmarkApplyBatch/mixed" {
+			t.Errorf("unexpected regression on %s %s", d.Benchmark, d.Metric)
+		}
+	}
+	if !found {
+		t.Error("seeded allocs/op regression on ApplyBatch/mixed not flagged")
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := parseFile(t, "baseline.txt")
+	cur := parseFile(t, "baseline.txt")
+	delete(cur, "BenchmarkRecount")
+	rep := Compare(base, cur, DefaultThresholds())
+	if rep.OK() {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkRecount" {
+		t.Fatalf("Missing = %v, want [BenchmarkRecount]", rep.Missing)
+	}
+}
+
+func TestZeroBaselineRegressesOnAnyAlloc(t *testing.T) {
+	base := map[string]Sample{"BenchmarkZ": {HasMem: true}}
+	cur := map[string]Sample{"BenchmarkZ": {HasMem: true, AllocsPerOp: 1}}
+	if Compare(base, cur, DefaultThresholds()).OK() {
+		t.Fatal("0 -> 1 allocs/op passed the gate")
+	}
+}
+
+// TestOverhaulReduction pins the PR's acceptance bar: the committed baseline
+// must show ≥ 30% fewer allocs/op than the pre-overhaul capture
+// (testdata/prechange.txt) on the ApplyBatch variants and on Recount. If a
+// later change erodes the win below the bar, this fails even when the
+// incremental thresholds would each have passed.
+func TestOverhaulReduction(t *testing.T) {
+	pre := parseFile(t, "testdata/prechange.txt")
+	now := parseFile(t, "baseline.txt")
+	for _, name := range []string{
+		"BenchmarkApplyBatch/mixed",
+		"BenchmarkApplyBatch/compaction",
+		"BenchmarkRecount",
+	} {
+		p, ok := pre[name]
+		if !ok {
+			t.Fatalf("%s missing from prechange capture", name)
+		}
+		n, ok := now[name]
+		if !ok {
+			t.Fatalf("%s missing from baseline", name)
+		}
+		reduction := 1 - n.AllocsPerOp/p.AllocsPerOp
+		if reduction < 0.30 {
+			t.Errorf("%s: allocs/op %v -> %v, reduction %.1f%% < 30%%",
+				name, p.AllocsPerOp, n.AllocsPerOp, 100*reduction)
+		}
+	}
+}
+
+func keys(s Suite) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}

@@ -79,8 +79,10 @@ import (
 
 	"grminer/internal/gr"
 	"grminer/internal/graph"
+	"grminer/internal/intern"
 	"grminer/internal/metrics"
 	"grminer/internal/store"
+	"grminer/internal/topk"
 )
 
 // EdgeInsert is one edge to ingest: endpoints plus edge attribute values
@@ -171,6 +173,67 @@ type tracked struct {
 	betaMask uint64
 }
 
+// densePool is the tracked candidate pool, indexed by interned GR id: a
+// dense entry array plus an id→slot table (slot+1; 0 means absent). Ids come
+// from the store's persistent dictionary, so slots stay valid across batches
+// and compactions; upsert/delete are slice probes instead of the hash of a
+// formatted GR key, and a delete swap-removes so recount's iteration stays
+// dense. The zero value is an empty pool.
+type densePool struct {
+	slots   []int32
+	entries []tracked
+	ids     []intern.GRID
+}
+
+func (p *densePool) len() int { return len(p.entries) }
+
+// upsert records or refreshes the entry for id.
+func (p *densePool) upsert(id intern.GRID, t tracked) {
+	if int(id) < len(p.slots) {
+		if s := p.slots[id]; s != 0 {
+			p.entries[s-1] = t
+			return
+		}
+	} else {
+		p.slots = append(p.slots, make([]int32, int(id)+1-len(p.slots))...)
+	}
+	p.entries = append(p.entries, t)
+	p.ids = append(p.ids, id)
+	p.slots[id] = int32(len(p.entries))
+}
+
+// deleteAt swap-removes the entry at dense index i. Iterating callers must
+// re-examine index i (it now holds the former last entry) instead of
+// advancing.
+func (p *densePool) deleteAt(i int) {
+	id := p.ids[i]
+	last := len(p.entries) - 1
+	p.entries[i] = p.entries[last]
+	p.ids[i] = p.ids[last]
+	p.slots[p.ids[i]] = int32(i) + 1
+	p.entries = p.entries[:last]
+	p.ids = p.ids[:last]
+	p.slots[id] = 0
+}
+
+// delete removes the entry for id if present.
+func (p *densePool) delete(id intern.GRID) {
+	if int(id) < len(p.slots) {
+		if s := p.slots[id]; s != 0 {
+			p.deleteAt(int(s) - 1)
+		}
+	}
+}
+
+// reset empties the pool in O(occupied), keeping all allocations.
+func (p *densePool) reset() {
+	for _, id := range p.ids {
+		p.slots[id] = 0
+	}
+	p.entries = p.entries[:0]
+	p.ids = p.ids[:0]
+}
+
 // Incremental maintains the top-k GRs of a growing network. It owns the
 // graph passed to NewIncremental (edges are appended to it) and is not safe
 // for concurrent use.
@@ -184,7 +247,16 @@ type Incremental struct {
 	// metrics.Metric.DeltaSafe / DeleteSafe.
 	deltaSafe  bool
 	deleteSafe bool
-	pool       map[string]*tracked
+	pool       densePool
+	// dict is the store's persistent interning dictionary (ids stable across
+	// batches and compactions); scr, aff, and mergeScratch are the engine's
+	// steady-state allocation set — every Apply recounts, re-mines, and
+	// assembles out of these instead of rebuilding maps (DESIGN.md §7). The
+	// engine is the store's exclusive writer, so single-owner use holds.
+	dict         *intern.Dict
+	scr          *minerScratch
+	aff          affectedKeys
+	mergeScratch []gr.Scored
 	// spillFloor is the highest score ever spilled past Options.PoolCap
 	// since the pool was last complete (-Inf when nothing is spilled);
 	// spilled records whether the frontier is non-empty. Together they are
@@ -223,19 +295,20 @@ func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
 		deltaSafe: opt.Metric.DeltaSafe && !opt.Metric.NeedsR &&
 			opt.MinScore >= 0,
 		deleteSafe: opt.Metric.DeleteSafe,
-		pool:       make(map[string]*tracked),
 		spillFloor: math.Inf(-1),
 	}
 	if !opt.NoPostingLists {
 		inc.st.EnablePostings()
 	}
+	inc.dict = inc.st.Dict()
+	inc.scr = newMinerScratch(inc.dict)
 	var stats Stats
 	var seedStats IncStats
 	start := time.Now()
 	inc.rebuildPool(&stats)
 	inc.last = inc.assembleBounded(&stats, &seedStats, start)
 	inc.cum.Spilled += seedStats.Spilled
-	inc.cum.Tracked = len(inc.pool)
+	inc.cum.Tracked = inc.pool.len()
 	return inc, nil
 }
 
@@ -290,7 +363,7 @@ func (inc *Incremental) ApplyBatch(b Batch) (*Result, IncStats, error) {
 		// the re-mine then runs over the surviving store (RemoveEdges may
 		// compact and renumber rows — newIDs and delRows are dead after it).
 		bs.Recounted, bs.Dropped = inc.recount(newIDs, delRows)
-		aff := collectAffected(inc.st, newIDs, delRows)
+		aff := inc.affected(newIDs, delRows)
 		if err := inc.applyDeletes(delRows); err != nil {
 			return nil, IncStats{}, err
 		}
@@ -307,7 +380,7 @@ func (inc *Incremental) ApplyBatch(b Batch) (*Result, IncStats, error) {
 		bs.FullRemines = 1
 	}
 	inc.last = inc.assembleBounded(&stats, &bs, start)
-	bs.Tracked = len(inc.pool)
+	bs.Tracked = inc.pool.len()
 	bs.Duration = inc.last.Stats.Duration
 	inc.cum.add(bs)
 	return inc.last, bs, nil
@@ -435,19 +508,22 @@ func (inc *Incremental) captureOpts() Options {
 
 // upsert is the capture hook target: record or refresh one pool entry.
 func (inc *Incremental) upsert(g gr.GR, c metrics.Counts, score float64) {
-	inc.pool[g.Key()] = &tracked{
+	inc.pool.upsert(inc.dict.GR(g), tracked{
 		gr: g, c: c, score: score,
 		betaMask: betaMaskOf(inc.g.Schema(), g.L, g.R),
-	}
+	})
 }
 
 // rebuildPool re-seeds the pool with a full capture mine over the current
 // store (seed mine, the per-batch fallback for non-delta-safe batches, and
 // the bounded pool's underflow re-mine). The rebuilt pool is complete, so
-// any spilled frontier is subsumed and its floor resets.
+// any spilled frontier is subsumed and its floor resets. The pool and the
+// mining scratch are reset in place, not reallocated: steady-state rebuilds
+// reuse the previous batch's capacity.
 func (inc *Incremental) rebuildPool(stats *Stats) {
-	inc.pool = make(map[string]*tracked, len(inc.pool))
-	m := newMiner(inc.st, inc.captureOpts())
+	inc.pool.reset()
+	inc.scr.reset()
+	m := newMinerScr(inc.st, inc.captureOpts(), inc.scr)
 	m.capture = inc.upsert
 	m.run()
 	addStats(stats, &m.stats)
@@ -469,7 +545,8 @@ func (inc *Incremental) recount(newIDs, delRows []int32) (recounted, dropped int
 	// NeedsR metrics are never DeltaSafe, so Counts.R needs no maintenance
 	// here — only the full-rebuild path serves them.
 	totalE := inc.st.NumEdges() - len(delRows)
-	for key, t := range inc.pool {
+	for i := 0; i < inc.pool.len(); {
+		t := &inc.pool.entries[i]
 		changed := false
 		for _, e := range newIDs {
 			if !matchOn(inc.st.LVal, e, t.gr.L) || !matchOn(inc.st.EVal, e, t.gr.W) {
@@ -501,9 +578,13 @@ func (inc *Incremental) recount(newIDs, delRows []int32) (recounted, dropped int
 			recounted++
 		}
 		if t.score < inc.opt.MinScore || t.c.LWR < inc.opt.MinSupp {
-			delete(inc.pool, key)
+			// Swap-remove: index i now holds a not-yet-visited entry, so the
+			// loop re-examines it instead of advancing.
+			inc.pool.deleteAt(i)
 			dropped++
+			continue
 		}
+		i++
 	}
 	return recounted, dropped
 }
@@ -542,14 +623,66 @@ func matchHomOn(st *store.Store, e int32, l gr.Descriptor, betaMask uint64) bool
 	return true
 }
 
+// affSet is one attribute's affected-value set: a dense membership table
+// over the attribute's value domain plus the marked values kept ascending —
+// the order counting sort yields its groups in, which lets the bitmap
+// descent reproduce the csort walk's candidate sequence exactly. Allocated
+// once per attribute and reset in O(marked) between batches.
+type affSet struct {
+	has  []bool
+	vals []graph.Value
+}
+
+// mark inserts v (ascending position; no-op when already marked). The
+// membership table is sized on first use from the attribute's domain.
+func (s *affSet) mark(v graph.Value, domain int) {
+	if s.has == nil {
+		s.has = make([]bool, domain+1)
+	}
+	if s.has[v] {
+		return
+	}
+	s.has[v] = true
+	i := len(s.vals)
+	s.vals = append(s.vals, v)
+	for i > 0 && s.vals[i-1] > v {
+		s.vals[i] = s.vals[i-1]
+		i--
+	}
+	s.vals[i] = v
+}
+
+func (s *affSet) empty() bool { return len(s.vals) == 0 }
+
+func (s *affSet) contains(v graph.Value) bool { return int(v) < len(s.has) && s.has[v] }
+
+func (s *affSet) reset() {
+	for _, v := range s.vals {
+		s.has[v] = false
+	}
+	s.vals = s.vals[:0]
+}
+
 // affectedKeys is the scoped re-mine's work list: for each block, the
 // (attribute, value) first-level subtree keys a batch can have changed, plus
 // the AllRight flag deletions raise (every root RIGHT subtree holds GRs with
 // empty l ∧ w, which every deleted edge matched — see the package comment).
 type affectedKeys struct {
-	L, R     []map[graph.Value]bool
-	W        []map[graph.Value]bool
+	L, R     []affSet
+	W        []affSet
 	AllRight bool
+}
+
+// reset empties every set (allocations kept) for reuse by the next batch.
+func (aff *affectedKeys) reset() {
+	for i := range aff.L {
+		aff.L[i].reset()
+		aff.R[i].reset()
+	}
+	for i := range aff.W {
+		aff.W[i].reset()
+	}
+	aff.AllRight = false
 }
 
 // collectAffected gathers the affected subtree keys from the batch's
@@ -558,42 +691,54 @@ type affectedKeys struct {
 // (a riser's full descriptor is carried by the inserted edge); deleted rows
 // mark only LEFT and EDGE keys — a deletion-riser's l ∧ w is carried by the
 // deleted edge, but its RHS need not be, so deletions flip AllRight instead.
-func collectAffected(st *store.Store, newIDs, delRows []int32) affectedKeys {
+func collectAffected(st *store.Store, newIDs, delRows []int32) *affectedKeys {
+	aff := &affectedKeys{}
+	collectAffectedInto(aff, st, newIDs, delRows)
+	return aff
+}
+
+// collectAffectedInto is collectAffected into a reusable set: the
+// incremental engines keep one affectedKeys per engine and refill it each
+// batch instead of allocating per-attribute maps.
+func collectAffectedInto(aff *affectedKeys, st *store.Store, newIDs, delRows []int32) {
 	schema := st.Graph().Schema()
 	nv, ne := len(schema.Node), len(schema.Edge)
-	aff := affectedKeys{
-		L: make([]map[graph.Value]bool, nv),
-		R: make([]map[graph.Value]bool, nv),
-		W: make([]map[graph.Value]bool, ne),
+	if aff.L == nil {
+		aff.L = make([]affSet, nv)
+		aff.R = make([]affSet, nv)
+		aff.W = make([]affSet, ne)
 	}
-	mark := func(sets []map[graph.Value]bool, a int, v graph.Value) {
+	aff.reset()
+	mark := func(sets []affSet, a int, v graph.Value, domain int) {
 		if v == graph.Null {
 			return
 		}
-		if sets[a] == nil {
-			sets[a] = make(map[graph.Value]bool)
-		}
-		sets[a][v] = true
+		sets[a].mark(v, domain)
 	}
 	for _, e := range newIDs {
 		for a := 0; a < nv; a++ {
-			mark(aff.L, a, st.LVal(e, a))
-			mark(aff.R, a, st.RVal(e, a))
+			mark(aff.L, a, st.LVal(e, a), schema.Node[a].Domain)
+			mark(aff.R, a, st.RVal(e, a), schema.Node[a].Domain)
 		}
 		for a := 0; a < ne; a++ {
-			mark(aff.W, a, st.EVal(e, a))
+			mark(aff.W, a, st.EVal(e, a), schema.Edge[a].Domain)
 		}
 	}
 	for _, e := range delRows {
 		aff.AllRight = true
 		for a := 0; a < nv; a++ {
-			mark(aff.L, a, st.LVal(e, a))
+			mark(aff.L, a, st.LVal(e, a), schema.Node[a].Domain)
 		}
 		for a := 0; a < ne; a++ {
-			mark(aff.W, a, st.EVal(e, a))
+			mark(aff.W, a, st.EVal(e, a), schema.Edge[a].Domain)
 		}
 	}
-	return aff
+}
+
+// affected is the engine-side collectAffected, refilling the per-engine set.
+func (inc *Incremental) affected(newIDs, delRows []int32) *affectedKeys {
+	collectAffectedInto(&inc.aff, inc.st, newIDs, delRows)
+	return &inc.aff
 }
 
 // rightSubtreeAffected decides whether a root RIGHT subtree with n live
@@ -607,8 +752,8 @@ func collectAffected(st *store.Store, newIDs, delRows []int32) affectedKeys {
 // above. A subtree whose bound misses minScore holds no condition-(1)
 // entrant and is skipped — the saving that keeps deletion batches from
 // re-walking the whole RIGHT block.
-func rightSubtreeAffected(opt Options, aff affectedKeys, attr int, val graph.Value, n, liveE int) bool {
-	if aff.R[attr][val] {
+func rightSubtreeAffected(opt Options, aff *affectedKeys, attr int, val graph.Value, n, liveE int) bool {
+	if aff.R[attr].contains(val) {
 		return true
 	}
 	if !aff.AllRight {
@@ -625,8 +770,9 @@ func rightSubtreeAffected(opt Options, aff affectedKeys, attr int, val graph.Val
 // outside the affected subtrees.
 //
 // grlint:requires DeltaSafe DeleteSafe
-func (inc *Incremental) remineAffected(aff affectedKeys, stats *Stats) (remined, total int) {
-	return remineAffectedSubtrees(inc.st, inc.captureOpts(), aff, inc.upsert, stats)
+func (inc *Incremental) remineAffected(aff *affectedKeys, stats *Stats) (remined, total int) {
+	inc.scr.reset()
+	return remineAffectedSubtrees(inc.st, inc.captureOpts(), aff, inc.upsert, inc.scr, stats)
 }
 
 // remineAffectedSubtrees re-mines exactly the first-level SFDF subtrees in
@@ -651,11 +797,11 @@ func (inc *Incremental) remineAffected(aff affectedKeys, stats *Stats) (remined,
 //     the pre-posting-list engine did.
 //
 // grlint:requires DeltaSafe DeleteSafe
-func remineAffectedSubtrees(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+func remineAffectedSubtrees(st *store.Store, opt Options, aff *affectedKeys, capture func(gr.GR, metrics.Counts, float64), scr *minerScratch, stats *Stats) (remined, total int) {
 	if st.PostingsEnabled() {
-		return reminePostings(st, opt, aff, capture, stats)
+		return reminePostings(st, opt, aff, capture, scr, stats)
 	}
-	return reminePartition(st, opt, aff, capture, stats)
+	return reminePartition(st, opt, aff, capture, scr, stats)
 }
 
 // reminePostings is the posting-list re-mine: first-level partitions come
@@ -663,15 +809,17 @@ func remineAffectedSubtrees(st *store.Store, opt Options, aff affectedKeys, capt
 // affected-key filter scopes every level below them.
 //
 // grlint:requires DeltaSafe DeleteSafe
-func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+func reminePostings(st *store.Store, opt Options, aff *affectedKeys, capture func(gr.GR, metrics.Counts, float64), scr *minerScratch, stats *Stats) (remined, total int) {
 	schema := st.Graph().Schema()
-	m := newMiner(st, opt)
+	m := newMinerScr(st, opt, scr)
 	m.capture = capture
-	m.aff, m.affSkipR = &aff, aff.AllRight
+	m.aff, m.affSkipR = aff, aff.AllRight
 
 	// The full live edge list is only needed as the base partition (the LW
 	// denominator) of root RIGHT subtrees; materialise it lazily so
 	// insert-only batches that touch no RIGHT subtree skip the O(|E|) walk.
+	// First-level partitions land in the depth-1 recursion buffer (the walks
+	// below start at depth 2), so per-subtree row slices allocate nothing.
 	var all []int32
 	sr := rhsOrder(schema, gr.Descriptor(nil).Has)
 	if m.opt.StaticRHSOrder {
@@ -690,38 +838,41 @@ func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func
 			}
 			remined++
 			if all == nil {
-				all = st.AllEdges()
+				all = st.AllEdgesInto(m.scr.allRows)
+				m.scr.allRows = all
 			}
 			rc := &rctx{base: all, sr: sr}
-			m.rightGroup(rc, st.RRows(attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
+			m.rightGroup(rc, st.RRowsInto(m.buffer(1, n), attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
 		}
 	}
 	for pos := 0; pos < len(m.swOrder); pos++ {
 		attr := m.swOrder[pos]
 		for val := graph.Value(1); int(val) <= schema.Edge[attr].Domain; val++ {
-			if st.LiveCountW(attr, val) < m.opt.MinSupp {
+			n := st.LiveCountW(attr, val)
+			if n < m.opt.MinSupp {
 				continue
 			}
 			total++
-			if !aff.W[attr][val] {
+			if !aff.W[attr].contains(val) {
 				continue
 			}
 			remined++
-			m.edgeGroup(st.WRows(attr, val), 1, nil, gr.Descriptor(nil).With(attr, val), pos)
+			m.edgeGroup(st.WRowsInto(m.buffer(1, n), attr, val), 1, nil, gr.Descriptor(nil).With(attr, val), pos)
 		}
 	}
 	for pos := 0; pos < len(m.slOrder); pos++ {
 		attr := m.slOrder[pos]
 		for val := graph.Value(1); int(val) <= schema.Node[attr].Domain; val++ {
-			if st.LiveCountL(attr, val) < m.opt.MinSupp {
+			n := st.LiveCountL(attr, val)
+			if n < m.opt.MinSupp {
 				continue
 			}
 			total++
-			if !aff.L[attr][val] {
+			if !aff.L[attr].contains(val) {
 				continue
 			}
 			remined++
-			m.leftGroup(st.LRows(attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
+			m.leftGroup(st.LRowsInto(m.buffer(1, n), attr, val), 1, gr.Descriptor(nil).With(attr, val), pos)
 		}
 	}
 	addStats(stats, &m.stats)
@@ -734,11 +885,12 @@ func reminePostings(st *store.Store, opt Options, aff affectedKeys, capture func
 // full — no deep affected-key filtering.
 //
 // grlint:requires DeltaSafe DeleteSafe
-func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture func(gr.GR, metrics.Counts, float64), stats *Stats) (remined, total int) {
+func reminePartition(st *store.Store, opt Options, aff *affectedKeys, capture func(gr.GR, metrics.Counts, float64), scr *minerScratch, stats *Stats) (remined, total int) {
 	schema := st.Graph().Schema()
-	m := newMiner(st, opt)
+	m := newMinerScr(st, opt, scr)
 	m.capture = capture
-	all := st.AllEdges()
+	all := st.AllEdgesInto(m.scr.allRows)
+	m.scr.allRows = all
 	buf := m.buffer(1, len(all))
 
 	// Root RIGHT block: same dynamic tail order as run()'s empty-LHS rctx.
@@ -775,7 +927,7 @@ func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture fun
 				continue
 			}
 			total++
-			if !aff.W[attr][graph.Value(grp.Val)] {
+			if !aff.W[attr].contains(graph.Value(grp.Val)) {
 				continue
 			}
 			remined++
@@ -793,7 +945,7 @@ func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture fun
 				continue
 			}
 			total++
-			if !aff.L[attr][graph.Value(grp.Val)] {
+			if !aff.L[attr].contains(graph.Value(grp.Val)) {
 				continue
 			}
 			remined++
@@ -807,17 +959,44 @@ func reminePartition(st *store.Store, opt Options, aff affectedKeys, capture fun
 // assemble applies Definition 5 conditions (2) and (3) to the pool and
 // packages the result. The pool is the complete condition-(1) set, so the
 // most-general-first blocker merge is exact — the same argument
-// mergeCandidates makes for the static-floor parallel collection.
+// mergeCandidates makes for the static-floor parallel collection. Unlike
+// mergeCandidates (a one-shot merge), this runs once per batch over the
+// whole pool, so it reuses the engine's candidate scratch and blocker table
+// and orders candidates by generality level alone — no per-entry key
+// strings. Level order suffices for exactness: a same-level subset relation
+// forces equality (equal condition counts), so same-level candidates can
+// never block one another, and the top-k list's strict total order (gr.Less)
+// makes the retained set independent of same-level insertion order.
 func (inc *Incremental) assemble(stats *Stats, d time.Duration) *Result {
-	collected := make([]gr.Scored, 0, len(inc.pool))
-	for _, t := range inc.pool {
+	collected := inc.mergeScratch[:0]
+	for i := range inc.pool.entries {
+		t := &inc.pool.entries[i]
 		collected = append(collected, gr.Scored{
 			GR: t.gr, Supp: t.c.LWR, Score: t.score, Conf: metrics.Conf(t.c),
 		})
 	}
-	mergeOpt := inc.opt
-	mergeOpt.ExactGenerality = false // pool is complete: blocker-map merge is exact
-	top := mergeCandidates(collected, mergeOpt, stats)
+	inc.mergeScratch = collected
+	var top []gr.Scored
+	if inc.opt.NoGeneralityFilter {
+		top = topk.MergeItems(inc.opt.K, collected).Items()
+	} else {
+		sort.Slice(collected, func(i, j int) bool {
+			return len(collected[i].GR.L)+len(collected[i].GR.W) <
+				len(collected[j].GR.L)+len(collected[j].GR.W)
+		})
+		bm := inc.scr.blockers
+		bm.reset()
+		list := topk.New(inc.opt.K)
+		for _, s := range collected {
+			if bm.blocks(s.GR) {
+				stats.Blocked++
+				continue
+			}
+			bm.record(s.GR)
+			list.Consider(s)
+		}
+		top = list.Items()
+	}
 	stats.Candidates = int64(len(collected))
 	stats.Duration = d
 	return &Result{TopK: top, Stats: *stats, Options: inc.opt, TotalEdges: inc.st.NumEdges()}
@@ -878,31 +1057,37 @@ func (inc *Incremental) underflow(res *Result) bool {
 // k-th score stays above spillFloor.
 func (inc *Incremental) trimPool() (spilled int) {
 	cap := inc.opt.PoolCap
-	if cap <= 0 || len(inc.pool) <= cap {
+	if cap <= 0 || inc.pool.len() <= cap {
 		return 0
 	}
-	entries := make([]*tracked, 0, len(inc.pool))
-	for _, t := range inc.pool {
-		entries = append(entries, t)
+	entries := inc.pool.entries
+	order := make([]int32, len(entries))
+	for i := range order {
+		order[i] = int32(i)
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].score != entries[j].score {
-			return entries[i].score > entries[j].score
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &entries[order[i]], &entries[order[j]]
+		if a.score != b.score {
+			return a.score > b.score
 		}
-		return entries[i].gr.Key() < entries[j].gr.Key()
+		return a.gr.Key() < b.gr.Key()
 	})
-	kept := entries[:cap]
-	byRHS := make(map[string][]*tracked, cap)
+	kept := order[:cap]
+	byRHS := make(map[intern.DescID][]int32, cap)
 	if !inc.opt.NoGeneralityFilter {
-		for _, t := range kept {
-			key := t.gr.RHSKey()
-			byRHS[key] = append(byRHS[key], t)
+		for _, i := range kept {
+			rid := inc.dict.NodeDesc(entries[i].gr.R)
+			byRHS[rid] = append(byRHS[rid], i)
 		}
 	}
-	for _, t := range entries[cap:] {
+	// Spill ids are collected first: deleting swap-removes dense slots, which
+	// would invalidate the index order mid-iteration.
+	spillIDs := make([]intern.GRID, 0, len(order)-cap)
+	for _, i := range order[cap:] {
+		t := &entries[i]
 		blocks := false
-		for _, k := range byRHS[t.gr.RHSKey()] {
-			if t.gr.L.SubsetOf(k.gr.L) && t.gr.W.SubsetOf(k.gr.W) {
+		for _, k := range byRHS[inc.dict.NodeDesc(t.gr.R)] {
+			if t.gr.L.SubsetOf(entries[k].gr.L) && t.gr.W.SubsetOf(entries[k].gr.W) {
 				blocks = true
 				break
 			}
@@ -910,12 +1095,15 @@ func (inc *Incremental) trimPool() (spilled int) {
 		if blocks {
 			continue // retained as a generality blocker (soft overflow)
 		}
-		delete(inc.pool, t.gr.Key())
+		spillIDs = append(spillIDs, inc.pool.ids[i])
 		if t.score > inc.spillFloor {
 			inc.spillFloor = t.score
 		}
 		inc.spilled = true
 		spilled++
+	}
+	for _, id := range spillIDs {
+		inc.pool.delete(id)
 	}
 	return spilled
 }

@@ -7,6 +7,7 @@ import (
 	"grminer/internal/csort"
 	"grminer/internal/gr"
 	"grminer/internal/graph"
+	"grminer/internal/intern"
 	"grminer/internal/metrics"
 	"grminer/internal/store"
 	"grminer/internal/topk"
@@ -211,16 +212,42 @@ type lwPair struct {
 	l, w gr.Descriptor
 }
 
-// blockerMap indexes recorded blockers by RHS key. It is the single
-// implementation of Definition 5 condition (2)'s subset test, shared by the
-// sequential walk, the parallel workers, and the coordinator's final merge
-// so blocking semantics cannot fork between them.
-type blockerMap map[string][]lwPair
+// blockerMap indexes recorded blockers by interned RHS descriptor id — a
+// slice lookup instead of the string RHSKey the hot path used to build per
+// probe (DESIGN.md §7). It is the single implementation of Definition 5
+// condition (2)'s subset test, shared by the sequential walk, the parallel
+// workers, and the coordinators' final merges so blocking semantics cannot
+// fork between them. Like its dictionary, a blockerMap is single-owner
+// state: parallel workers each hold their own.
+type blockerMap struct {
+	dict *intern.Dict
+	byR  [][]lwPair
+	// touched lists the ids with recorded blockers so reset() clears in
+	// O(recorded), letting one blockerMap serve every batch of an
+	// incremental engine without reallocating.
+	touched []intern.DescID
+}
+
+func newBlockerMap(dict *intern.Dict) *blockerMap {
+	return &blockerMap{dict: dict}
+}
+
+// reset forgets every recorded blocker, keeping all allocations.
+func (bm *blockerMap) reset() {
+	for _, rid := range bm.touched {
+		bm.byR[rid] = bm.byR[rid][:0]
+	}
+	bm.touched = bm.touched[:0]
+}
 
 // blocks reports whether a recorded blocker generalises g: same RHS, LHS
 // and edge conditions subsets of g's.
-func (bm blockerMap) blocks(g gr.GR) bool {
-	for _, b := range bm[g.RHSKey()] {
+func (bm *blockerMap) blocks(g gr.GR) bool {
+	rid := bm.dict.NodeDesc(g.R)
+	if int(rid) >= len(bm.byR) {
+		return false
+	}
+	for _, b := range bm.byR[rid] {
 		if b.l.SubsetOf(g.L) && b.w.SubsetOf(g.W) {
 			return true
 		}
@@ -229,9 +256,78 @@ func (bm blockerMap) blocks(g gr.GR) bool {
 }
 
 // record registers g as a future generality blocker.
-func (bm blockerMap) record(g gr.GR) {
-	key := g.RHSKey()
-	bm[key] = append(bm[key], lwPair{l: g.L, w: g.W})
+func (bm *blockerMap) record(g gr.GR) {
+	rid := bm.dict.NodeDesc(g.R)
+	if n := bm.dict.NumDescs(); len(bm.byR) < n {
+		bm.byR = append(bm.byR, make([][]lwPair, n-len(bm.byR))...)
+	}
+	if len(bm.byR[rid]) == 0 {
+		bm.touched = append(bm.touched, rid)
+	}
+	bm.byR[rid] = append(bm.byR[rid], lwPair{l: g.L, w: g.W})
+}
+
+// minerScratch is the reusable allocation set behind one miner: the
+// recursion buffers, the dense id-indexed tables (all indexed by ids from
+// one intern.Dict), and the bitmap-descent scratch. A one-shot mine gets a
+// fresh scratch; the incremental engine keeps one per engine — with the
+// store's persistent dictionary — so per-batch re-mines run out of
+// steady-state buffers instead of re-growing maps (DESIGN.md §7). reset()
+// prepares it for the next run in O(entries touched last run); it never
+// releases memory. Single-owner, like the dictionary it wraps.
+type minerScratch struct {
+	dict      *intern.Dict
+	buffers   [][]int32
+	groupBufs [][]csort.Group
+	blockers  *blockerMap
+	// rCounts memoises |E(r)| by interned RHS id, stored as count+1 so the
+	// zero value means "unknown" and growth needs no sentinel fill.
+	rCounts  []int32
+	rTouched []intern.DescID
+	// qual memoises ExactGenerality verdicts by interned GR id:
+	// 0 unknown, 1 non-qualifying, 2 qualifying.
+	qual        []uint8
+	qualTouched []intern.GRID
+	// dataBMs[depth] is the bitmap of the partition a bitmap descent is
+	// refining; andBM the intersection output (consumed into a row buffer
+	// before any deeper descent, so one suffices for all depths).
+	dataBMs []store.Bitmap
+	andBM   store.Bitmap
+	// allRows is the AllEdgesInto scratch for root base partitions.
+	allRows []int32
+	// The attribute position lists of Equations 7/8 are schema-static, so
+	// they are computed once per scratch and shared by every run.
+	ordersInit  bool
+	slOrder     []int
+	swOrder     []int
+	staticSR    []int
+	nonHomAttrs []int
+	homAttrs    []int
+	// srBuf backs the dynamic RHS order of the live RHS subtree and rc is
+	// that subtree's context. One of each suffices: RIGHT only ever extends
+	// the RHS, so enterRight never nests.
+	srBuf      []int
+	rc         rctx
+	homAttrBuf []int
+	homWantBuf []graph.Value
+}
+
+func newMinerScratch(dict *intern.Dict) *minerScratch {
+	return &minerScratch{dict: dict, blockers: newBlockerMap(dict)}
+}
+
+// reset clears per-run state, keeping every allocation (and the dictionary,
+// whose ids are stable for its lifetime).
+func (s *minerScratch) reset() {
+	s.blockers.reset()
+	for _, rid := range s.rTouched {
+		s.rCounts[rid] = 0
+	}
+	s.rTouched = s.rTouched[:0]
+	for _, id := range s.qualTouched {
+		s.qual[id] = 0
+	}
+	s.qualTouched = s.qualTouched[:0]
 }
 
 type miner struct {
@@ -240,20 +336,20 @@ type miner struct {
 	opt    Options
 	metric metrics.Metric
 
-	part      *csort.Partitioner
-	buffers   [][]int32
-	groupBufs [][]csort.Group
-	top       *topk.List
-	// blockers holds the (L, W) pairs of threshold-satisfying GRs seen so
-	// far; SFDF's subset-first property guarantees every generalisation is
-	// recorded before its specialisations arrive.
-	blockers blockerMap
-	// rCounts caches |E(r)| per RHS key for metrics that need supp(r).
-	rCounts map[string]int
-	// qualCache memoises ExactGenerality verdicts per GR key (sequential
-	// mode); parallel workers share the sharded-by-RHS qualMemo instead.
-	qualCache map[string]bool
-	qualMemo  *qualMemo
+	part *csort.Partitioner
+	top  *topk.List
+	// dict is scr's interning dictionary (hoisted for hot-path access). It
+	// is private to this miner unless the caller supplied a persistent
+	// scratch (the incremental engine, which passes the store's dictionary
+	// so ids stay stable across batches).
+	dict *intern.Dict
+	// scr holds the recursion buffers and dense tables: the generality
+	// blockers (recorded subset-first, so every generalisation precedes its
+	// specialisations), the |E(r)| memo for metrics that need supp(r), and
+	// the sequential-mode ExactGenerality verdict memo. Parallel workers
+	// share the sharded-by-RHS qualMemo for verdicts instead.
+	scr      *minerScratch
+	qualMemo *qualMemo
 	// capture, when set, receives every candidate satisfying Definition 5
 	// condition (1) together with its exact counts, replacing the top-k and
 	// generality machinery; the incremental engine uses it to build its
@@ -289,6 +385,14 @@ type miner struct {
 }
 
 func newMiner(st *store.Store, opt Options) *miner {
+	return newMinerScr(st, opt, nil)
+}
+
+// newMinerScr builds a miner on an existing scratch (nil for a fresh private
+// one). Only a single-owner scratch may be passed: the incremental engine
+// hands its per-engine scratch — carrying the store's persistent dictionary —
+// to the re-mine and rebuild walks it runs one at a time.
+func newMinerScr(st *store.Store, opt Options, scr *minerScratch) *miner {
 	schema := st.Graph().Schema()
 	maxDomain := 1
 	for i := range schema.Node {
@@ -301,18 +405,29 @@ func newMiner(st *store.Store, opt Options) *miner {
 			maxDomain = schema.Edge[i].Domain
 		}
 	}
+	if scr == nil {
+		scr = newMinerScratch(intern.NewDict(intern.NewLayout(schema)))
+	}
+	if !scr.ordersInit {
+		scr.ordersInit = true
+		scr.slOrder = lhsOrder(schema)
+		scr.swOrder = edgeOrder(schema)
+		scr.staticSR = staticRHSOrder(schema)
+		scr.nonHomAttrs = schema.NonHomophilyNodeAttrs()
+		scr.homAttrs = schema.HomophilyNodeAttrs()
+	}
 	return &miner{
-		st:       st,
-		schema:   schema,
-		opt:      opt,
-		metric:   opt.Metric,
-		part:     csort.New(maxDomain),
-		top:      topk.New(opt.K),
-		blockers: make(blockerMap),
-		rCounts:  make(map[string]int),
-		slOrder:  lhsOrder(schema),
-		swOrder:  edgeOrder(schema),
-		totalE:   st.NumEdges(),
+		st:      st,
+		schema:  schema,
+		opt:     opt,
+		metric:  opt.Metric,
+		part:    csort.New(maxDomain),
+		top:     topk.New(opt.K),
+		dict:    scr.dict,
+		scr:     scr,
+		slOrder: scr.slOrder,
+		swOrder: scr.swOrder,
+		totalE:  st.NumEdges(),
 	}
 }
 
@@ -321,13 +436,14 @@ func newMiner(st *store.Store, opt Options) *miner {
 // a partition's groups are fully processed (including deeper recursion into
 // higher-depth buffers) before the next dimension reuses the slice.
 func (m *miner) buffer(depth, n int) []int32 {
-	for len(m.buffers) <= depth {
-		m.buffers = append(m.buffers, nil)
+	s := m.scr
+	for len(s.buffers) <= depth {
+		s.buffers = append(s.buffers, nil)
 	}
-	if cap(m.buffers[depth]) < n {
-		m.buffers[depth] = make([]int32, n)
+	if cap(s.buffers[depth]) < n {
+		s.buffers[depth] = make([]int32, n)
 	}
-	return m.buffers[depth][:n]
+	return s.buffers[depth][:n]
 }
 
 // partition runs the counting sort and snapshots the group list into a
@@ -337,11 +453,12 @@ func (m *miner) buffer(depth, n int) []int32 {
 func (m *miner) partition(depth int, data []int32, key func(int32) uint16, out []int32) []csort.Group {
 	m.stats.PartitionCalls++
 	groups := m.part.Partition(data, key, out)
-	for len(m.groupBufs) <= depth {
-		m.groupBufs = append(m.groupBufs, nil)
+	s := m.scr
+	for len(s.groupBufs) <= depth {
+		s.groupBufs = append(s.groupBufs, nil)
 	}
-	m.groupBufs[depth] = append(m.groupBufs[depth][:0], groups...)
-	return m.groupBufs[depth]
+	s.groupBufs[depth] = append(s.groupBufs[depth][:0], groups...)
+	return s.groupBufs[depth]
 }
 
 // run is Algorithm 1's Main: RIGHT, EDGE, LEFT over the full edge set.
@@ -349,7 +466,8 @@ func (m *miner) run() {
 	if m.totalE == 0 {
 		return
 	}
-	all := m.st.AllEdges()
+	all := m.st.AllEdgesInto(m.scr.allRows)
+	m.scr.allRows = all
 	m.enterRight(all, 1, nil, nil)
 	m.edge(all, 1, nil, nil, len(m.swOrder))
 	m.left(all, 1, nil, len(m.slOrder))
@@ -362,10 +480,14 @@ func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
 	if m.opt.MaxL > 0 && len(lhs) >= m.opt.MaxL {
 		return
 	}
+	if m.useBitmaps() && m.bitmapsPayOff(len(data), m.slOrder[:maxPos], m.aff.L) {
+		m.leftBitmaps(data, depth, lhs, maxPos)
+		return
+	}
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := m.slOrder[pos]
-		if m.aff != nil && len(m.aff.L[attr]) == 0 {
+		if m.aff != nil && m.aff.L[attr].empty() {
 			continue // no affected value ⇒ no entrant below any group
 		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
@@ -380,7 +502,7 @@ func (m *miner) left(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
 				m.stats.PrunedSupp++
 				continue
 			}
-			if m.aff != nil && !m.aff.L[attr][graph.Value(grp.Val)] {
+			if m.aff != nil && !m.aff.L[attr].contains(graph.Value(grp.Val)) {
 				continue
 			}
 			lhs2 := lhs.With(attr, graph.Value(grp.Val))
@@ -407,10 +529,14 @@ func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) 
 	if m.opt.MaxW > 0 && len(w) >= m.opt.MaxW {
 		return
 	}
+	if m.useBitmaps() && m.bitmapsPayOff(len(data), m.swOrder[:maxPos], m.aff.W) {
+		m.edgeBitmaps(data, depth, lhs, w, maxPos)
+		return
+	}
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := m.swOrder[pos]
-		if m.aff != nil && len(m.aff.W[attr]) == 0 {
+		if m.aff != nil && m.aff.W[attr].empty() {
 			continue // no affected value ⇒ no entrant below any group
 		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
@@ -425,7 +551,7 @@ func (m *miner) edge(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) 
 				m.stats.PrunedSupp++
 				continue
 			}
-			if m.aff != nil && !m.aff.W[attr][graph.Value(grp.Val)] {
+			if m.aff != nil && !m.aff.W[attr].contains(graph.Value(grp.Val)) {
 				continue
 			}
 			w2 := w.With(attr, graph.Value(grp.Val))
@@ -445,30 +571,188 @@ func (m *miner) edgeGroup(part []int32, depth int, lhs, w2 gr.Descriptor, pos in
 	m.edge(part, depth+1, lhs, w2, pos)
 }
 
+// useBitmaps reports whether an affected-key descent may run on packed
+// posting bitmaps instead of counting sort at all: scoped re-mine only
+// (aff set), postings maintained, and not an offer mine — the offer's
+// global-bound prune inspects every group, not just affected ones.
+// Eligible nodes still weigh the two techniques with bitmapsPayOff.
+func (m *miner) useBitmaps() bool {
+	return m.aff != nil && m.bound == nil && m.st.PostingsEnabled()
+}
+
+// bitmapsPayOff decides, per descent node, whether serving the affected
+// groups by bitmap intersection beats counting sort. A scoped re-mine only
+// needs the groups whose (attribute, value) is affected-marked, so ANDing
+// the partition's bitmap against each marked value's live-row bitmap costs
+// ~words-per-bitmap word ops per marked value (plus packing the partition
+// once), where counting sort costs ~|data| per position that has any marked
+// value. Small batches mark a handful of values and the bitmap walk wins
+// near the root; wide batches (or deep, tiny partitions) are cheaper to
+// counting-sort, since every AND sweeps the full row width no matter how
+// small the partition is.
+func (m *miner) bitmapsPayOff(dataLen int, order []int, sets []affSet) bool {
+	words := (m.st.NumRows() + 63) / 64
+	active, vals := 0, 0
+	for _, attr := range order {
+		if n := len(sets[attr].vals); n > 0 {
+			active++
+			vals += n
+		}
+	}
+	if vals == 0 {
+		return false // nothing affected here; the counting path skips every position
+	}
+	return words*vals < active*dataLen
+}
+
+// dataBitmap packs data's rows into the depth's scratch bitmap. The caller
+// must clear it with clearDataBitmap(depth, data) before returning; only one
+// descent per depth is ever live, so per-depth scratch suffices.
+func (m *miner) dataBitmap(depth int, data []int32) store.Bitmap {
+	s := m.scr
+	for len(s.dataBMs) <= depth {
+		s.dataBMs = append(s.dataBMs, nil)
+	}
+	bm := s.dataBMs[depth]
+	for _, row := range data {
+		bm = bm.Set(row)
+	}
+	s.dataBMs[depth] = bm
+	return bm
+}
+
+func (m *miner) clearDataBitmap(depth int, data []int32) {
+	bm := m.scr.dataBMs[depth]
+	for _, row := range data {
+		bm.Clear(row)
+	}
+}
+
+// intersect materialises data ∩ live(side bitmap for val) into the depth
+// buffer. The and-scratch is consumed into buf before any deeper recursion,
+// so a single andBM serves all depths.
+func (m *miner) intersect(dataBM, valBM store.Bitmap, buf []int32) []int32 {
+	m.scr.andBM = store.AndInto(m.scr.andBM, dataBM, valBM)
+	return m.scr.andBM.RowsInto(buf)
+}
+
+// leftBitmaps is the bitmap form of left's loop body: iterate only the
+// affected (attribute, value) keys, ascending by value — the same group
+// order counting sort yields — so the walk emits candidates in the identical
+// sequence. A value absent from the partition intersects to the empty set,
+// mirroring the group counting sort never forms.
+func (m *miner) leftBitmaps(data []int32, depth int, lhs gr.Descriptor, maxPos int) {
+	dataBM := m.dataBitmap(depth, data)
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := m.slOrder[pos]
+		for _, val := range m.aff.L[attr].vals {
+			part := m.intersect(dataBM, m.st.LBitmap(attr, val), buf)
+			if len(part) == 0 {
+				continue
+			}
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.leftGroup(part, depth, lhs.With(attr, val), pos)
+		}
+	}
+	m.clearDataBitmap(depth, data)
+}
+
+// edgeBitmaps is the bitmap form of edge's loop body; see leftBitmaps.
+func (m *miner) edgeBitmaps(data []int32, depth int, lhs, w gr.Descriptor, maxPos int) {
+	dataBM := m.dataBitmap(depth, data)
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := m.swOrder[pos]
+		for _, val := range m.aff.W[attr].vals {
+			part := m.intersect(dataBM, m.st.WBitmap(attr, val), buf)
+			if len(part) == 0 {
+				continue
+			}
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.edgeGroup(part, depth, lhs, w.With(attr, val), pos)
+		}
+	}
+	m.clearDataBitmap(depth, data)
+}
+
+// rightBitmaps is the bitmap form of right's loop body; see leftBitmaps.
+// Never entered with affSkipR — deletion batches must examine every RHS
+// group, which is exactly the counting-sort walk.
+func (m *miner) rightBitmaps(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxPos int) {
+	dataBM := m.dataBitmap(depth, data)
+	buf := m.buffer(depth, len(data))
+	for pos := 0; pos < maxPos; pos++ {
+		attr := rc.sr[pos]
+		for _, val := range m.aff.R[attr].vals {
+			part := m.intersect(dataBM, m.st.RBitmap(attr, val), buf)
+			if len(part) == 0 {
+				continue
+			}
+			if len(part) < m.opt.MinSupp {
+				m.stats.PrunedSupp++
+				continue
+			}
+			m.rightGroup(rc, part, depth, rhs.With(attr, val), pos)
+		}
+	}
+	m.clearDataBitmap(depth, data)
+}
+
 // rctx is the context of one RHS-expansion subtree: the base partition
 // E(l ∧ w) it hangs off, the fixed l and w, the dynamic RHS order for this
 // l, and the memoised homophily-effect supports (Section IV-D: every
-// supp(l -w-> l[β]) a descendant needs is countable from base).
+// supp(l -w-> l[β]) a descendant needs is countable from base). The memo is
+// a parallel key/value pair of slices scanned linearly — a subtree sees at
+// most 2^|Hom| distinct β masks, and in practice a handful.
 type rctx struct {
-	base     []int32
-	lhs, w   gr.Descriptor
-	sr       []int
-	homCache map[uint64]int
+	base    []int32
+	lhs, w  gr.Descriptor
+	sr      []int
+	homKeys []uint64
+	homVals []int
 }
 
 // enterRight opens an RHS-expansion subtree below the node for (lhs, w).
+// The context and its dynamic order live in the scratch: RIGHT only ever
+// extends the RHS, so at most one subtree is live at a time.
 func (m *miner) enterRight(base []int32, depth int, lhs, w gr.Descriptor) {
-	rc := &rctx{
-		base: base,
-		lhs:  lhs,
-		w:    w,
-	}
+	rc := &m.scr.rc
+	rc.base, rc.lhs, rc.w = base, lhs, w
+	rc.homKeys = rc.homKeys[:0]
+	rc.homVals = rc.homVals[:0]
 	if m.opt.StaticRHSOrder {
-		rc.sr = staticRHSOrder(m.schema)
+		rc.sr = m.scr.staticSR
 	} else {
-		rc.sr = rhsOrder(m.schema, lhs.Has)
+		rc.sr = m.rhsOrderInto(lhs)
 	}
 	m.right(rc, base, depth, nil, len(rc.sr))
+}
+
+// rhsOrderInto is rhsOrder (Equation 8) writing into the scratch's order
+// buffer, valid until the next enterRight.
+func (m *miner) rhsOrderInto(lhs gr.Descriptor) []int {
+	s := m.scr
+	order := s.srBuf[:0]
+	order = append(order, s.nonHomAttrs...)
+	for _, a := range s.homAttrs {
+		if !lhs.Has(a) {
+			order = append(order, a) // Hr1
+		}
+	}
+	for _, a := range s.homAttrs {
+		if lhs.Has(a) {
+			order = append(order, a) // Hr2
+		}
+	}
+	s.srBuf = order
+	return order
 }
 
 // right is Algorithm 1's RIGHT: extend the RHS descriptor, score the
@@ -479,10 +763,14 @@ func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxP
 	if m.opt.MaxR > 0 && len(rhs) >= m.opt.MaxR {
 		return
 	}
+	if !m.affSkipR && m.useBitmaps() && m.bitmapsPayOff(len(data), rc.sr[:maxPos], m.aff.R) {
+		m.rightBitmaps(rc, data, depth, rhs, maxPos)
+		return
+	}
 	buf := m.buffer(depth, len(data))
 	for pos := 0; pos < maxPos; pos++ {
 		attr := rc.sr[pos]
-		if m.aff != nil && !m.affSkipR && len(m.aff.R[attr]) == 0 {
+		if m.aff != nil && !m.affSkipR && m.aff.R[attr].empty() {
 			continue // no affected value ⇒ no entrant below any group
 		}
 		groups := m.partition(depth, data, func(e int32) uint16 {
@@ -497,7 +785,7 @@ func (m *miner) right(rc *rctx, data []int32, depth int, rhs gr.Descriptor, maxP
 				m.stats.PrunedSupp++
 				continue
 			}
-			if m.aff != nil && !m.affSkipR && !m.aff.R[attr][graph.Value(grp.Val)] {
+			if m.aff != nil && !m.affSkipR && !m.aff.R[attr].contains(graph.Value(grp.Val)) {
 				continue
 			}
 			rhs2 := rhs.With(attr, graph.Value(grp.Val))
@@ -634,11 +922,11 @@ func (m *miner) consider(s gr.Scored) {
 			// is itself a qualifying generalisation, so a hit proves the
 			// verdict the scan would reach. Misses fall through to the scan
 			// because another worker may have enumerated the blocker.
-			if m.blockers.blocks(s.GR) || m.hasQualifyingGeneralization(s.GR) {
+			if m.scr.blockers.blocks(s.GR) || m.hasQualifyingGeneralization(s.GR) {
 				m.stats.Blocked++
 				return
 			}
-			m.blockers.record(s.GR)
+			m.scr.blockers.record(s.GR)
 		}
 		if m.opt.DynamicFloor {
 			if m.top.Consider(s) {
@@ -655,7 +943,7 @@ func (m *miner) consider(s gr.Scored) {
 		m.top.Consider(s)
 		return
 	}
-	if m.blockers.blocks(s.GR) {
+	if m.scr.blockers.blocks(s.GR) {
 		m.stats.Blocked++
 		return
 	}
@@ -663,7 +951,7 @@ func (m *miner) consider(s gr.Scored) {
 		m.stats.Blocked++
 		return
 	}
-	m.blockers.record(s.GR)
+	m.scr.blockers.record(s.GR)
 	m.top.Consider(s)
 }
 
@@ -685,12 +973,10 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 	}
 	// All probed generalisations share g's RHS, so in parallel mode one
 	// shard of the shared memo covers the whole enumeration; sequential
-	// runs keep a private unlocked map.
+	// runs memoise verdicts in the scratch's dense by-GR-id table instead.
 	var shard *qualShard
 	if m.qualMemo != nil {
 		shard = m.qualMemo.shard(g.RHSKey())
-	} else if m.qualCache == nil {
-		m.qualCache = make(map[string]bool)
 	}
 	graphG := m.st.Graph()
 	for mask := 0; mask < (1<<n)-1; mask++ { // all proper subsets of (L ∪ W)
@@ -706,12 +992,17 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 			}
 		}
 		cand := gr.GR{L: l, W: w, R: g.R}
-		ck := cand.Key()
 		var qual, seen bool
+		var ck string
+		var gid intern.GRID
 		if shard != nil {
+			ck = cand.Key()
 			qual, seen = shard.get(ck)
 		} else {
-			qual, seen = m.qualCache[ck]
+			gid = m.dict.GR(cand)
+			if int(gid) < len(m.scr.qual) && m.scr.qual[gid] != 0 {
+				qual, seen = m.scr.qual[gid] == 2, true
+			}
 		}
 		if !seen {
 			qual = false
@@ -726,7 +1017,15 @@ func (m *miner) hasQualifyingGeneralization(g gr.GR) bool {
 			if shard != nil {
 				shard.put(ck, qual)
 			} else {
-				m.qualCache[ck] = qual
+				if n := m.dict.NumGRs(); len(m.scr.qual) < n {
+					m.scr.qual = append(m.scr.qual, make([]uint8, n-len(m.scr.qual))...)
+				}
+				if qual {
+					m.scr.qual[gid] = 2
+				} else {
+					m.scr.qual[gid] = 1
+				}
+				m.scr.qualTouched = append(m.scr.qualTouched, gid)
 			}
 		}
 		if qual {
@@ -750,16 +1049,16 @@ func (m *miner) betaMask(lhs, rhs gr.Descriptor) uint64 {
 // single bounded scan because base is exactly the partition whose earlier
 // enumeration the paper's Property 2 relies on.
 func (m *miner) homEffect(rc *rctx, mask uint64) int {
-	if rc.homCache == nil {
-		rc.homCache = make(map[uint64]int)
-	}
-	if v, ok := rc.homCache[mask]; ok {
-		return v
+	for i, k := range rc.homKeys {
+		if k == mask {
+			return rc.homVals[i]
+		}
 	}
 	m.stats.HomScans++
-	// Gather the β attributes and their LHS values.
-	var attrs []int
-	var want []graph.Value
+	// Gather the β attributes and their LHS values into the scratch buffers
+	// (used only within this scan, so the single pair suffices).
+	attrs := m.scr.homAttrBuf[:0]
+	want := m.scr.homWantBuf[:0]
 	for a := 0; a < len(m.schema.Node); a++ {
 		if mask&(1<<uint(a)) == 0 {
 			continue
@@ -768,6 +1067,7 @@ func (m *miner) homEffect(rc *rctx, mask uint64) int {
 		attrs = append(attrs, a)
 		want = append(want, lv)
 	}
+	m.scr.homAttrBuf, m.scr.homWantBuf = attrs, want
 	count := 0
 	for _, e := range rc.base {
 		match := true
@@ -781,15 +1081,20 @@ func (m *miner) homEffect(rc *rctx, mask uint64) int {
 			count++
 		}
 	}
-	rc.homCache[mask] = count
+	rc.homKeys = append(rc.homKeys, mask)
+	rc.homVals = append(rc.homVals, count)
 	return count
 }
 
-// rCount returns |E(r)| over the whole live edge set, memoised per RHS.
+// rCount returns |E(r)| over the whole live edge set, memoised per interned
+// RHS id in a dense table (stored as count+1; 0 means unseen).
 func (m *miner) rCount(g gr.GR) int {
-	key := g.RHSKey()
-	if v, ok := m.rCounts[key]; ok {
-		return v
+	scr := m.scr
+	rid := m.dict.NodeDesc(g.R)
+	if int(rid) < len(scr.rCounts) {
+		if v := scr.rCounts[rid]; v != 0 {
+			return int(v) - 1
+		}
 	}
 	count := 0
 	for e := int32(0); int(e) < m.st.NumRows(); e++ {
@@ -807,6 +1112,10 @@ func (m *miner) rCount(g gr.GR) int {
 			count++
 		}
 	}
-	m.rCounts[key] = count
+	if n := m.dict.NumDescs(); len(scr.rCounts) < n {
+		scr.rCounts = append(scr.rCounts, make([]int32, n-len(scr.rCounts))...)
+	}
+	scr.rCounts[rid] = int32(count) + 1
+	scr.rTouched = append(scr.rTouched, rid)
 	return count
 }

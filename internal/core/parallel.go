@@ -9,6 +9,7 @@ import (
 
 	"grminer/internal/gr"
 	"grminer/internal/graph"
+	"grminer/internal/intern"
 	"grminer/internal/store"
 	"grminer/internal/topk"
 )
@@ -232,7 +233,7 @@ func mineParallel(st *store.Store, opt Options) (*Result, error) {
 		// in-worker, order-independently); merging them is exact.
 		topList = topk.Merge(opt.K, lists...).Items()
 	} else {
-		topList = mergeCandidates(collected, opt, &stats)
+		topList = mergeCandidates(collected, opt, st.Graph().Schema(), &stats)
 	}
 	stats.Duration = time.Since(start)
 	return &Result{TopK: topList, Stats: stats, Options: opt, TotalEdges: st.NumEdges()}, nil
@@ -344,21 +345,22 @@ func buildTasks(m *miner) []parTask {
 // of worker candidates. With ExactGenerality the candidates were already
 // blocked exactly inside the workers and only ranking remains; otherwise
 // candidates are processed most-general-first against a blocker map, which
-// is exact because the static-floor collection is complete.
-func mergeCandidates(collected []gr.Scored, opt Options, stats *Stats) []gr.Scored {
+// is exact because the static-floor collection is complete. One-shot (a
+// fresh interning dictionary per merge); the per-batch incremental assemble
+// has its own allocation-reusing twin in incremental.go.
+func mergeCandidates(collected []gr.Scored, opt Options, schema *graph.Schema, stats *Stats) []gr.Scored {
 	if opt.NoGeneralityFilter || opt.ExactGenerality {
 		return topk.MergeItems(opt.K, collected).Items()
 	}
 	list := topk.New(opt.K)
 	// Keys are precomputed once: the comparator runs O(n log n) times per
-	// merge and this merge runs once per incremental batch over the whole
-	// tracked pool, where per-comparison Key() calls dominated profiles.
+	// merge, where per-comparison Key() calls used to dominate profiles.
 	keys := make([]string, len(collected))
 	for i := range collected {
 		keys[i] = collected[i].GR.Key()
 	}
 	sort.Sort(&keyedCandidates{items: collected, keys: keys})
-	blockers := make(blockerMap)
+	blockers := newBlockerMap(intern.NewDict(intern.NewLayout(schema)))
 	for _, s := range collected {
 		if blockers.blocks(s.GR) {
 			stats.Blocked++

@@ -145,6 +145,7 @@ type shardCand struct {
 type ShardCoordinator struct {
 	plan       ShardPlan
 	opt        Options // normalized effective options
+	schema     *graph.Schema
 	workers    []ShardWorker
 	sketches   []ShardSketch
 	totalEdges int
@@ -170,6 +171,7 @@ func NewShardCoordinatorFrom(g *graph.Graph, opt Options, so ShardOptions, build
 	return &ShardCoordinator{
 		plan:       plan,
 		opt:        opt,
+		schema:     g.Schema(),
 		workers:    workers,
 		sketches:   sketches,
 		totalEdges: g.NumLiveEdges(),
@@ -332,7 +334,7 @@ func (sc *ShardCoordinator) Mine() (*Result, error) {
 		}
 	}
 
-	topList, err := mergeShardPool(sc.opt, sc.plan.ShardMinSupp, sc.totalEdges, sc.workers, sc.sketches, pool, &stats)
+	topList, err := mergeShardPool(sc.opt, sc.plan.ShardMinSupp, sc.totalEdges, sc.workers, sc.sketches, pool, sc.schema, &stats)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +365,7 @@ type mergeItem struct {
 // the actual (candidate, shard) fetch volume (ExactCountRequests) alongside
 // what the PR 3 one-round bound would have fetched from the same pool
 // (OneRoundGapFill) — the protocol's measured saving.
-func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWorker, sketches []ShardSketch, pool map[string]*shardCand, stats *Stats) ([]gr.Scored, error) {
+func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWorker, sketches []ShardSketch, pool map[string]*shardCand, schema *graph.Schema, stats *Stats) ([]gr.Scored, error) {
 	keys := make([]string, 0, len(pool))
 	for k := range pool {
 		keys = append(keys, k)
@@ -532,7 +534,7 @@ func mergeShardPool(opt Options, shardMinSupp, totalEdges int, workers []ShardWo
 	// generalisation scans needed — clear ExactGenerality for the merge).
 	mergeOpt := opt
 	mergeOpt.ExactGenerality = false
-	return mergeCandidates(collected, mergeOpt, stats), nil
+	return mergeCandidates(collected, mergeOpt, schema, stats), nil
 }
 
 // MineSharded partitions g's edges into so.Shards shards, mines each shard

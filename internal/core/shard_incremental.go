@@ -312,7 +312,7 @@ func (inc *IncrementalSharded) upsertShard(s int, cand ShardCandidate) {
 // assemble runs the coordinator merge (with its round-2 exact-count
 // fetches) over the maintained pool.
 func (inc *IncrementalSharded) assemble(stats *Stats, d time.Duration) (*Result, error) {
-	top, err := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumLiveEdges(), inc.workers, inc.sketches, inc.pool, stats)
+	top, err := mergeShardPool(inc.opt, inc.plan.ShardMinSupp, inc.g.NumLiveEdges(), inc.workers, inc.sketches, inc.pool, inc.g.Schema(), stats)
 	if err != nil {
 		return nil, err
 	}

@@ -475,8 +475,15 @@ type WorkerState struct {
 	minSupp int // the plan's ShardMinSupp (t)
 	idx     int
 	shards  int
-	// pool is nil until a seed Offer(nil); Ingest requires it.
+	// pool is nil until a seed Offer(nil); Ingest requires it. It stays
+	// string-keyed (unlike the single-store engine's dense pool): the keys
+	// double as the coordinator-facing wire identity of each candidate.
 	pool map[string]*workerEntry
+	// scr and aff are the worker's steady-state re-mine allocations, reused
+	// across Ingest batches; scr carries the shard store's persistent
+	// dictionary (the worker is the store's exclusive writer).
+	scr *minerScratch
+	aff affectedKeys
 }
 
 // NewWorkerState builds a live worker from its spec.
@@ -537,6 +544,7 @@ func NewWorkerState(spec WorkerSpec) (*WorkerState, error) {
 		minSupp: spec.ShardMinSupp,
 		idx:     spec.Index,
 		shards:  spec.Shards,
+		scr:     newMinerScratch(st.Dict()),
 	}, nil
 }
 
@@ -571,7 +579,8 @@ func (w *WorkerState) offerOpts() Options {
 // incremental engine's Ingest path delta-updates.
 func (w *WorkerState) Offer(bound *OfferBound) ([]ShardCandidate, Stats, error) {
 	var out []ShardCandidate
-	m := newMiner(w.st, w.offerOpts())
+	w.scr.reset()
+	m := newMinerScr(w.st, w.offerOpts(), w.scr)
 	m.bound = bound
 	seedPool := bound == nil
 	if seedPool {
@@ -654,7 +663,7 @@ func (w *WorkerState) Ingest(batch Batch) (IngestReply, error) {
 	rep.Recounted = w.recount(newRows, delRows, changed, dropped)
 	// Affected keys come from the inserted rows only (support-gated pools
 	// have no deletion entrants), read before the doomed rows tombstone.
-	aff := collectAffected(w.st, newRows, nil)
+	collectAffectedInto(&w.aff, w.st, newRows, nil)
 	for _, row := range delRows {
 		if err := w.g.RemoveEdge(int(w.st.EdgeID(row))); err != nil {
 			return IngestReply{}, fmt.Errorf("core: worker %d: retract row %d: %w", w.idx, row, err)
@@ -667,13 +676,14 @@ func (w *WorkerState) Ingest(batch Batch) (IngestReply, error) {
 	// The re-mine below is deliberately unguarded: deletions were resolved
 	// exactly by the recount above (support-gated pools have no deletion
 	// entrants), so only the insert side reaches the scoped walk.
+	w.scr.reset()
 	//grlint:ignore metricsafety deletions are recounted exactly above; only inserts reach the scoped re-mine
-	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), aff,
+	rep.SubtreesRemined, rep.SubtreesTotal = remineAffectedSubtrees(w.st, w.offerOpts(), &w.aff,
 		func(g gr.GR, c metrics.Counts, score float64) {
 			w.upsert(g, c)
 			changed[g.Key()] = true
 			delete(dropped, g.Key())
-		}, &stats)
+		}, w.scr, &stats)
 	rep.Deltas = make([]ShardCandidate, 0, len(changed)+len(dropped))
 	for key := range changed {
 		if t := w.pool[key]; t != nil {

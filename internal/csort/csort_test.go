@@ -154,6 +154,7 @@ func BenchmarkPartition(b *testing.B) {
 	out := make([]int32, n)
 	p := New(188)
 	key := func(id int32) uint16 { return keys[id] }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Partition(ids, key, out)

@@ -1,0 +1,183 @@
+package intern
+
+import (
+	"math/rand"
+	"testing"
+
+	"grminer/internal/gr"
+	"grminer/internal/graph"
+)
+
+func testSchema() *graph.Schema {
+	return &graph.Schema{
+		Node: []graph.Attribute{
+			{Name: "age", Domain: 7},
+			{Name: "region", Domain: 5, Homophily: true},
+			{Name: "lang", Domain: 3, Homophily: true},
+		},
+		Edge: []graph.Attribute{
+			{Name: "kind", Domain: 4},
+			{Name: "weight", Domain: 2},
+		},
+	}
+}
+
+// TestLayoutDense checks the pair id space is a dense bijection: every
+// non-null (attribute, value) pair of the schema maps to a distinct id in
+// [0, NumPairs), node and edge attributes included.
+func TestLayoutDense(t *testing.T) {
+	s := testSchema()
+	l := NewLayout(s)
+	want := 0
+	for _, a := range s.Node {
+		want += a.Domain
+	}
+	for _, a := range s.Edge {
+		want += a.Domain
+	}
+	if l.NumPairs() != want {
+		t.Fatalf("NumPairs = %d, want %d", l.NumPairs(), want)
+	}
+	seen := make(map[PairID]string, want)
+	check := func(id PairID, desc string) {
+		t.Helper()
+		if id < 0 || int(id) >= want {
+			t.Fatalf("%s: id %d out of range [0, %d)", desc, id, want)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("%s: id %d already assigned to %s", desc, id, prev)
+		}
+		seen[id] = desc
+	}
+	for a := range s.Node {
+		for v := 1; v <= s.Node[a].Domain; v++ {
+			check(l.NodePair(a, graph.Value(v)), "node "+s.Node[a].Name)
+		}
+	}
+	for a := range s.Edge {
+		for v := 1; v <= s.Edge[a].Domain; v++ {
+			check(l.EdgePair(a, graph.Value(v)), "edge "+s.Edge[a].Name)
+		}
+	}
+}
+
+// randNodeDesc draws a random node descriptor over the schema (possibly
+// empty, distinct attributes, sorted by construction via With).
+func randNodeDesc(rng *rand.Rand, s *graph.Schema) gr.Descriptor {
+	var d gr.Descriptor
+	for a := range s.Node {
+		if rng.Intn(3) == 0 {
+			d = d.With(a, graph.Value(1+rng.Intn(s.Node[a].Domain)))
+		}
+	}
+	return d
+}
+
+func randEdgeDesc(rng *rand.Rand, s *graph.Schema) gr.Descriptor {
+	var d gr.Descriptor
+	for a := range s.Edge {
+		if rng.Intn(3) == 0 {
+			d = d.With(a, graph.Value(1+rng.Intn(s.Edge[a].Domain)))
+		}
+	}
+	return d
+}
+
+// TestDictStableIDs is the core interning property: across an arbitrary
+// interleaving of first-time and repeat interns, every descriptor (and GR)
+// keeps the id it was first assigned, equal inputs share an id, and distinct
+// inputs never share one. Together with TestLayoutDense this pins "ids are
+// never reused for a different (attribute, value)": pair ids are schema
+// arithmetic, and desc/GR ids only ever grow the id space.
+func TestDictStableIDs(t *testing.T) {
+	s := testSchema()
+	d := NewDict(NewLayout(s))
+	rng := rand.New(rand.NewSource(7))
+
+	if got := d.NodeDesc(nil); got != 0 {
+		t.Fatalf("empty descriptor id = %d, want 0", got)
+	}
+
+	// The empty descriptor is the trie root shared by every side, so both
+	// empty keys pre-map to id 0.
+	descIDs := map[string]DescID{"node": 0, "edge": 0}
+	descByID := map[DescID]string{0: "(empty)"}
+	grIDs := map[string]GRID{}
+	grByID := map[GRID]string{}
+
+	descKey := func(kind string, desc gr.Descriptor) string {
+		key := kind
+		for _, c := range desc {
+			key += "/" + string(rune('a'+c.Attr)) + ":" + string(rune('0'+int(c.Val)))
+		}
+		return key
+	}
+	checkDesc := func(desc gr.Descriptor, id DescID, kind string) {
+		t.Helper()
+		key := descKey(kind, desc)
+		if prev, ok := descIDs[key]; ok {
+			if id != prev {
+				t.Fatalf("%s re-interned to %d, first id was %d", key, id, prev)
+			}
+			return
+		}
+		if prev, ok := descByID[id]; ok {
+			t.Fatalf("id %d reused: first %s, now %s", id, prev, key)
+		}
+		if int(id) >= d.NumDescs() {
+			t.Fatalf("id %d not below NumDescs %d", id, d.NumDescs())
+		}
+		descIDs[key] = id
+		descByID[id] = key
+	}
+
+	for i := 0; i < 4000; i++ {
+		l := randNodeDesc(rng, s)
+		w := randEdgeDesc(rng, s)
+		r := randNodeDesc(rng, s)
+		// Node descriptors share one id space regardless of side, so L and R
+		// verify against the same "node" key space.
+		checkDesc(l, d.NodeDesc(l), "node")
+		checkDesc(w, d.EdgeDesc(w), "edge")
+		checkDesc(r, d.NodeDesc(r), "node")
+
+		g := gr.GR{L: l, W: w, R: r}
+		id := d.GR(g)
+		key := g.Key()
+		if prev, ok := grIDs[key]; ok {
+			if id != prev {
+				t.Fatalf("GR %s re-interned to %d, first id was %d", key, id, prev)
+			}
+			continue
+		}
+		if prev, ok := grByID[id]; ok {
+			t.Fatalf("GR id %d reused: first %s, now %s", id, prev, key)
+		}
+		if int(id) >= d.NumGRs() {
+			t.Fatalf("GR id %d not below NumGRs %d", id, d.NumGRs())
+		}
+		grIDs[key] = id
+		grByID[id] = key
+	}
+}
+
+// TestDictPrefixSharing checks the trie shape: a descriptor and its
+// extension share the prefix path, so interning is O(conditions) map steps
+// and the id space stays near the number of distinct paths, not the number
+// of intern calls.
+func TestDictPrefixSharing(t *testing.T) {
+	s := testSchema()
+	d := NewDict(NewLayout(s))
+	base := gr.D(0, 1)
+	ext := base.With(1, 2)
+	idBase := d.NodeDesc(base)
+	idExt := d.NodeDesc(ext)
+	if idBase == idExt {
+		t.Fatalf("distinct descriptors share id %d", idBase)
+	}
+	// Re-interning the extension must not mint ids.
+	n := d.NumDescs()
+	if got := d.NodeDesc(ext); got != idExt || d.NumDescs() != n {
+		t.Fatalf("re-intern minted ids: id %d->%d, NumDescs %d->%d", idExt, got, n, d.NumDescs())
+	}
+}

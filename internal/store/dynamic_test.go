@@ -113,10 +113,31 @@ func scanCounts(s *Store, side byte, attr, domain int) []int {
 	return counts
 }
 
-// assertPostingsMatchScan checks every posting list and live counter against
-// the brute-force partition pass.
+// assertPostingsMatchScan checks every posting list, live counter, and packed
+// bitmap against the brute-force partition pass. The bitmap must be
+// live-exact (unlike the lists, which may carry tombstones): its Count, its
+// enumerated rows, and per-row Has must all agree with the filtered list.
 func assertPostingsMatchScan(t *testing.T, s *Store) {
 	t.Helper()
+	var scratch []int32
+	checkBitmap := func(name string, a int, v graph.Value, bm Bitmap, rows []int32) {
+		t.Helper()
+		if got := bm.Count(); got != len(rows) {
+			t.Fatalf("%s(%d,%d) bitmap Count = %d, list has %d live rows", name, a, v, got, len(rows))
+		}
+		scratch = bm.RowsInto(scratch)
+		if len(scratch) != len(rows) {
+			t.Fatalf("%s(%d,%d) bitmap enumerates %d rows, list has %d", name, a, v, len(scratch), len(rows))
+		}
+		for i, row := range rows {
+			if scratch[i] != row {
+				t.Fatalf("%s(%d,%d) bitmap row %d = %d, list says %d", name, a, v, i, scratch[i], row)
+			}
+			if !bm.Has(row) {
+				t.Fatalf("%s(%d,%d) bitmap misses live row %d", name, a, v, row)
+			}
+		}
+	}
 	schema := s.Graph().Schema()
 	for a := range schema.Node {
 		wantL := scanCounts(s, 'L', a, schema.Node[a].Domain)
@@ -125,15 +146,19 @@ func assertPostingsMatchScan(t *testing.T, s *Store) {
 			if got := s.LiveCountL(a, v); got != wantL[v] {
 				t.Fatalf("LiveCountL(%d,%d) = %d, scan says %d", a, v, got, wantL[v])
 			}
-			if got := len(s.LRows(a, v)); got != wantL[v] {
+			lRows := s.LRows(a, v)
+			if got := len(lRows); got != wantL[v] {
 				t.Fatalf("LRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantL[v])
 			}
+			checkBitmap("LBitmap", a, v, s.LBitmap(a, v), lRows)
 			if got := s.LiveCountR(a, v); got != wantR[v] {
 				t.Fatalf("LiveCountR(%d,%d) = %d, scan says %d", a, v, got, wantR[v])
 			}
-			if got := len(s.RRows(a, v)); got != wantR[v] {
+			rRows := s.RRows(a, v)
+			if got := len(rRows); got != wantR[v] {
 				t.Fatalf("RRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantR[v])
 			}
+			checkBitmap("RBitmap", a, v, s.RBitmap(a, v), rRows)
 		}
 	}
 	for a := range schema.Edge {
@@ -142,8 +167,13 @@ func assertPostingsMatchScan(t *testing.T, s *Store) {
 			if got := s.LiveCountW(a, v); got != wantW[v] {
 				t.Fatalf("LiveCountW(%d,%d) = %d, scan says %d", a, v, got, wantW[v])
 			}
-			if got := len(s.WRows(a, v)); got != wantW[v] {
+			wRows := s.WRows(a, v)
+			if got := len(wRows); got != wantW[v] {
 				t.Fatalf("WRows(%d,%d) holds %d rows, scan says %d", a, v, got, wantW[v])
+			}
+			checkBitmap("WBitmap", a, v, s.WBitmap(a, v), wRows)
+			if got := s.WRowsInto(scratch, a, v); len(got) != wantW[v] {
+				t.Fatalf("WRowsInto(%d,%d) holds %d rows, scan says %d", a, v, len(got), wantW[v])
 			}
 		}
 	}

@@ -1,0 +1,92 @@
+// Bench-gate microbenchmark for the posting-list layer (DESIGN.md §7): the
+// cost of materialising a first-level partition and of intersecting two
+// posting dimensions — the operation deep re-mine descents are built from.
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"grminer/internal/datagen"
+	"grminer/internal/graph"
+)
+
+var (
+	pgateOnce sync.Once
+	pgateSt   *Store
+	pgateAttr struct {
+		rAttr int
+		rVal  graph.Value
+		lAttr int
+		lVal  graph.Value
+	}
+)
+
+func pgateFixture(b *testing.B) {
+	b.Helper()
+	pgateOnce.Do(func() {
+		cfg := datagen.DefaultPokecConfig()
+		cfg.Nodes = 1500
+		cfg.AvgOutDegree = 6
+		g := datagen.Pokec(cfg)
+		pgateSt = Build(g)
+		pgateSt.EnablePostings()
+		// Pick the most populous (attr, val) on each side so the benchmark
+		// intersects real, non-trivial partitions.
+		bestR, bestL := 0, 0
+		for a := 0; a < len(g.Schema().Node); a++ {
+			for v := graph.Value(1); int(v) <= g.Schema().Node[a].Domain; v++ {
+				if n := pgateSt.LiveCountR(a, v); n > bestR {
+					bestR, pgateAttr.rAttr, pgateAttr.rVal = n, a, v
+				}
+				if n := pgateSt.LiveCountL(a, v); n > bestL {
+					bestL, pgateAttr.lAttr, pgateAttr.lVal = n, a, v
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkPostingIntersect measures computing the rows that satisfy a
+// destination condition AND a source condition — the sub-partition a deeper
+// re-mine level needs. The "filter" variant is the posting-list scan
+// (materialise the R partition, test each row's L value); it is the
+// pre-bitmap technique, kept as the measured reference.
+func BenchmarkPostingIntersect(b *testing.B) {
+	pgateFixture(b)
+	b.Run("filter", func(b *testing.B) {
+		b.ReportAllocs()
+		count := 0
+		for i := 0; i < b.N; i++ {
+			rows := pgateSt.RRows(pgateAttr.rAttr, pgateAttr.rVal)
+			count = 0
+			for _, row := range rows {
+				if pgateSt.LVal(row, pgateAttr.lAttr) == pgateAttr.lVal {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			b.Fatal("empty intersection; fixture degenerate")
+		}
+	})
+	// The bitmap variant computes the same sub-partition by ANDing the two
+	// packed live-row sets into a reused scratch buffer — the deep-descent
+	// technique remineBitmaps is built from.
+	b.Run("bitmap", func(b *testing.B) {
+		b.ReportAllocs()
+		var words Bitmap
+		var rows []int32
+		count := 0
+		for i := 0; i < b.N; i++ {
+			words = AndInto(words,
+				pgateSt.RBitmap(pgateAttr.rAttr, pgateAttr.rVal),
+				pgateSt.LBitmap(pgateAttr.lAttr, pgateAttr.lVal))
+			rows = words.RowsInto(rows)
+			count = len(rows)
+		}
+		if count == 0 {
+			b.Fatal("empty intersection; fixture degenerate")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"grminer/internal/graph"
+	"grminer/internal/intern"
 )
 
 // Store is the three-array compact model over a graph. All per-edge
@@ -68,6 +69,14 @@ type Store struct {
 	// post, when non-nil (EnablePostings), holds the per-(attribute, value)
 	// posting lists the incremental engines partition from.
 	post *postings
+
+	// dict, once created by Dict(), is the store's intern dictionary: the
+	// dense descriptor/GR id space the engine's slice-indexed tables are
+	// built over. It survives compaction untouched — interned ids are
+	// derived from the schema and condition paths, never from row ids, so
+	// renumbering rows cannot invalidate them (the intern property tests
+	// pin this).
+	dict *intern.Dict
 }
 
 // Compaction policy: fold tombstones away once they are both numerous enough
@@ -330,10 +339,23 @@ func (s *Store) compact() {
 	n := buildFrom(s.g, live)
 	n.subset = s.subset
 	n.ingested = s.ingested
+	n.dict = s.dict
 	if s.post != nil {
 		n.EnablePostings()
 	}
 	*s = *n
+}
+
+// Dict returns the store's intern dictionary, creating it on first use. The
+// dictionary is owned by the store's exclusive writer (the incremental
+// engine, or a sequential mine) — it is not safe for concurrent use, so
+// parallel mine workers must intern through private dictionaries instead
+// (pair ids still agree; see intern.Dict).
+func (s *Store) Dict() *intern.Dict {
+	if s.dict == nil {
+		s.dict = intern.NewDict(intern.NewLayout(s.g.Schema()))
+	}
+	return s.dict
 }
 
 // Graph returns the underlying graph.
@@ -392,6 +414,18 @@ func (s *Store) AllEdges() []int32 {
 		}
 	}
 	return ids
+}
+
+// AllEdgesInto is AllEdges appending into dst[:0], letting per-batch callers
+// reuse one scratch slice instead of allocating the root partition each time.
+func (s *Store) AllEdgesInto(dst []int32) []int32 {
+	dst = dst[:0]
+	for i := 0; i < len(s.ePtr); i++ {
+		if s.Alive(int32(i)) {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
 }
 
 // Validate cross-checks the store against its graph; used by tests and as a
