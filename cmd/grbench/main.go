@@ -41,6 +41,7 @@ func main() {
 	flag.IntVar(&cfg.MaxShards, "shards", cfg.MaxShards, "shard-count cap for the sharding experiment (0 = 8)")
 	flag.StringVar(&cfg.ShardBy, "shard-by", cfg.ShardBy, "restrict the sharding experiment to one strategy: src | rhs (empty = both)")
 	flag.StringVar(&cfg.JSONDir, "json-dir", ".", "directory for BENCH_*.json snapshots (empty = skip)")
+	flag.StringVar(&cfg.ServeAddr, "serve-addr", cfg.ServeAddr, "drive the serving experiment against an already-running grminerd at host:port (empty = in-process server)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (captured after the run) to this file")
 	flag.Parse()

@@ -40,6 +40,8 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +50,15 @@ import (
 	"strings"
 
 	"grminer"
+	"grminer/internal/serve/apiv1"
 )
+
+// info receives the informational output (banners, plans, batch progress).
+// It is stdout normally and stderr under -json, so piped JSON stays clean.
+var info io.Writer = os.Stdout
+
+// jsonOut switches the final top-k to the versioned v1 JSON schema.
+var jsonOut bool
 
 func main() {
 	var (
@@ -77,27 +87,24 @@ func main() {
 		poolCap   = flag.Int("pool-cap", 0, "in single-store -follow mode, bound the tracked candidate pool to N entries (0 = unbounded; exact via re-mine-on-underflow)")
 		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store)")
 		shardBy   = flag.String("shard-by", "src", "shard routing strategy: src (hash of source node) | rhs (hash of destination attribute row)")
+		jsonFlag  = flag.Bool("json", false, "write the top-k as versioned v1 API JSON to stdout (informational output moves to stderr)")
 	)
 	flag.Parse()
+	if *jsonFlag {
+		jsonOut = true
+		info = os.Stderr
+	}
 
 	strategy, err := grminer.ParseShardStrategy(*shardBy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "grminer:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	// -workers is either a parallel worker count ("4") or a remote shardd
-	// address list ("host:port,host:port").
+	// address list ("host:port,host:port"). A contradictory explicit
+	// -shards surfaces as ErrShardWorkerMismatch from the facade.
 	parWorkers, remote, err := parseWorkersFlag(*workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "grminer:", err)
-		os.Exit(1)
-	}
-	if len(remote) > 0 {
-		if *shards > 0 && *shards != len(remote) {
-			fmt.Fprintf(os.Stderr, "grminer: -shards %d contradicts the %d addresses of -workers\n", *shards, len(remote))
-			os.Exit(1)
-		}
-		*shards = len(remote)
+		fail(err)
 	}
 	shardBySet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -105,7 +112,7 @@ func main() {
 			shardBySet = true
 		}
 	})
-	if shardBySet && *shards <= 0 {
+	if shardBySet && *shards <= 0 && len(remote) == 0 {
 		fmt.Fprintln(os.Stderr, "grminer: -shard-by has no effect without -shards N (N > 0) or -workers")
 		os.Exit(1)
 	}
@@ -120,25 +127,23 @@ func main() {
 		}
 	}
 	var shardOpt grminer.ShardOptions
-	if *shards > 0 {
+	if *shards > 0 || len(remote) > 0 {
 		shardOpt = grminer.ShardOptions{Shards: *shards, Strategy: strategy}
 	}
 
 	g, err := loadGraph(*data, *schemaF, *nodesF, *edgesF, *nodes, *deg, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "grminer:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	gs := g.Stats()
-	fmt.Printf("network: %d nodes, %d edges, %d node attrs, %d edge attrs\n",
+	fmt.Fprintf(info, "network: %d nodes, %d edges, %d node attrs, %d edge attrs\n",
 		gs.Nodes, gs.Edges, gs.NodeAttrs, gs.EdgeAttrs)
 
 	if *query != "" {
 		wb := grminer.NewWorkbench(g)
 		rep, err := wb.QueryText(*query)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(rep.String(g.Schema()))
 		return
@@ -146,8 +151,7 @@ func main() {
 
 	m, err := grminer.MetricByName(*metric)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "grminer:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	opt := grminer.Options{
 		MinSupp:        *minSupp,
@@ -163,94 +167,93 @@ func main() {
 		if *auto {
 			plan := grminer.AutoPlanGraph(g, *procs, opt)
 			opt = plan.Apply(opt)
-			fmt.Println(plan)
+			fmt.Fprintln(info, plan)
 		}
 		// Open the stream before the (possibly long) initial mine so a bad
 		// path fails instantly.
 		in, closeIn, err := openFollowStream(*follow)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer closeIn()
 		eng, err := newEngine(g, opt, shardOpt, remote)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if closer, ok := eng.(interface{ Close() error }); ok {
 			defer closer.Close()
 		}
 		if err := runFollow(eng, g, m, in, *batchSize, *showStats, *out, *format); err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
-	var res *grminer.Result
-	if shardOpt.Shards > 0 {
-		if *auto {
-			plan := grminer.AutoPlanGraph(g, *procs, opt)
-			opt = plan.Apply(opt)
-			fmt.Println(plan)
-		}
-		var sc *grminer.ShardCoordinator
-		if len(remote) > 0 {
-			sc, err = grminer.NewRemoteShardCoordinator(g, opt, shardOpt, remote)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "grminer:", err)
-				os.Exit(1)
-			}
-			defer sc.Close()
-			fmt.Printf("remote workers: %s\n", strings.Join(remote, " "))
-		} else {
-			sc, err = grminer.NewShardCoordinator(g, opt, shardOpt)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "grminer:", err)
-				os.Exit(1)
-			}
-		}
-		fmt.Println(sc.Plan())
-		res, err = sc.Mine()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
-		}
-	} else {
-		st := grminer.BuildStore(g)
-		if *auto {
-			plan := grminer.AutoPlan(st, *procs, opt)
-			opt = plan.Apply(opt)
-			fmt.Println(plan)
-		}
-		var err error
-		res, err = grminer.MineStore(st, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
-		}
+	// One-shot mining: every mode × topology goes through the facade.
+	eng, err := grminer.Open(g, grminer.EngineConfig{
+		Options: opt,
+		Shard:   shardOpt,
+		Workers: remote,
+		Auto:    *auto,
+		Procs:   *procs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+	if len(remote) > 0 {
+		fmt.Fprintf(info, "remote workers: %s\n", strings.Join(remote, " "))
+	}
+	if plan, planned := eng.AutoPlan(); planned {
+		fmt.Fprintln(info, plan)
+	}
+	if sp, sharded := eng.ShardPlan(); sharded {
+		fmt.Fprintln(info, sp)
+	}
+	res, err := eng.Mine()
+	if err != nil {
+		fail(err)
 	}
 	printTopK(res, g, m)
 	if *showStats {
-		fmt.Printf("stats: examined=%d trivial=%d prunedSupp=%d prunedScore=%d blocked=%d partitions=%d in %v\n",
+		fmt.Fprintf(info, "stats: examined=%d trivial=%d prunedSupp=%d prunedScore=%d blocked=%d partitions=%d in %v\n",
 			res.Stats.Examined, res.Stats.TrivialSeen, res.Stats.PrunedSupp,
 			res.Stats.PrunedScore, res.Stats.Blocked, res.Stats.PartitionCalls, res.Stats.Duration)
 		if res.Stats.ShardOffers > 0 {
-			fmt.Printf("shard protocol: offers=%d prunedGlobal=%d round2-requests=%d (one-round bound: %d)\n",
+			fmt.Fprintf(info, "shard protocol: offers=%d prunedGlobal=%d round2-requests=%d (one-round bound: %d)\n",
 				res.Stats.ShardOffers, res.Stats.PrunedGlobal,
 				res.Stats.ExactCountRequests, res.Stats.OneRoundGapFill)
 		}
 	}
 	if *out != "" {
 		if err := writeResults(res, g, *out, *format); err != nil {
-			fmt.Fprintln(os.Stderr, "grminer:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("wrote %s (%s)\n", *out, *format)
+		fmt.Fprintf(info, "wrote %s (%s)\n", *out, *format)
 	}
 }
 
+// fail reports a fatal error and exits; a shard/worker contradiction names
+// the flags involved.
+func fail(err error) {
+	var mismatch *grminer.ErrShardWorkerMismatch
+	if errors.As(err, &mismatch) {
+		fmt.Fprintf(os.Stderr, "grminer: -shards %d contradicts the %d addresses of -workers (one shard per worker; drop -shards or make them agree)\n",
+			mismatch.Shards, mismatch.Workers)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "grminer:", err)
+	os.Exit(1)
+}
+
 func printTopK(res *grminer.Result, g *grminer.Graph, m grminer.Metric) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(apiv1.TopKFromResult(res, g.Schema(), 0)); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("top-%d GRs by %s (minSupp=%d, threshold=%.2f):\n",
 		res.Options.K, m.Name, res.Options.MinSupp, res.Options.MinScore)
 	for i, s := range res.TopK {
@@ -298,28 +301,29 @@ type incrementalEngine interface {
 	Cumulative() grminer.IncStats
 }
 
-// newEngine seeds the incremental engine for -follow: remote sharded when
-// -workers lists shardd daemons, in-process sharded when -shards is set
-// (batches then route to the owning shard), single-store otherwise.
+// newEngine seeds the incremental engine for -follow through the facade:
+// remote sharded when -workers lists shardd daemons, in-process sharded
+// when -shards is set (batches then route to the owning shard),
+// single-store otherwise. It returns the opened engine's concrete variant,
+// which carries the full incremental surface (Plan, Close).
 func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions, remote []string) (incrementalEngine, error) {
-	if len(remote) > 0 {
-		inc, err := grminer.NewIncrementalRemote(g, opt, so, remote)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Printf("remote workers: %s\n", strings.Join(remote, " "))
-		fmt.Println(inc.Plan())
-		return inc, nil
+	e, err := grminer.Open(g, grminer.EngineConfig{
+		Mode:    grminer.ModeIncremental,
+		Options: opt,
+		Shard:   so,
+		Workers: remote,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if so.Shards > 0 {
-		inc, err := grminer.NewIncrementalSharded(g, opt, so)
-		if err != nil {
-			return nil, err
+	if sharded := e.IncrementalSharded(); sharded != nil {
+		if len(remote) > 0 {
+			fmt.Fprintf(info, "remote workers: %s\n", strings.Join(remote, " "))
 		}
-		fmt.Println(inc.Plan())
-		return inc, nil
+		fmt.Fprintln(info, sharded.Plan())
+		return sharded, nil
 	}
-	return grminer.NewIncremental(g, opt)
+	return e.Incremental(), nil
 }
 
 // openFollowStream resolves a -follow source: stdin for "-", an opened
@@ -342,7 +346,7 @@ func openFollowStream(src string) (io.Reader, func(), error) {
 // graph is ever mined.
 func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.Reader, batchSize int, showStats bool, outPath, outFormat string) error {
 	res := inc.Result()
-	fmt.Printf("initial mine: |E|=%d, %d GRs tracked in top-%d\n",
+	fmt.Fprintf(info, "initial mine: |E|=%d, %d GRs tracked in top-%d\n",
 		res.TotalEdges, len(res.TopK), inc.Options().K)
 
 	prev := res.TopK
@@ -367,7 +371,7 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 		if bs.UnderflowRemines > 0 {
 			work += " +underflow re-mine"
 		}
-		fmt.Printf("batch %3d: +%d/-%d edges  |E|=%-8d top-k changed=%-3d %s  %v\n",
+		fmt.Fprintf(info, "batch %3d: +%d/-%d edges  |E|=%-8d top-k changed=%-3d %s  %v\n",
 			batchNo, bs.Edges, bs.Deleted, r.TotalEdges, changed, work, bs.Duration)
 		return nil
 	}
@@ -414,7 +418,7 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 	printTopK(final, g, m)
 	if showStats {
 		c := inc.Cumulative()
-		fmt.Printf("stats: batches=%d edges=%d deleted=%d tracked=%d recounted=%d dropped=%d remined=%d/%d full-remines=%d spilled=%d underflow-remines=%d in %v\n",
+		fmt.Fprintf(info, "stats: batches=%d edges=%d deleted=%d tracked=%d recounted=%d dropped=%d remined=%d/%d full-remines=%d spilled=%d underflow-remines=%d in %v\n",
 			c.Batches, c.Edges, c.Deleted, c.Tracked, c.Recounted, c.Dropped,
 			c.SubtreesRemined, c.SubtreesTotal, c.FullRemines, c.Spilled, c.UnderflowRemines, c.Duration)
 	}
@@ -422,7 +426,7 @@ func runFollow(inc incrementalEngine, g *grminer.Graph, m grminer.Metric, in io.
 		if err := writeResults(final, g, outPath, outFormat); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%s)\n", outPath, outFormat)
+		fmt.Fprintf(info, "wrote %s (%s)\n", outPath, outFormat)
 	}
 	return nil
 }

@@ -37,7 +37,6 @@ import (
 	"grminer/internal/metrics"
 	"grminer/internal/propagate"
 	"grminer/internal/recommend"
-	"grminer/internal/rpc"
 	"grminer/internal/store"
 	"grminer/internal/topk"
 )
@@ -141,23 +140,48 @@ func SaveFiles(g *Graph, schemaPath, nodesPath, edgesPath string) error {
 }
 
 // Mine runs GRMiner over g (Algorithm 1) and returns the top-k GRs.
-func Mine(g *Graph, opt Options) (*Result, error) { return core.Mine(g, opt) }
+//
+// Deprecated: use Open with EngineConfig{Options: opt} and Engine.Mine.
+func Mine(g *Graph, opt Options) (*Result, error) {
+	return mineVia(Open(g, EngineConfig{Options: opt}))
+}
 
 // BuildStore precomputes the compact data model so repeated Mine runs skip
 // the build.
 func BuildStore(g *Graph) *Store { return store.Build(g) }
 
 // MineStore is Mine over a pre-built store.
-func MineStore(st *Store, opt Options) (*Result, error) { return core.MineStore(st, opt) }
+//
+// Deprecated: use OpenStore with EngineConfig{Options: opt} and Engine.Mine.
+func MineStore(st *Store, opt Options) (*Result, error) {
+	return mineVia(OpenStore(st, EngineConfig{Options: opt}))
+}
 
 // MineAuto is Mine with the AutoTune planner applied first: zero-valued
 // execution knobs (Parallelism, MaxL/MaxW/MaxR) are filled from the input's
 // edge count, attribute arity, and the machine's CPU count; small inputs
 // stay sequential, large ones fan out over the lock-light parallel engine.
-func MineAuto(g *Graph, opt Options) (*Result, error) { return core.MineAuto(g, opt) }
+//
+// Deprecated: use Open with EngineConfig{Options: opt, Auto: true}.
+func MineAuto(g *Graph, opt Options) (*Result, error) {
+	return mineVia(Open(g, EngineConfig{Options: opt, Auto: true}))
+}
 
 // MineAutoStore is MineAuto over a pre-built store.
-func MineAutoStore(st *Store, opt Options) (*Result, error) { return core.MineAutoStore(st, opt) }
+//
+// Deprecated: use OpenStore with EngineConfig{Options: opt, Auto: true}.
+func MineAutoStore(st *Store, opt Options) (*Result, error) {
+	return mineVia(OpenStore(st, EngineConfig{Options: opt, Auto: true}))
+}
+
+// mineVia runs the one-shot mine the deprecated Mine* wrappers delegate to.
+func mineVia(e *Engine, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Mine()
+}
 
 // AutoPlan previews the execution strategy MineAuto would choose for st
 // under a given CPU budget (procs 0 = all cores) without mining. Apply the
@@ -182,8 +206,15 @@ func AutoPlanGraph(g *Graph, procs int, opt Options) Plan {
 // it — and, like the parallel engine, a dynamic floor forces
 // ExactGenerality so the maintained result is order-independent
 // (Incremental.Options returns the effective settings).
+//
+// Deprecated: use Open with EngineConfig{Mode: ModeIncremental, Options: opt};
+// Engine.Incremental returns this engine.
 func NewIncremental(g *Graph, opt Options) (*Incremental, error) {
-	return core.NewIncremental(g, opt)
+	e, err := Open(g, EngineConfig{Mode: ModeIncremental, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	return e.Incremental(), nil
 }
 
 // TopKChanged counts entries of cur that are new or re-scored relative to
@@ -209,8 +240,16 @@ func ParseShardStrategy(s string) (ShardStrategy, error) { return graph.ParseSha
 // for the candidate-union soundness argument). Like the parallel engine, a
 // dynamic floor forces ExactGenerality; Result.Options echoes the effective
 // settings.
+//
+// Deprecated: use Open with EngineConfig{Options: opt, Shard: so} and
+// Engine.Mine.
 func MineSharded(g *Graph, opt Options, so ShardOptions) (*Result, error) {
-	return core.MineSharded(g, opt, so)
+	if so.Shards <= 0 {
+		// Open would read a zero shard count as "local"; go straight to the
+		// core engine so its shard-count validation error surfaces.
+		return core.MineSharded(g, opt, so)
+	}
+	return mineVia(Open(g, EngineConfig{Options: opt, Shard: so}))
 }
 
 // PlanShards previews the sharded layout MineSharded would use without
@@ -223,8 +262,18 @@ func PlanShards(g *Graph, opt Options, so ShardOptions) (ShardPlan, error) {
 // coordinator behind MineSharded, for callers that want the plan
 // (Plan), the effective options (Options), and the mine (Mine) from a
 // single partitioning pass.
+//
+// Deprecated: use Open with EngineConfig{Options: opt, Shard: so};
+// Engine.Coordinator returns this coordinator.
 func NewShardCoordinator(g *Graph, opt Options, so ShardOptions) (*ShardCoordinator, error) {
-	return core.NewShardCoordinator(g, opt, so)
+	if so.Shards <= 0 {
+		return core.NewShardCoordinator(g, opt, so)
+	}
+	e, err := Open(g, EngineConfig{Options: opt, Shard: so})
+	if err != nil {
+		return nil, err
+	}
+	return e.Coordinator(), nil
 }
 
 // NewIncrementalSharded seeds a shard-aware fully dynamic incremental
@@ -235,8 +284,18 @@ func NewShardCoordinator(g *Graph, opt Options, so ShardOptions) (*ShardCoordina
 // threshold — and the global top-k is re-merged after every batch, for
 // every metric, with no full re-mine fallback. The engine owns g, like
 // NewIncremental.
+//
+// Deprecated: use Open with EngineConfig{Mode: ModeIncremental, Options:
+// opt, Shard: so}; Engine.IncrementalSharded returns this engine.
 func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
-	return core.NewIncrementalSharded(g, opt, so)
+	if so.Shards <= 0 {
+		return core.NewIncrementalSharded(g, opt, so)
+	}
+	e, err := Open(g, EngineConfig{Mode: ModeIncremental, Options: opt, Shard: so})
+	if err != nil {
+		return nil, err
+	}
+	return e.IncrementalSharded(), nil
 }
 
 // MineRemote is MineSharded with every shard placed on a shardd worker
@@ -244,52 +303,61 @@ func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*Incremental
 // mines it behind the internal/rpc protocol, and the local coordinator
 // merges the offers into the exact global top-k — identical to a
 // single-store Mine under the coordinator's effective options. The shard
-// count is len(workers); so.Shards, if non-zero, must agree. Worker
-// connections are closed before returning.
+// count is len(workers); so.Shards, if non-zero, must agree
+// (*ErrShardWorkerMismatch otherwise). Worker connections are closed before
+// returning.
+//
+// Deprecated: use Open with EngineConfig{Options: opt, Shard: so, Workers:
+// workers} and Engine.Mine (Close the engine to release the connections).
 func MineRemote(g *Graph, opt Options, so ShardOptions, workers []string) (*Result, error) {
-	sc, err := NewRemoteShardCoordinator(g, opt, so, workers)
-	if err != nil {
+	if err := needWorkers(workers); err != nil {
 		return nil, err
 	}
-	defer sc.Close()
-	return sc.Mine()
+	return mineVia(Open(g, EngineConfig{Options: opt, Shard: so, Workers: workers}))
 }
 
 // NewRemoteShardCoordinator is NewShardCoordinator over shardd worker
 // daemons; callers must Close it to release the connections.
+//
+// Deprecated: use Open with EngineConfig{Options: opt, Shard: so, Workers:
+// workers}; Engine.Coordinator returns this coordinator.
 func NewRemoteShardCoordinator(g *Graph, opt Options, so ShardOptions, workers []string) (*ShardCoordinator, error) {
-	so, err := remoteShardOptions(so, workers)
+	if err := needWorkers(workers); err != nil {
+		return nil, err
+	}
+	e, err := Open(g, EngineConfig{Options: opt, Shard: so, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return core.NewShardCoordinatorFrom(g, opt, so, rpc.Builder(workers))
+	return e.Coordinator(), nil
 }
 
 // NewIncrementalRemote is NewIncrementalSharded over shardd worker daemons:
 // each worker ingests its routed batch slices and maintains its own relaxed
 // candidate pool; only pool deltas and count queries cross the wire.
 // Callers must Close the engine to release the connections.
+//
+// Deprecated: use Open with EngineConfig{Mode: ModeIncremental, Options:
+// opt, Shard: so, Workers: workers}; Engine.IncrementalSharded returns this
+// engine.
 func NewIncrementalRemote(g *Graph, opt Options, so ShardOptions, workers []string) (*IncrementalSharded, error) {
-	so, err := remoteShardOptions(so, workers)
+	if err := needWorkers(workers); err != nil {
+		return nil, err
+	}
+	e, err := Open(g, EngineConfig{Mode: ModeIncremental, Options: opt, Shard: so, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return core.NewIncrementalShardedFrom(g, opt, so, rpc.Builder(workers))
+	return e.IncrementalSharded(), nil
 }
 
-// remoteShardOptions fills the shard count from the worker list and rejects
-// a contradictory explicit count.
-func remoteShardOptions(so ShardOptions, workers []string) (ShardOptions, error) {
+// needWorkers preserves the deprecated remote entrypoints' explicit
+// no-workers error (Open would read an empty list as a local topology).
+func needWorkers(workers []string) error {
 	if len(workers) == 0 {
-		return so, fmt.Errorf("grminer: remote mining needs at least one worker address")
+		return fmt.Errorf("grminer: remote mining needs at least one worker address")
 	}
-	if so.Shards == 0 {
-		so.Shards = len(workers)
-	}
-	if so.Shards != len(workers) {
-		return so, fmt.Errorf("grminer: %d shards requested but %d worker addresses given", so.Shards, len(workers))
-	}
-	return so, nil
+	return nil
 }
 
 // ParseGR parses the textual GR form, e.g. "(SEX:F, EDU:Grad) -> (SEX:M)".

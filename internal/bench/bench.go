@@ -52,6 +52,9 @@ type Config struct {
 	// JSONDir, when non-empty, is where experiments drop machine-readable
 	// BENCH_*.json snapshots alongside their text reports.
 	JSONDir string
+	// ServeAddr points the serving experiment at an externally launched
+	// grminerd (host:port); empty hosts the server in-process.
+	ServeAddr string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -99,7 +102,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
-	"incremental", "dynamic", "sharding", "distributed",
+	"incremental", "dynamic", "sharding", "distributed", "serving",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -137,6 +140,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Sharding(w, cfg)
 	case "distributed":
 		return Distributed(w, cfg)
+	case "serving":
+		return Serving(w, cfg)
 	case "all":
 		for _, n := range Names {
 			if err := Run(n, w, cfg); err != nil {

@@ -229,3 +229,51 @@ func TestShardingReport(t *testing.T) {
 		}
 	}
 }
+
+// The serving experiment must report a served top-k identical to both its
+// shadow oracle and an offline re-mine, plus a well-formed
+// BENCH_serving.json with measured latency percentiles.
+func TestServingReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a loopback HTTP server and mines repeatedly")
+	}
+	cfg := tinyConfig()
+	cfg.PokecNodes = 600
+	cfg.PokecDeg = 6
+	cfg.JSONDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := Serving(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "WARNING") {
+		t.Errorf("serving run diverged:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_serving.json"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var rep ServingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if !rep.Identical || !rep.ServedIdentical || !rep.OfflineIdentical {
+		t.Errorf("equivalence flags not all true: %+v", rep)
+	}
+	if rep.External {
+		t.Error("in-process run marked external")
+	}
+	if rep.Batches == 0 || rep.Ingest.Count != rep.Batches {
+		t.Errorf("ingest accounting off: %+v", rep.Ingest)
+	}
+	if rep.ReadTopK.Count == 0 || rep.ReadRule.Count == 0 {
+		t.Error("readers recorded no requests")
+	}
+	for _, lat := range []ServingLatency{rep.ReadTopK, rep.ReadRule, rep.Ingest} {
+		if lat.P50Ms <= 0 || lat.P99Ms < lat.P50Ms || lat.MaxMs < lat.P99Ms {
+			t.Errorf("latency summary not ordered: %+v", lat)
+		}
+	}
+	if rep.FinalEpoch != uint64(rep.Batches)+1 {
+		t.Errorf("final epoch %d, want %d", rep.FinalEpoch, rep.Batches+1)
+	}
+}

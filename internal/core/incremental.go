@@ -225,6 +225,16 @@ func (p *densePool) delete(id intern.GRID) {
 	}
 }
 
+// get returns id's tracked entry, if present.
+func (p *densePool) get(id intern.GRID) (tracked, bool) {
+	if int(id) < len(p.slots) {
+		if s := p.slots[id]; s != 0 {
+			return p.entries[s-1], true
+		}
+	}
+	return tracked{}, false
+}
+
 // reset empties the pool in O(occupied), keeping all allocations.
 func (p *densePool) reset() {
 	for _, id := range p.ids {
@@ -322,6 +332,21 @@ func (inc *Incremental) Result() *Result { return inc.last }
 
 // Cumulative returns lifetime totals across all Apply calls.
 func (inc *Incremental) Cumulative() IncStats { return inc.cum }
+
+// Explain returns the exact maintained counts of q from the tracked
+// candidate pool, or false when q is not tracked (below the support
+// threshold, spilled under PoolCap, or never a condition-(1) candidate) —
+// callers then fall back to a full-scan metrics.Eval. Note Counts.R is only
+// tracked when the engine's metric needs it. Explain interns q through the
+// engine's dictionary, so like ApplyBatch it must not run concurrently with
+// other engine calls.
+func (inc *Incremental) Explain(q gr.GR) (metrics.Counts, bool) {
+	t, ok := inc.pool.get(inc.dict.GR(q))
+	if !ok {
+		return metrics.Counts{}, false
+	}
+	return t.c, true
+}
 
 // Apply ingests one batch of edge insertions and returns the updated top-k.
 // It is ApplyBatch with no deletions.

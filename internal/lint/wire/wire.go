@@ -50,6 +50,15 @@ var versionRE = regexp.MustCompile(`^v(\d+)$`)
 // FromFiles extracts every grlint:wire-annotated struct declared in the
 // files, keyed under pkgPath.
 func FromFiles(files []*ast.File, pkgPath string) []Decl {
+	return FromFilesDirective(files, pkgPath, "wire", false)
+}
+
+// FromFilesDirective is FromFiles for any grlint:<directive> vN struct
+// marker. withTags additionally records each field's raw struct tag — the
+// JSON API snapshot needs it because a renamed json tag changes the
+// response shape even when the Go declaration does not (gob, by contrast,
+// ignores tags).
+func FromFilesDirective(files []*ast.File, pkgPath, directive string, withTags bool) []Decl {
 	var decls []Decl
 	for _, f := range files {
 		for _, d := range f.Decls {
@@ -66,7 +75,7 @@ func FromFiles(files []*ast.File, pkgPath string) []Decl {
 				if doc == nil && len(gen.Specs) == 1 {
 					doc = gen.Doc
 				}
-				args, ok := analysis.DirectiveArgs(doc, "wire")
+				args, ok := analysis.DirectiveArgs(doc, directive)
 				if !ok {
 					continue
 				}
@@ -85,7 +94,7 @@ func FromFiles(files []*ast.File, pkgPath string) []Decl {
 				} else {
 					decl.BadMark = args
 				}
-				decl.Struct.Fields = fieldStrings(st.Fields)
+				decl.Struct.Fields = fieldStrings(st.Fields, withTags)
 				decls = append(decls, decl)
 			}
 		}
@@ -95,10 +104,13 @@ func FromFiles(files []*ast.File, pkgPath string) []Decl {
 
 // fieldStrings renders the field declarations: one entry per name (gob
 // addresses fields by name), embedded fields by their type alone.
-func fieldStrings(fl *ast.FieldList) []string {
+func fieldStrings(fl *ast.FieldList, withTags bool) []string {
 	var out []string
 	for _, f := range fl.List {
 		typ := types.ExprString(f.Type)
+		if withTags && f.Tag != nil {
+			typ += " " + f.Tag.Value
+		}
 		if len(f.Names) == 0 {
 			out = append(out, typ)
 			continue
@@ -114,6 +126,11 @@ func fieldStrings(fl *ast.FieldList) []string {
 // annotated structs keyed under pkgPath. Used by the golden test, which has
 // source on disk but no loaded packages.
 func FromDir(dir, pkgPath string) ([]Decl, error) {
+	return FromDirDirective(dir, pkgPath, "wire", false)
+}
+
+// FromDirDirective is FromDir for any grlint:<directive> marker.
+func FromDirDirective(dir, pkgPath, directive string, withTags bool) ([]Decl, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -137,7 +154,7 @@ func FromDir(dir, pkgPath string) ([]Decl, error) {
 		for _, fn := range fnames {
 			files = append(files, pkgs[name].Files[fn])
 		}
-		decls = append(decls, FromFiles(files, pkgPath)...)
+		decls = append(decls, FromFilesDirective(files, pkgPath, directive, withTags)...)
 	}
 	return decls, nil
 }

@@ -1,0 +1,123 @@
+package apiv1
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"grminer/internal/lint/wire"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api_schema.json from source")
+
+const (
+	pkgPath    = "grminer/internal/serve/apiv1"
+	goldenFile = "api_schema.json"
+)
+
+// TestAPISchemaGolden pins the /v1 JSON schema: every grlint:api-annotated
+// struct's exported fields and json tags must match the checked-in
+// api_schema.json exactly. A shape change without a version bump — or a
+// version bump without a shape change — fails here before it fails a
+// client. Regenerate deliberately with -update-api.
+func TestAPISchemaGolden(t *testing.T) {
+	decls, err := wire.FromDirDirective(".", pkgPath, "api", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) == 0 {
+		t.Fatal("no grlint:api-annotated structs found")
+	}
+	for _, d := range decls {
+		if d.BadMark != "" {
+			t.Errorf("%s: malformed grlint:api marker %q (want vN)", d.Key, d.BadMark)
+		}
+	}
+
+	// Every exported struct in the package is part of the wire surface and
+	// must carry the marker — an unannotated DTO would drift unpinned.
+	annotated := make(map[string]bool, len(decls))
+	for _, d := range decls {
+		annotated[d.Name] = true
+	}
+	for _, name := range exportedStructs(t, ".") {
+		if !annotated[name] {
+			t.Errorf("exported struct %s has no grlint:api marker; annotate it so the schema test pins it", name)
+		}
+	}
+
+	current := wire.ToSchema(decls)
+	if *updateAPI {
+		if err := wire.Save(goldenFile, current); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d structs", goldenFile, len(current))
+		return
+	}
+
+	golden, err := wire.Load(goldenFile)
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Fatalf("%s missing; generate it with: go test ./internal/serve/apiv1 -run TestAPISchemaGolden -update-api", goldenFile)
+		}
+		t.Fatal(err)
+	}
+	if diff := wire.Diff(golden, current); diff != "" {
+		t.Errorf("JSON API schema drifted from %s:\n%s\n\nIf the change is intentional, bump the struct's grlint:api version (and the route prefix for breaking changes), then regenerate with -update-api.", goldenFile, diff)
+	}
+
+	// The endpoints' load-bearing response shapes must stay pinned even if
+	// someone regenerates the golden wholesale.
+	for _, key := range []string{
+		pkgPath + ".Error",
+		pkgPath + ".TopKResponse",
+		pkgPath + ".RuleResponse",
+		pkgPath + ".RecommendResponse",
+		pkgPath + ".PropagateResponse",
+		pkgPath + ".IngestRequest",
+		pkgPath + ".IngestResponse",
+		pkgPath + ".Event",
+		pkgPath + ".StatusResponse",
+	} {
+		if _, ok := golden[key]; !ok {
+			t.Errorf("golden schema lost %s", key)
+		}
+	}
+}
+
+// exportedStructs lists the package's exported struct type names.
+func exportedStructs(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gen, ok := d.(*ast.GenDecl)
+				if !ok || gen.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gen.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if _, ok := ts.Type.(*ast.StructType); ok {
+						names = append(names, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return names
+}
