@@ -42,6 +42,9 @@ func main() {
 	flag.StringVar(&cfg.ShardBy, "shard-by", cfg.ShardBy, "restrict the sharding experiment to one strategy: src | rhs (empty = both)")
 	flag.StringVar(&cfg.JSONDir, "json-dir", ".", "directory for BENCH_*.json snapshots (empty = skip)")
 	flag.StringVar(&cfg.ServeAddr, "serve-addr", cfg.ServeAddr, "drive the serving experiment against an already-running grminerd at host:port (empty = in-process server)")
+	flag.StringVar(&cfg.FailoverWorkers, "failover-workers", cfg.FailoverWorkers, "drive the failover experiment against already-running shardd daemons (host:port,... — empty = in-process killable daemons)")
+	flag.StringVar(&cfg.FailoverStandby, "failover-standby", cfg.FailoverStandby, "standby shardd addresses for the external failover experiment (host:port,...)")
+	flag.IntVar(&cfg.FailoverKillPid, "failover-kill-pid", cfg.FailoverKillPid, "pid of the external victim shardd (the first -failover-workers address) to SIGKILL mid-run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (captured after the run) to this file")
 	flag.Parse()

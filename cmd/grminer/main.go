@@ -85,7 +85,8 @@ func main() {
 		follow    = flag.String("follow", "", "after the initial mine, stream edge insertions (\"src dst vals...\") and retractions (\"- src dst vals...\") from this file (\"-\" = stdin) through the incremental engine")
 		batchSize = flag.Int("batch", 0, "in -follow mode, commit a batch every N changes in addition to blank-line commits (0 = blank lines/EOF only)")
 		poolCap   = flag.Int("pool-cap", 0, "in single-store -follow mode, bound the tracked candidate pool to N entries (0 = unbounded; exact via re-mine-on-underflow)")
-		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store)")
+		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store; may exceed the -workers address count to multiplex)")
+		standby   = flag.String("standby", "", "comma-separated standby shardd addresses for failover replacement (remote shards only)")
 		shardBy   = flag.String("shard-by", "src", "shard routing strategy: src (hash of source node) | rhs (hash of destination attribute row)")
 		jsonFlag  = flag.Bool("json", false, "write the top-k as versioned v1 API JSON to stdout (informational output moves to stderr)")
 	)
@@ -100,11 +101,20 @@ func main() {
 		fail(err)
 	}
 	// -workers is either a parallel worker count ("4") or a remote shardd
-	// address list ("host:port,host:port"). A contradictory explicit
-	// -shards surfaces as ErrShardWorkerMismatch from the facade.
+	// address list ("host:port,host:port"). An explicit -shards below the
+	// address count (idle daemons) surfaces as ErrShardWorkerMismatch from
+	// the facade; above it, the extra shards multiplex onto the daemons.
 	parWorkers, remote, err := parseWorkersFlag(*workers)
 	if err != nil {
 		fail(err)
+	}
+	standbys, err := parseAddrList("-standby", *standby)
+	if err != nil {
+		fail(err)
+	}
+	if len(standbys) > 0 && len(remote) == 0 {
+		fmt.Fprintln(os.Stderr, "grminer: -standby needs remote shards (-workers host:port,...)")
+		os.Exit(1)
 	}
 	shardBySet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -176,7 +186,7 @@ func main() {
 			fail(err)
 		}
 		defer closeIn()
-		eng, err := newEngine(g, opt, shardOpt, remote)
+		eng, err := newEngine(g, opt, shardOpt, remote, standbys)
 		if err != nil {
 			fail(err)
 		}
@@ -190,11 +200,12 @@ func main() {
 	}
 	// One-shot mining: every mode × topology goes through the facade.
 	eng, err := grminer.Open(g, grminer.EngineConfig{
-		Options: opt,
-		Shard:   shardOpt,
-		Workers: remote,
-		Auto:    *auto,
-		Procs:   *procs,
+		Options:  opt,
+		Shard:    shardOpt,
+		Workers:  remote,
+		Standbys: standbys,
+		Auto:     *auto,
+		Procs:    *procs,
 	})
 	if err != nil {
 		fail(err)
@@ -237,8 +248,8 @@ func main() {
 func fail(err error) {
 	var mismatch *grminer.ErrShardWorkerMismatch
 	if errors.As(err, &mismatch) {
-		fmt.Fprintf(os.Stderr, "grminer: -shards %d contradicts the %d addresses of -workers (one shard per worker; drop -shards or make them agree)\n",
-			mismatch.Shards, mismatch.Workers)
+		fmt.Fprintf(os.Stderr, "grminer: -shards %d leaves %d of the -workers addresses idle (raise -shards to at least %d to use every daemon, or drop -shards to default to one per worker)\n",
+			mismatch.Shards, mismatch.Workers-mismatch.Shards, mismatch.Workers)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "grminer:", err)
@@ -292,6 +303,22 @@ func parseWorkersFlag(v string) (parallelism int, remote []string, err error) {
 	return 0, remote, nil
 }
 
+// parseAddrList splits a comma-separated host:port list, validating each
+// entry.
+func parseAddrList(flagName, v string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.Contains(a, ":") {
+			return nil, fmt.Errorf("%s address %q: want host:port", flagName, a)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
 // incrementalEngine is the slice of the incremental API runFollow drives;
 // the single-store engine and the sharded engine both implement it.
 type incrementalEngine interface {
@@ -306,12 +333,13 @@ type incrementalEngine interface {
 // when -shards is set (batches then route to the owning shard),
 // single-store otherwise. It returns the opened engine's concrete variant,
 // which carries the full incremental surface (Plan, Close).
-func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions, remote []string) (incrementalEngine, error) {
+func newEngine(g *grminer.Graph, opt grminer.Options, so grminer.ShardOptions, remote, standbys []string) (incrementalEngine, error) {
 	e, err := grminer.Open(g, grminer.EngineConfig{
-		Mode:    grminer.ModeIncremental,
-		Options: opt,
-		Shard:   so,
-		Workers: remote,
+		Mode:     grminer.ModeIncremental,
+		Options:  opt,
+		Shard:    so,
+		Workers:  remote,
+		Standbys: standbys,
 	})
 	if err != nil {
 		return nil, err

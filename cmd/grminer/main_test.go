@@ -112,7 +112,7 @@ func TestRunFollowStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeIn()
-	eng, err := newEngine(g, opt, grminer.ShardOptions{}, nil)
+	eng, err := newEngine(g, opt, grminer.ShardOptions{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestRunFollowRetractionStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeIn()
-	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}, grminer.ShardOptions{}, nil)
+	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5, DynamicFloor: true}, grminer.ShardOptions{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestRunFollowRejectsUnmatchedRetraction(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeIn()
-	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil)
+	eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestRunFollowRejectsMalformedInput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil)
+		eng, err := newEngine(g, grminer.Options{MinSupp: 2, MinScore: 0.5, K: 5}, grminer.ShardOptions{}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -288,7 +288,7 @@ func TestRunFollowShardedStream(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := newEngine(g, opt, grminer.ShardOptions{Shards: 3, Strategy: strategy}, nil)
+		eng, err := newEngine(g, opt, grminer.ShardOptions{Shards: 3, Strategy: strategy}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,14 @@
 //	grminerd -data pokec -nodes 20000 -minsupp 500 -minnhp 0.5 -k 20
 //	grminerd -addr 127.0.0.1:8080 -data toy -minsupp 2
 //	grminerd -data pokec -workers 127.0.0.1:9401,127.0.0.1:9402
+//	grminerd -data pokec -workers 127.0.0.1:9401,127.0.0.1:9402 \
+//	    -shards 8 -standby 127.0.0.1:9409
+//
+// With remote shards, -shards may exceed the worker count (each shardd
+// multiplexes several shard slots; run shardd with a matching -shards
+// capacity) and -standby lists spare daemons that take over a shard when
+// its worker dies mid-run (the coordinator replays the lost shard's
+// batches; see DESIGN.md §9 and OPERATIONS.md).
 //
 // Endpoints (see DESIGN.md §8 and the README's Serving section):
 //
@@ -19,7 +27,7 @@
 //	POST /v1/propagate   GR-influence class propagation
 //	POST /v1/ingest      one atomic insert/retract batch
 //	GET  /v1/events      SSE rule-drift stream (one event per batch)
-//	GET  /v1/status      engine identity and lifetime ingest totals
+//	GET  /v1/status      engine identity, ingest totals, worker fleet health
 package main
 
 import (
@@ -60,8 +68,9 @@ func main() {
 		workers  = flag.String("workers", "0", "parallel mining workers (0 = sequential unless -auto), or comma-separated shardd addresses (host:port,...) for one remote shard per worker")
 		auto     = flag.Bool("auto", false, "auto-tune workers and descriptor caps from the input size")
 		procs    = flag.Int("procs", 0, "CPU budget for -auto planning (0 = all cores)")
-		shards   = flag.Int("shards", 0, "serve over N deterministic edge shards (0 = single store)")
+		shards   = flag.Int("shards", 0, "serve over N deterministic edge shards (0 = single store; may exceed the -workers address count to multiplex)")
 		shardBy  = flag.String("shard-by", "src", "shard routing strategy: src | rhs")
+		standby  = flag.String("standby", "", "comma-separated standby shardd addresses for failover replacement (remote shards only)")
 		poolCap  = flag.Int("pool-cap", 0, "bound the tracked candidate pool (single-store only; exact via re-mine-on-underflow)")
 	)
 	flag.Parse()
@@ -73,6 +82,13 @@ func main() {
 	parWorkers, remote, err := parseWorkersFlag(*workers)
 	if err != nil {
 		fail(err)
+	}
+	standbys, err := parseAddrList("-standby", *standby)
+	if err != nil {
+		fail(err)
+	}
+	if len(standbys) > 0 && len(remote) == 0 {
+		fail(fmt.Errorf("-standby needs remote shards (-workers host:port,...)"))
 	}
 	g, err := loadGraph(*data, *schemaF, *nodesF, *edgesF, *nodes, *deg, *seed)
 	if err != nil {
@@ -94,9 +110,10 @@ func main() {
 			Parallelism:    parWorkers,
 			PoolCap:        *poolCap,
 		},
-		Workers: remote,
-		Auto:    *auto,
-		Procs:   *procs,
+		Workers:  remote,
+		Standbys: standbys,
+		Auto:     *auto,
+		Procs:    *procs,
 	}
 	if *shards > 0 || len(remote) > 0 {
 		cfg.Shard = grminer.ShardOptions{Shards: *shards, Strategy: strategy}
@@ -147,12 +164,28 @@ func main() {
 func fail(err error) {
 	var mismatch *grminer.ErrShardWorkerMismatch
 	if errors.As(err, &mismatch) {
-		fmt.Fprintf(os.Stderr, "grminerd: -shards %d contradicts the %d addresses of -workers (one shard per worker; drop -shards or make them agree)\n",
-			mismatch.Shards, mismatch.Workers)
+		fmt.Fprintf(os.Stderr, "grminerd: -shards %d leaves %d of the -workers addresses idle (raise -shards to at least %d to use every daemon, or drop -shards to default to one per worker)\n",
+			mismatch.Shards, mismatch.Workers-mismatch.Shards, mismatch.Workers)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "grminerd:", err)
 	os.Exit(1)
+}
+
+// parseAddrList splits a comma-separated host:port list, validating each
+// entry.
+func parseAddrList(flagName, v string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.Contains(a, ":") {
+			return nil, fmt.Errorf("%s address %q: want host:port", flagName, a)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }
 
 // parseWorkersFlag splits the overloaded -workers value: a plain integer is

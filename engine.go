@@ -39,7 +39,8 @@ const (
 //	incremental   remote        IncrementalSharded over shardd (NewIncrementalRemote)
 //
 // Topology is selected by the fields, not an enum: a non-empty Workers list
-// is remote (Shard.Shards, if non-zero, must equal len(Workers) — see
+// is remote (Shard.Shards defaults to len(Workers); a larger explicit count
+// multiplexes shards onto daemon slots, a smaller one is rejected — see
 // ErrShardWorkerMismatch), Shard.Shards > 0 alone is in-process sharded,
 // and neither is single-store local.
 type EngineConfig struct {
@@ -49,11 +50,20 @@ type EngineConfig struct {
 	// the historical entrypoints took them.
 	Options Options
 	// Shard lays out the sharded topologies (Shards > 0 enables them).
-	// With Workers set, Shards defaults to len(Workers).
+	// With Workers set, Shards defaults to len(Workers); an explicit
+	// Shards > len(Workers) places shard i on Workers[i mod n], using the
+	// slot capacity each daemon advertises (shardd -shards N).
 	Shard ShardOptions
 	// Workers lists shardd daemon addresses ("host:port"); non-empty
-	// selects the remote topology, one shard per worker.
+	// selects the remote topology.
 	Workers []string
+	// Standbys lists spare shardd addresses (remote topology only). They
+	// take no shards at construction; when a primary worker is lost
+	// mid-run, the replacement is rebuilt onto the lost shard's home
+	// daemon if it answers, else a standby, else a live multiplexed peer
+	// with a spare slot — and the routed-batch log is replayed so results
+	// are unchanged. FleetHealth reports the failover counters.
+	Standbys []string
 	// Auto applies the AutoTune planner before construction: zero-valued
 	// execution knobs in Options (Parallelism, MaxL/MaxW/MaxR) are filled
 	// from the input size and Procs (0 = all cores), exactly as MineAuto
@@ -63,10 +73,12 @@ type EngineConfig struct {
 	Procs int
 }
 
-// ErrShardWorkerMismatch reports an explicit shard count that contradicts
-// the remote worker address list: every shardd worker serves exactly one
-// shard, so the two must agree (or Shard.Shards be left 0 to default).
-// CLIs unwrap it with errors.As to name the flags involved.
+// ErrShardWorkerMismatch reports an explicit shard count smaller than the
+// remote worker address list: daemons that would never receive a shard are
+// almost certainly a mistyped flag, so the contradiction is rejected (leave
+// Shard.Shards 0 to default to one shard per worker, or raise it past
+// len(Workers) to multiplex). CLIs unwrap it with errors.As to name the
+// flags involved.
 type ErrShardWorkerMismatch struct {
 	// Shards is the explicit shard count requested.
 	Shards int
@@ -75,7 +87,7 @@ type ErrShardWorkerMismatch struct {
 }
 
 func (e *ErrShardWorkerMismatch) Error() string {
-	return fmt.Sprintf("grminer: %d shards requested but %d worker addresses given (one shard per worker)", e.Shards, e.Workers)
+	return fmt.Sprintf("grminer: %d shards requested but %d worker addresses given (at least one shard per worker; raise the shard count to multiplex)", e.Shards, e.Workers)
 }
 
 // Engine is an opened mining engine: one of the six mode × topology
@@ -123,13 +135,13 @@ func Open(g *Graph, cfg EngineConfig) (*Engine, error) {
 	}
 	switch {
 	case cfg.Mode == ModeIncremental && len(cfg.Workers) > 0:
-		e.shinc, err = core.NewIncrementalShardedFrom(g, e.opt, cfg.Shard, rpc.Builder(cfg.Workers))
+		e.shinc, err = core.NewIncrementalShardedFrom(g, e.opt, cfg.Shard, cfg.fleet())
 	case cfg.Mode == ModeIncremental && cfg.Shard.Shards > 0:
 		e.shinc, err = core.NewIncrementalSharded(g, e.opt, cfg.Shard)
 	case cfg.Mode == ModeIncremental:
 		e.inc, err = core.NewIncremental(g, e.opt)
 	case len(cfg.Workers) > 0:
-		e.coord, err = core.NewShardCoordinatorFrom(g, e.opt, cfg.Shard, rpc.Builder(cfg.Workers))
+		e.coord, err = core.NewShardCoordinatorFrom(g, e.opt, cfg.Shard, cfg.fleet())
 	default:
 		e.coord, err = core.NewShardCoordinator(g, e.opt, cfg.Shard)
 	}
@@ -160,8 +172,11 @@ func OpenStore(st *Store, cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
-// resolveTopology fills the shard count from the worker list and rejects a
-// contradictory explicit count with a typed *ErrShardWorkerMismatch.
+// resolveTopology fills the shard count from the worker list and rejects an
+// explicit count that would idle listed workers with a typed
+// *ErrShardWorkerMismatch. Counts beyond the worker list multiplex; the
+// fleet validates them against each daemon's advertised slot capacity at
+// build time.
 func resolveTopology(cfg EngineConfig) (EngineConfig, error) {
 	if len(cfg.Workers) == 0 {
 		return cfg, nil
@@ -169,10 +184,15 @@ func resolveTopology(cfg EngineConfig) (EngineConfig, error) {
 	if cfg.Shard.Shards == 0 {
 		cfg.Shard.Shards = len(cfg.Workers)
 	}
-	if cfg.Shard.Shards != len(cfg.Workers) {
+	if cfg.Shard.Shards < len(cfg.Workers) {
 		return cfg, &ErrShardWorkerMismatch{Shards: cfg.Shard.Shards, Workers: len(cfg.Workers)}
 	}
 	return cfg, nil
+}
+
+// fleet builds the remote worker fleet for the configured topology.
+func (cfg EngineConfig) fleet() *rpc.Fleet {
+	return rpc.NewFleet(cfg.Workers, rpc.FleetOptions{Standbys: cfg.Standbys})
 }
 
 // Mode returns the engine's mode.
@@ -294,6 +314,20 @@ func (e *Engine) ShardPlan() (ShardPlan, bool) {
 		return e.shinc.Plan(), true
 	default:
 		return ShardPlan{}, false
+	}
+}
+
+// FleetHealth reports per-shard worker liveness and failover counters
+// (retries, replacements, replayed batches) for sharded engines; nil for
+// local single-store engines. grminerd surfaces it in GET /v1/status.
+func (e *Engine) FleetHealth() []WorkerHealth {
+	switch {
+	case e.coord != nil:
+		return e.coord.FleetHealth()
+	case e.shinc != nil:
+		return e.shinc.FleetHealth()
+	default:
+		return nil
 	}
 }
 

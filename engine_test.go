@@ -180,20 +180,22 @@ func TestOpenSharded(t *testing.T) {
 	sameTopK(t, refI, resI, "Open incremental sharded")
 }
 
-// A contradictory explicit shard count vs worker list must surface the
-// typed mismatch error from Open and every deprecated remote entrypoint.
+// An explicit shard count below the worker list (idle daemons — almost
+// certainly a mistyped flag) must surface the typed mismatch error from
+// Open and every deprecated remote entrypoint. A count above the list
+// multiplexes instead; the remote oracle tests in internal/rpc cover that.
 func TestShardWorkerMismatch(t *testing.T) {
 	g := grminer.ToyDating()
 	opt := grminer.Options{MinSupp: 2, MinScore: 0.5}
-	so := grminer.ShardOptions{Shards: 3}
-	workers := []string{"127.0.0.1:1", "127.0.0.1:2"}
+	so := grminer.ShardOptions{Shards: 2}
+	workers := []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
 
 	_, err := grminer.Open(g, grminer.EngineConfig{Options: opt, Shard: so, Workers: workers})
 	var mismatch *grminer.ErrShardWorkerMismatch
 	if !errors.As(err, &mismatch) {
 		t.Fatalf("Open: want *ErrShardWorkerMismatch, got %v", err)
 	}
-	if mismatch.Shards != 3 || mismatch.Workers != 2 {
+	if mismatch.Shards != 2 || mismatch.Workers != 3 {
 		t.Fatalf("mismatch fields: %+v", mismatch)
 	}
 

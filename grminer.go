@@ -5,18 +5,36 @@
 // confidence and thereby surfaces the strong social ties that homophily
 // does not explain.
 //
-// The essentials:
+// Open is the canonical entrypoint: one EngineConfig spans every engine
+// variant — static or incremental, local, sharded, or remote over a fleet
+// of shardd worker daemons (with standby failover). The essentials:
 //
 //	g := grminer.ToyDating() // or load / generate a network
-//	res, err := grminer.Mine(g, grminer.Options{
-//	    MinSupp:  20,   // absolute support threshold
-//	    MinScore: 0.5,  // minNhp
-//	    K:        10,
-//	    DynamicFloor: true, // the paper's GRMiner(k)
+//	e, err := grminer.Open(g, grminer.EngineConfig{
+//	    Options: grminer.Options{
+//	        MinSupp:  20,   // absolute support threshold
+//	        MinScore: 0.5,  // minNhp
+//	        K:        10,
+//	        DynamicFloor: true, // the paper's GRMiner(k)
+//	    },
 //	})
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	defer e.Close()
+//	res, err := e.Mine()
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	for _, s := range res.TopK {
 //	    fmt.Printf("%s  nhp=%.1f%% supp=%d\n", s.GR.Format(g.Schema()), 100*s.Score, s.Supp)
 //	}
+//
+// Setting Mode: ModeIncremental opens a long-lived engine whose ApplyBatch
+// ingests mixed insert/delete batches; Shard and Workers select the sharded
+// and remote topologies (see EngineConfig). The historical entrypoints
+// (Mine, MineSharded, NewIncremental, MineRemote, ...) remain as thin
+// deprecated wrappers over Open; each names its replacement.
 //
 // The package re-exports the building blocks (attributed graphs, GR
 // descriptors, metrics, the compact three-array store, synthetic dataset
@@ -98,6 +116,9 @@ type (
 	Batch = core.Batch
 	// IncStats reports the work one incremental batch performed.
 	IncStats = core.IncStats
+	// WorkerHealth is one shard's failover record (liveness, retries,
+	// replacements, replayed batches), reported by Engine.FleetHealth.
+	WorkerHealth = core.WorkerHealth
 	// Metric is a pluggable interestingness measure (Section VII).
 	Metric = metrics.Metric
 	// Counts carries the absolute supports metrics are computed from.
@@ -303,8 +324,9 @@ func NewIncrementalSharded(g *Graph, opt Options, so ShardOptions) (*Incremental
 // mines it behind the internal/rpc protocol, and the local coordinator
 // merges the offers into the exact global top-k — identical to a
 // single-store Mine under the coordinator's effective options. The shard
-// count is len(workers); so.Shards, if non-zero, must agree
-// (*ErrShardWorkerMismatch otherwise). Worker connections are closed before
+// count defaults to len(workers); a larger explicit so.Shards multiplexes
+// shards onto daemon slots, a smaller one is rejected
+// (*ErrShardWorkerMismatch). Worker connections are closed before
 // returning.
 //
 // Deprecated: use Open with EngineConfig{Options: opt, Shard: so, Workers:

@@ -55,6 +55,14 @@ type Config struct {
 	// ServeAddr points the serving experiment at an externally launched
 	// grminerd (host:port); empty hosts the server in-process.
 	ServeAddr string
+	// FailoverWorkers / FailoverStandby point the failover experiment at
+	// externally launched shardd daemons (comma-separated host:port lists);
+	// empty hosts killable daemons in-process. FailoverKillPid names the
+	// external victim process (the daemon at the first FailoverWorkers
+	// address) to SIGKILL mid-run.
+	FailoverWorkers string
+	FailoverStandby string
+	FailoverKillPid int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -102,7 +110,7 @@ var Names = []string{
 	"toy", "tableIIa", "tableIIb",
 	"fig4a", "fig4b", "fig4c", "fig4d",
 	"dblp-time", "metrics", "storesize", "ablation", "scaling",
-	"incremental", "dynamic", "sharding", "distributed", "serving",
+	"incremental", "dynamic", "sharding", "distributed", "failover", "serving",
 }
 
 // Run executes one named experiment, writing its report to w.
@@ -140,6 +148,8 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Sharding(w, cfg)
 	case "distributed":
 		return Distributed(w, cfg)
+	case "failover":
+		return Failover(w, cfg)
 	case "serving":
 		return Serving(w, cfg)
 	case "all":

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"grminer/internal/gr"
+	"grminer/internal/metrics"
+)
+
+// workerLost reports whether err marks permanent loss of a worker's state.
+// The transport layer (internal/rpc) tags its failures with a
+// WorkerLost() bool method; the anonymous interface keeps core free of an
+// rpc import (rpc imports core, never the reverse). In-band operation
+// errors — a rejected batch, a bad spec — do not carry the tag: the worker
+// is alive and its state intact, so failover must not engage.
+func workerLost(err error) bool {
+	var lost interface{ WorkerLost() bool }
+	return errors.As(err, &lost) && lost.WorkerLost()
+}
+
+// workerAddr names the daemon hosting a worker, for health reporting.
+func workerAddr(w ShardWorker) string {
+	if a, ok := w.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// WorkerHealth is one shard's failover record, reported by FleetHealth on
+// the sharded engines and surfaced in grminerd's GET /v1/status.
+type WorkerHealth struct {
+	// Shard is the shard index; Addr the daemon address hosting it ("" for
+	// an in-process worker).
+	Shard int
+	Addr  string
+	// Live is false only when the shard is down with no replacement — the
+	// engine is broken and every subsequent call will fail.
+	Live bool
+	// Retries counts operations re-issued after a loss, Replacements
+	// successful worker rebuilds, and ReplayedBatches the routed batches
+	// replayed into replacements (Replacements × log length at the time).
+	Retries         int64
+	Replacements    int64
+	ReplayedBatches int64
+	// LastError is the most recent worker-loss cause ("" if none ever).
+	LastError string
+}
+
+// supervisor wraps one shard's ShardWorker with the failover state
+// machine. It keeps the shard's self-contained WorkerSpec and the routed
+// batches the shard has ingested; when an operation fails with worker
+// loss it rebuilds a replacement through the RebuildingBuilder, replays
+// seed + log, re-issues the failed operation once, and the run continues
+// as if nothing happened.
+//
+// Replay is exact, not approximate:
+//
+//   - the spec rebuilds the shard store bit-for-bit (the partitioner is
+//     deterministic and insertion-stable, and the spec carries the shard's
+//     own edges);
+//   - the maintained pool is a pure function of the store (re-seeded by
+//     Offer(nil) exactly as at construction);
+//   - batches apply atomically (validated wholesale before any mutation),
+//     so a batch in flight at the moment of loss was either applied to
+//     state that no longer exists or never applied — both cases reduce to
+//     "not applied", and re-issuing it after replay yields the exact
+//     pre-loss state plus the batch.
+//
+// The log grows with the stream; that is the price of exact replay from a
+// stateless coordinator (see DESIGN.md §9 for the truncation follow-up).
+//
+// One recovery is attempted per failed operation: Rebuild already retries
+// transient dial failures with capped backoff and falls through standbys
+// and multiplexed peers, so a second loss on the freshly replayed worker
+// means the fleet is genuinely unable to host the shard — that error
+// escapes to the caller (and poisons an incremental engine, exactly as a
+// loss with no builder support would).
+type supervisor struct {
+	spec WorkerSpec
+	rb   RebuildingBuilder
+
+	mu     sync.Mutex
+	inner  ShardWorker
+	seeded bool    // Offer(nil) ran; replacements must re-seed the pool
+	log    []Batch // successfully ingested routed batches, in order
+	health WorkerHealth
+}
+
+// newSupervisor wraps a freshly built worker. The coordinator serializes
+// operations per worker (the ShardWorker contract), so the mutex only
+// guards against FleetHealth readers.
+func newSupervisor(spec WorkerSpec, rb RebuildingBuilder, w ShardWorker) *supervisor {
+	return &supervisor{
+		spec:   spec,
+		rb:     rb,
+		inner:  w,
+		health: WorkerHealth{Shard: spec.Index, Addr: workerAddr(w), Live: true},
+	}
+}
+
+func (s *supervisor) worker() ShardWorker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
+// NumEdges reports the inner worker's view; it is local bookkeeping and
+// never triggers failover.
+func (s *supervisor) NumEdges() int { return s.worker().NumEdges() }
+
+// Offer runs the round-1 offer mine, recovering once on worker loss. A
+// successful nil-bound offer (the incremental seed) is recorded so
+// replacements re-seed their maintained pools.
+func (s *supervisor) Offer(bound *OfferBound) ([]ShardCandidate, Stats, error) {
+	offers, stats, err := s.worker().Offer(bound)
+	if err != nil && workerLost(err) {
+		if rerr := s.recover(err); rerr != nil {
+			return nil, Stats{}, rerr
+		}
+		offers, stats, err = s.worker().Offer(bound)
+	}
+	if err == nil && bound == nil {
+		s.mu.Lock()
+		s.seeded = true
+		s.mu.Unlock()
+	}
+	return offers, stats, err
+}
+
+// Counts answers the batched round-2 query, recovering once on worker loss.
+func (s *supervisor) Counts(grs []gr.GR) ([]metrics.Counts, error) {
+	counts, err := s.worker().Counts(grs)
+	if err != nil && workerLost(err) {
+		if rerr := s.recover(err); rerr != nil {
+			return nil, rerr
+		}
+		counts, err = s.worker().Counts(grs)
+	}
+	return counts, err
+}
+
+// Ingest applies a routed batch, recovering once on worker loss. The batch
+// joins the replay log only after the worker acknowledged it.
+func (s *supervisor) Ingest(batch Batch) (IngestReply, error) {
+	rep, err := s.worker().Ingest(batch)
+	if err != nil && workerLost(err) {
+		if rerr := s.recover(err); rerr != nil {
+			return IngestReply{}, rerr
+		}
+		rep, err = s.worker().Ingest(batch)
+	}
+	if err == nil {
+		s.mu.Lock()
+		s.log = append(s.log, batch)
+		s.mu.Unlock()
+	}
+	return rep, err
+}
+
+// Close releases the current worker.
+func (s *supervisor) Close() error { return s.worker().Close() }
+
+// recover rebuilds a replacement worker and replays seed + log into it.
+// On failure the shard is marked down and the original loss is wrapped so
+// the caller sees both what died and why no replacement could take over.
+func (s *supervisor) recover(cause error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health.LastError = cause.Error()
+	if s.inner != nil {
+		s.inner.Close() // best effort; the transport is already gone
+	}
+	w, err := s.rb.Rebuild(s.spec)
+	if err != nil {
+		s.health.Live = false
+		return fmt.Errorf("core: shard %d worker lost and no replacement available: %w (lost: %v)",
+			s.spec.Index, err, cause)
+	}
+	if err := s.replayInto(w); err != nil {
+		w.Close()
+		s.health.Live = false
+		return fmt.Errorf("core: shard %d replay into replacement failed: %w (lost: %v)",
+			s.spec.Index, err, cause)
+	}
+	s.inner = w
+	s.health.Live = true
+	s.health.Addr = workerAddr(w)
+	s.health.Replacements++
+	s.health.Retries++
+	s.health.ReplayedBatches += int64(len(s.log))
+	return nil
+}
+
+// replayInto reproduces the lost worker's state on a fresh replacement:
+// pool seed first (if the shard was ever seeded), then every logged batch
+// in ingest order. Called with s.mu held.
+func (s *supervisor) replayInto(w ShardWorker) error {
+	if s.seeded {
+		if _, _, err := w.Offer(nil); err != nil {
+			return fmt.Errorf("re-seed: %w", err)
+		}
+	}
+	for i, b := range s.log {
+		if _, err := w.Ingest(b); err != nil {
+			return fmt.Errorf("batch %d/%d: %w", i+1, len(s.log), err)
+		}
+	}
+	return nil
+}
+
+// healthSnapshot copies the current failover record.
+func (s *supervisor) healthSnapshot() WorkerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// superviseWorkers wraps each worker in a replay supervisor when the
+// builder can rebuild replacements; other builders (in-process, plain
+// WorkerBuilder funcs) are left untouched — no failover, no log memory.
+func superviseWorkers(build FleetBuilder, specs []WorkerSpec, workers []ShardWorker) {
+	rb, ok := build.(RebuildingBuilder)
+	if !ok {
+		return
+	}
+	for i, w := range workers {
+		workers[i] = newSupervisor(specs[i], rb, w)
+	}
+}
+
+// fleetHealth reports per-shard health for a deployment's workers.
+// Unsupervised workers report live with zero counters: they have no
+// failover machinery, and their liveness is only ever disproven by the
+// next operation failing.
+func fleetHealth(workers []ShardWorker) []WorkerHealth {
+	hs := make([]WorkerHealth, len(workers))
+	for i, w := range workers {
+		if sup, ok := w.(*supervisor); ok {
+			hs[i] = sup.healthSnapshot()
+			continue
+		}
+		hs[i] = WorkerHealth{Shard: i, Addr: workerAddr(w), Live: w != nil}
+	}
+	return hs
+}

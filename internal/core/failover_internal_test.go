@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"grminer/internal/gr"
+	"grminer/internal/metrics"
+)
+
+// lostErr is the transport-loss marker the rpc layer tags its failures
+// with, reproduced here so the supervisor's classification can be tested
+// without a network.
+type lostErr struct{ msg string }
+
+func (e lostErr) Error() string    { return e.msg }
+func (e lostErr) WorkerLost() bool { return true }
+
+// fakeWorker scripts a ShardWorker: it records every operation and can be
+// told to fail the next ops with transport loss or an in-band error.
+type fakeWorker struct {
+	addr     string
+	ops      []string
+	failLost int   // fail this many upcoming ops with worker loss
+	inBand   error // non-nil: fail every op with this plain error
+	closed   bool
+}
+
+func (f *fakeWorker) step(op string) error {
+	if f.failLost > 0 {
+		f.failLost--
+		return lostErr{msg: "fake transport down"}
+	}
+	if f.inBand != nil {
+		return f.inBand
+	}
+	f.ops = append(f.ops, op)
+	return nil
+}
+
+func (f *fakeWorker) Addr() string  { return f.addr }
+func (f *fakeWorker) NumEdges() int { return 0 }
+func (f *fakeWorker) Close() error  { f.closed = true; return nil }
+
+func (f *fakeWorker) Offer(bound *OfferBound) ([]ShardCandidate, Stats, error) {
+	op := "offer"
+	if bound == nil {
+		op = "seed"
+	}
+	return nil, Stats{}, f.step(op)
+}
+
+func (f *fakeWorker) Counts(grs []gr.GR) ([]metrics.Counts, error) {
+	if err := f.step("counts"); err != nil {
+		return nil, err
+	}
+	return make([]metrics.Counts, len(grs)), nil
+}
+
+func (f *fakeWorker) Ingest(b Batch) (IngestReply, error) {
+	return IngestReply{}, f.step(fmt.Sprintf("ingest:%d", len(b.Ins)))
+}
+
+// fakeBuilder hands out scripted replacement workers.
+type fakeBuilder struct {
+	rebuilds            int
+	replacements        []*fakeWorker
+	replacementFailLost int // scripted failLost for each new replacement
+	err                 error
+}
+
+func (fb *fakeBuilder) Build(WorkerSpec) (ShardWorker, error) {
+	return nil, errors.New("not used")
+}
+
+func (fb *fakeBuilder) Rebuild(WorkerSpec) (ShardWorker, error) {
+	fb.rebuilds++
+	if fb.err != nil {
+		return nil, fb.err
+	}
+	w := &fakeWorker{addr: fmt.Sprintf("replacement-%d", fb.rebuilds), failLost: fb.replacementFailLost}
+	fb.replacements = append(fb.replacements, w)
+	return w, nil
+}
+
+func batchOf(n int) Batch {
+	ins := make([]EdgeInsert, n)
+	return Batch{Ins: ins}
+}
+
+// A lost worker must be closed, rebuilt, re-seeded, replayed in log order,
+// and the failed operation re-issued — with the health record keeping score.
+func TestSupervisorReplaysAfterLoss(t *testing.T) {
+	w0 := &fakeWorker{addr: "home"}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 2, Shards: 4}, fb, w0)
+
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Ingest(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	w0.failLost = 1
+	if _, err := sup.Ingest(batchOf(2)); err != nil {
+		t.Fatalf("ingest across a worker loss: %v", err)
+	}
+	if !w0.closed {
+		t.Error("lost worker not closed")
+	}
+	if fb.rebuilds != 1 {
+		t.Fatalf("%d rebuilds, want 1", fb.rebuilds)
+	}
+	// Replacement saw: pool re-seed, the logged batch, then the re-issued one.
+	want := []string{"seed", "ingest:1", "ingest:2"}
+	if got := fmt.Sprint(fb.replacements[0].ops); got != fmt.Sprint(want) {
+		t.Errorf("replacement ops %v, want %v", fb.replacements[0].ops, want)
+	}
+
+	h := sup.healthSnapshot()
+	if !h.Live || h.Shard != 2 || h.Addr != "replacement-1" {
+		t.Errorf("health %+v, want live shard 2 on replacement-1", h)
+	}
+	if h.Replacements != 1 || h.Retries != 1 || h.ReplayedBatches != 1 {
+		t.Errorf("counters %+v, want 1 replacement / 1 retry / 1 replayed batch", h)
+	}
+	if !strings.Contains(h.LastError, "transport down") {
+		t.Errorf("LastError %q does not name the cause", h.LastError)
+	}
+
+	// The re-issued batch joined the log: a second loss replays both.
+	fb.replacements[0].failLost = 1
+	if _, _, err := sup.Offer(&OfferBound{}); err != nil {
+		t.Fatalf("offer across the second loss: %v", err)
+	}
+	want = []string{"seed", "ingest:1", "ingest:2", "offer"}
+	if got := fmt.Sprint(fb.replacements[1].ops); got != fmt.Sprint(want) {
+		t.Errorf("second replacement ops %v, want %v", fb.replacements[1].ops, want)
+	}
+}
+
+// An in-band application error means the worker is alive: no rebuild, no
+// health change, the error escapes untouched.
+func TestSupervisorInBandErrorNoFailover(t *testing.T) {
+	w0 := &fakeWorker{addr: "home", inBand: errors.New("batch rejected: edge out of range")}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+
+	_, err := sup.Ingest(batchOf(1))
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("in-band error not surfaced: %v", err)
+	}
+	if fb.rebuilds != 0 {
+		t.Errorf("in-band error triggered %d rebuilds", fb.rebuilds)
+	}
+	if h := sup.healthSnapshot(); !h.Live || h.Retries != 0 || h.LastError != "" {
+		t.Errorf("in-band error dented the health record: %+v", h)
+	}
+}
+
+// When no replacement exists the shard is marked down and the error names
+// both the loss and the rebuild failure.
+func TestSupervisorRebuildFailureMarksDown(t *testing.T) {
+	w0 := &fakeWorker{addr: "home", failLost: 1}
+	fb := &fakeBuilder{err: errors.New("every candidate refused")}
+	sup := newSupervisor(WorkerSpec{Index: 1, Shards: 2}, fb, w0)
+
+	_, _, err := sup.Offer(nil)
+	if err == nil || !strings.Contains(err.Error(), "no replacement available") {
+		t.Fatalf("rebuild failure not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "transport down") || !strings.Contains(err.Error(), "refused") {
+		t.Errorf("error hides the cause chain: %v", err)
+	}
+	if h := sup.healthSnapshot(); h.Live {
+		t.Errorf("shard still reports live after a failed rebuild: %+v", h)
+	}
+}
+
+// Exactly one recovery per operation: when the freshly replayed replacement
+// dies on the re-issued op too, the loss escapes instead of looping.
+func TestSupervisorSingleRecoveryPerOp(t *testing.T) {
+	w0 := &fakeWorker{addr: "home", failLost: 1}
+	fb := &fakeBuilder{replacementFailLost: 1}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+
+	_, _, err := sup.Offer(nil)
+	var lost interface{ WorkerLost() bool }
+	if err == nil || !errors.As(err, &lost) {
+		t.Fatalf("double loss should surface the transport error, got %v", err)
+	}
+	if fb.rebuilds != 1 {
+		t.Errorf("%d rebuilds in one op, want exactly 1", fb.rebuilds)
+	}
+}
+
+// A worker that was never pool-seeded must not be re-seeded on replay.
+func TestSupervisorUnseededReplaySkipsSeed(t *testing.T) {
+	w0 := &fakeWorker{addr: "home"}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+
+	if _, err := sup.Ingest(batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	w0.failLost = 1
+	if _, err := sup.Ingest(batchOf(4)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ingest:3", "ingest:4"}
+	if got := fmt.Sprint(fb.replacements[0].ops); got != fmt.Sprint(want) {
+		t.Errorf("unseeded replay ops %v, want %v (no seed offer)", fb.replacements[0].ops, want)
+	}
+}

@@ -156,14 +156,16 @@ type ShardCoordinator struct {
 // MineStore, with the parallel engine's normalization: a dynamic floor
 // forces ExactGenerality so the merged result is order-independent.
 func NewShardCoordinator(g *graph.Graph, opt Options, so ShardOptions) (*ShardCoordinator, error) {
-	return NewShardCoordinatorFrom(g, opt, so, InProcessWorkers)
+	return NewShardCoordinatorFrom(g, opt, so, WorkerBuilder(InProcessWorkers))
 }
 
 // NewShardCoordinatorFrom is NewShardCoordinator with an explicit worker
 // builder: InProcessWorkers for the single-machine deployment, or a remote
-// builder (internal/rpc.Builder) that hands every WorkerSpec to a shardd
-// daemon. Close releases the workers.
-func NewShardCoordinatorFrom(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (*ShardCoordinator, error) {
+// builder (internal/rpc.Builder, internal/rpc.Fleet) that hands every
+// WorkerSpec to a shardd daemon. When the builder is a RebuildingBuilder,
+// workers are wrapped in replay supervisors and the run survives worker
+// loss (see FleetHealth). Close releases the workers.
+func NewShardCoordinatorFrom(g *graph.Graph, opt Options, so ShardOptions, build FleetBuilder) (*ShardCoordinator, error) {
 	opt, plan, sketches, workers, err := buildShardDeployment(g, opt, so, build)
 	if err != nil {
 		return nil, err
@@ -181,8 +183,11 @@ func NewShardCoordinatorFrom(g *graph.Graph, opt Options, so ShardOptions, build
 // buildShardDeployment normalizes the options, partitions g, computes the
 // per-shard coarse count sketches, and builds one worker per shard from its
 // spec — the construction shared by the batch coordinator and the sharded
-// incremental engine. On a builder error, already-built workers are closed.
-func buildShardDeployment(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (Options, ShardPlan, []ShardSketch, []ShardWorker, error) {
+// incremental engine. When the builder can rebuild replacements, every
+// worker is wrapped in a replay supervisor (failover.go) before the
+// deployment is returned. On a builder error, already-built workers are
+// closed.
+func buildShardDeployment(g *graph.Graph, opt Options, so ShardOptions, build FleetBuilder) (Options, ShardPlan, []ShardSketch, []ShardWorker, error) {
 	opt, so, err := normalizeSharded(g, opt, so)
 	if err != nil {
 		return opt, ShardPlan{}, nil, nil, err
@@ -194,19 +199,22 @@ func buildShardDeployment(g *graph.Graph, opt Options, so ShardOptions, build Wo
 	plan := planFromParts(opt, so, parts)
 	sketches := make([]ShardSketch, len(parts))
 	workers := make([]ShardWorker, len(parts))
+	specs := make([]WorkerSpec, len(parts))
 	for i, part := range parts {
 		sketches[i] = newShardSketch(g.Schema())
 		for _, e32 := range part {
 			e := int(e32)
 			sketches[i].addEdge(g.NodeValues(g.Src(e)), g.NodeValues(g.Dst(e)), g.EdgeValues(e))
 		}
-		w, err := build(buildWorkerSpec(g, opt, plan, part, i))
+		specs[i] = buildWorkerSpec(g, opt, plan, part, i)
+		w, err := build.Build(specs[i])
 		if err != nil {
 			closeWorkers(workers[:i])
 			return opt, plan, nil, nil, fmt.Errorf("core: shard %d worker: %w", i, err)
 		}
 		workers[i] = w
 	}
+	superviseWorkers(build, specs, workers)
 	return opt, plan, sketches, workers, nil
 }
 
@@ -299,6 +307,11 @@ func (sc *ShardCoordinator) Options() Options { return sc.opt }
 
 // Close releases the workers (remote connections, for a remote deployment).
 func (sc *ShardCoordinator) Close() error { return closeWorkers(sc.workers) }
+
+// FleetHealth reports the per-shard failover record: liveness, retries,
+// replacements, and replayed batches. Deployments whose builder cannot
+// rebuild replacements report every shard live with zero counters.
+func (sc *ShardCoordinator) FleetHealth() []WorkerHealth { return fleetHealth(sc.workers) }
 
 // Mine runs the two-round protocol: round 1 offers on every shard
 // concurrently under the sketch-derived bounds, then the merge with its

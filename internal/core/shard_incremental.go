@@ -81,13 +81,16 @@ type IncrementalSharded struct {
 // floor forces ExactGenerality, and Options() returns the effective
 // settings a batch mine must use to reproduce the maintained result.
 func NewIncrementalSharded(g *graph.Graph, opt Options, so ShardOptions) (*IncrementalSharded, error) {
-	return NewIncrementalShardedFrom(g, opt, so, InProcessWorkers)
+	return NewIncrementalShardedFrom(g, opt, so, WorkerBuilder(InProcessWorkers))
 }
 
 // NewIncrementalShardedFrom is NewIncrementalSharded with an explicit
 // worker builder (internal/rpc.Builder places every shard on a shardd
-// daemon). Close releases the workers.
-func NewIncrementalShardedFrom(g *graph.Graph, opt Options, so ShardOptions, build WorkerBuilder) (*IncrementalSharded, error) {
+// daemon; internal/rpc.Fleet adds multiplexed placement and failover —
+// when the builder is a RebuildingBuilder, a lost worker is rebuilt and
+// its routed-batch log replayed mid-stream instead of poisoning the
+// engine). Close releases the workers.
+func NewIncrementalShardedFrom(g *graph.Graph, opt Options, so ShardOptions, build FleetBuilder) (*IncrementalSharded, error) {
 	opt, plan, sketches, workers, err := buildShardDeployment(g, opt, so, build)
 	if err != nil {
 		return nil, err
@@ -141,6 +144,11 @@ func (inc *IncrementalSharded) Cumulative() IncStats { return inc.cum }
 
 // Close releases the workers (remote connections, for a remote deployment).
 func (inc *IncrementalSharded) Close() error { return closeWorkers(inc.workers) }
+
+// FleetHealth reports the per-shard failover record: liveness, retries,
+// replacements, and replayed batches. Deployments whose builder cannot
+// rebuild replacements report every shard live with zero counters.
+func (inc *IncrementalSharded) FleetHealth() []WorkerHealth { return fleetHealth(inc.workers) }
 
 // Apply ingests one batch of edge insertions; it is ApplyBatch with no
 // deletions.

@@ -241,13 +241,13 @@ func TestIncrementalShardedPoisonedAfterIngestFailure(t *testing.T) {
 	fail := false
 	inc, err := core.NewIncrementalShardedFrom(g, core.Options{MinSupp: 2, MinScore: 0.3, K: 5},
 		core.ShardOptions{Shards: 3},
-		func(spec core.WorkerSpec) (core.ShardWorker, error) {
+		core.WorkerBuilder(func(spec core.WorkerSpec) (core.ShardWorker, error) {
 			w, err := core.InProcessWorkers(spec)
 			if err != nil {
 				return nil, err
 			}
 			return failingIngestWorker{ShardWorker: w, fail: &fail}, nil
-		})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -243,6 +243,29 @@ type ShardWorker interface {
 // (internal/rpc.Builder).
 type WorkerBuilder func(spec WorkerSpec) (ShardWorker, error)
 
+// Build implements FleetBuilder, so any WorkerBuilder func can stand in
+// where a fleet is expected (without failover support).
+func (b WorkerBuilder) Build(spec WorkerSpec) (ShardWorker, error) { return b(spec) }
+
+// FleetBuilder places one shard worker per WorkerSpec. WorkerBuilder funcs
+// implement it directly; fuller implementations (internal/rpc.Fleet) also
+// implement RebuildingBuilder and gain mid-run failover.
+type FleetBuilder interface {
+	Build(spec WorkerSpec) (ShardWorker, error)
+}
+
+// RebuildingBuilder is a FleetBuilder that can also build a replacement
+// worker for a shard whose original was lost mid-run (a torn connection, a
+// dead daemon). Deployments built from one get their workers wrapped in
+// replay supervisors: the coordinator keeps each shard's spec and
+// routed-batch log and, on worker loss, rebuilds and replays into the
+// replacement, then resumes the in-flight operation. See WorkerHealth and
+// DESIGN.md §9 for the failure model.
+type RebuildingBuilder interface {
+	FleetBuilder
+	Rebuild(spec WorkerSpec) (ShardWorker, error)
+}
+
 // InProcessWorkers is the WorkerBuilder running every shard in this process.
 func InProcessWorkers(spec WorkerSpec) (ShardWorker, error) {
 	return NewWorkerState(spec)

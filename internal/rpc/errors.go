@@ -1,0 +1,32 @@
+package rpc
+
+import "fmt"
+
+// TransportError reports a transport-level failure talking to a worker
+// daemon: a failed dial, a timed-out or half-written request, a torn
+// connection, or a malformed reply. It is the "worker lost" class of the
+// error taxonomy: the daemon discards all session state when its connection
+// ends, so any transport failure means the worker's state is unrecoverable
+// over this connection and the shard must be rebuilt and replayed elsewhere
+// (see core.RebuildingBuilder).
+//
+// In-band operation failures (Reply.Err) are the other class: the worker is
+// alive and its state intact — the operation itself was rejected (e.g. a
+// malformed ingest batch, atomically refused). Those surface as plain
+// errors and are never retried.
+type TransportError struct {
+	Addr string // daemon address
+	Op   string // operation in flight ("dial", "build", "offer", ...)
+	Err  error  // underlying I/O error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rpc: worker %s: %s: %v", e.Addr, e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// WorkerLost marks the error as a permanent loss of the remote worker's
+// state. core classifies failover-eligible errors through this method (via
+// errors.As on an anonymous interface) so that core never imports rpc.
+func (e *TransportError) WorkerLost() bool { return true }

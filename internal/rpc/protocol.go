@@ -1,28 +1,30 @@
 // Package rpc puts the ShardWorker boundary of internal/core on the wire:
 // a compact gob-over-TCP protocol connecting a mining coordinator to shardd
-// worker daemons, one shard per daemon.
+// worker daemons. A daemon multiplexes up to Shards (advertised in its
+// HelloReply) worker slots behind one process; every post-handshake request
+// is shard-addressed by slot.
 //
 // A session is one coordinator connection:
 //
 //	client → Hello{Magic, Version}
-//	server → HelloReply{OK} or HelloReply{Err} (and the daemon exits
-//	          non-zero — a version-mismatched peer is a deployment error,
-//	          mirroring the atomic rejection -follow batch mode applies to
-//	          malformed edges)
-//	client → Request{Op: "build", Spec}        server → Reply{NumEdges}
-//	client → Request{Op: "offer", Bound}       server → Reply{Offers, Stats}
-//	client → Request{Op: "counts", GRs}        server → Reply{Counts}
-//	client → Request{Op: "ingest", Edges, Deletes}  server → Reply{Ingest}
-//	... more ops ...
-//	client closes the connection; the daemon discards the worker state and
+//	server → HelloReply{OK, Shards} or HelloReply{Err} (and the daemon
+//	          exits non-zero — a version-mismatched peer is a deployment
+//	          error, mirroring the atomic rejection -follow batch mode
+//	          applies to malformed edges)
+//	client → Request{Shard, Op: "build", Spec}   server → Reply{NumEdges}
+//	client → Request{Shard, Op: "offer", Bound}  server → Reply{Offers, Stats}
+//	client → Request{Shard, Op: "counts", GRs}   server → Reply{Counts}
+//	client → Request{Shard, Op: "ingest", Edges, Deletes} server → Reply{Ingest}
+//	... more ops, interleaving slots freely ...
+//	client closes the connection; the daemon discards all worker state and
 //	accepts the next session.
 //
 // Every message is one gob value (gob frames are length-prefixed on the
 // wire). All payload types are plain value structs from internal/core, so
 // the protocol needs no gob type registration. Requests are strictly
-// serialized per connection — the coordinator drives different workers
-// concurrently, never one worker concurrently — which keeps the daemon a
-// single-goroutine loop with no locking.
+// serialized per connection — the coordinator serializes across all slots
+// of one daemon and is concurrent only across connections — which keeps
+// the daemon a single-goroutine loop with no locking.
 package rpc
 
 import (
@@ -41,9 +43,14 @@ import (
 //	   v1 daemon would silently drop a v2 coordinator's retractions — the
 //	   handshake bump turns that silent divergence into a loud rejection
 //	   on both sides.
+//	3: multiplexed shards. HelloReply advertises the daemon's slot
+//	   capacity and every Request is shard-addressed (Request.Shard picks
+//	   the slot). A v2 daemon would route every slot's requests into one
+//	   worker — the bump turns that silent state corruption into a loud
+//	   handshake rejection.
 const (
 	Magic   = "grminer-shard"
-	Version = 2
+	Version = 3
 )
 
 // Hello is the client's first message on a fresh connection.
@@ -54,12 +61,16 @@ type Hello struct {
 	Version int
 }
 
-// HelloReply acknowledges (or rejects) the handshake.
+// HelloReply acknowledges (or rejects) the handshake. On success Shards
+// advertises the daemon's slot capacity: how many worker slots this one
+// process multiplexes. A coordinator must not address Request.Shard at or
+// beyond it.
 //
-// grlint:wire v1
+// grlint:wire v2
 type HelloReply struct {
-	OK  bool
-	Err string
+	OK     bool
+	Err    string
+	Shards int
 }
 
 // Op names a request type.
@@ -70,11 +81,13 @@ const (
 	OpIngest = "ingest"
 )
 
-// Request is one coordinator → worker message after the handshake. Op
-// selects which payload field is meaningful.
+// Request is one coordinator → worker message after the handshake. Shard
+// addresses the daemon-side worker slot (0 ≤ Shard < HelloReply.Shards);
+// Op selects which payload field is meaningful.
 //
-// grlint:wire v2
+// grlint:wire v3
 type Request struct {
+	Shard   int
 	Op      string
 	Spec    *core.WorkerSpec
 	Bound   *core.OfferBound

@@ -292,17 +292,69 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 	}
 }
 
-// Garbage instead of a handshake must also kill the daemon.
+// A peer that dials and vanishes without completing the handshake — a
+// coordinator crashing mid-dial, a port scanner — must NOT kill the daemon:
+// the session ends and the next coordinator is served normally. Only
+// protocol violations (decodable garbage, version skew) are daemon-fatal.
+func TestHandshakeAbortSurvived(t *testing.T) {
+	addr, errCh := serveOnce(t)
+
+	// Connect and slam the door without sending a byte (clean EOF), then
+	// again with a truncated gob frame (unexpected EOF).
+	for _, partial := range [][]byte{nil, {0x01}} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partial) > 0 {
+			if _, err := conn.Write(partial); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conn.Close()
+	}
+
+	// The daemon must still be alive and complete a real handshake.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(rpc.Hello{Magic: rpc.Magic, Version: rpc.Version}); err != nil {
+		t.Fatal(err)
+	}
+	var rep rpc.HelloReply
+	if err := gob.NewDecoder(conn).Decode(&rep); err != nil {
+		t.Fatalf("daemon died after an aborted handshake: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("healthy handshake rejected after aborted peers: %+v", rep)
+	}
+
+	select {
+	case err := <-errCh:
+		t.Fatalf("server exited on a dropped connection: %v", err)
+	default:
+	}
+}
+
+// A present foreign client — one that stays connected and speaks garbage
+// instead of a handshake — must kill the daemon. (A peer that *disconnects*
+// mid-garbage is indistinguishable from a crashed coordinator and only ends
+// the session; TestHandshakeAbortSurvived covers that side of the line.)
 func TestHandshakeMalformed(t *testing.T) {
 	addr, errCh := serveOnce(t)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+	defer conn.Close()
+	// A complete frame of non-gob bytes: the first byte is read as the
+	// message length, so pad well past it to let the decoder fail on
+	// content rather than block waiting for more.
+	if _, err := conn.Write([]byte(strings.Repeat("GET / HTTP/1.1\r\n\r\n", 20))); err != nil {
 		t.Fatal(err)
 	}
-	conn.Close()
 	if err := waitErr(t, errCh); err == nil || !strings.Contains(err.Error(), "handshake") {
 		t.Fatalf("server survived a malformed handshake: %v", err)
 	}

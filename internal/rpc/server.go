@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"syscall"
 	"time"
 
 	"grminer/internal/core"
@@ -16,22 +17,45 @@ import (
 // accept loop.
 const handshakeTimeout = 10 * time.Second
 
-// Serve accepts coordinator sessions on l, one at a time, until the
-// listener closes. Each session handshakes, builds one shard worker from
-// the coordinator's spec, and serves offer/counts/ingest requests until the
-// coordinator disconnects; the next session starts fresh.
+// Serve accepts coordinator sessions on l with a single worker slot per
+// session; it is ServeShards with capacity 1 (one shard per daemon, the
+// pre-multiplexing deployment shape).
+func Serve(l net.Listener, logf func(format string, args ...any)) error {
+	return ServeShards(l, 1, logf)
+}
+
+// ServeShards accepts coordinator sessions on l, one at a time, until the
+// listener closes. Each session handshakes (advertising capacity worker
+// slots), builds up to capacity independent shard workers from the
+// coordinator's specs, and serves shard-addressed offer/counts/ingest
+// requests until the coordinator disconnects; the next session starts
+// fresh with all slots empty.
+//
+// Closing the listener while a session is in flight drains gracefully: the
+// session runs to completion (the accept loop is single-threaded) and
+// ServeShards returns nil once the coordinator disconnects — this is how
+// shardd implements SIGTERM draining.
 //
 // A malformed handshake or a version-mismatched peer is a deployment error,
-// not a per-request failure: Serve replies with the reason (best effort),
-// closes the listener, and returns a non-nil error so shardd can exit
-// non-zero — the same atomic-rejection stance the -follow stream takes on
-// malformed edges. Post-handshake operation errors are reported to the
-// coordinator in-band and the session continues.
+// not a per-request failure: ServeShards replies with the reason (best
+// effort), closes the listener, and returns a non-nil error so shardd can
+// exit non-zero — the same atomic-rejection stance the -follow stream takes
+// on malformed edges. A peer that merely *vanishes* — the connection drops,
+// resets, or times out before, during, or after the handshake — is a
+// transport event, not a protocol violation: the coordinator may have
+// crashed (the exact failure DESIGN.md §9 expects fleets to absorb), and a
+// worker daemon that died with it would turn one loss into many. Those
+// sessions are logged and the accept loop continues. Post-handshake
+// operation errors (including a request addressing a slot beyond capacity)
+// are reported to the coordinator in-band and the session continues.
 //
 // logf, if non-nil, receives one line per session event.
-func Serve(l net.Listener, logf func(format string, args ...any)) error {
+func ServeShards(l net.Listener, capacity int, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if capacity < 1 {
+		capacity = 1
 	}
 	defer l.Close()
 	for {
@@ -42,15 +66,16 @@ func Serve(l net.Listener, logf func(format string, args ...any)) error {
 			}
 			return fmt.Errorf("rpc: accept: %w", err)
 		}
-		if err := serveSession(conn, logf); err != nil {
+		if err := serveSession(conn, capacity, logf); err != nil {
 			return err
 		}
 	}
 }
 
-// serveSession runs one coordinator session. It returns a non-nil error
-// only for protocol violations that must terminate the daemon.
-func serveSession(conn net.Conn, logf func(string, ...any)) error {
+// serveSession runs one coordinator session over capacity worker slots. It
+// returns a non-nil error only for protocol violations that must terminate
+// the daemon.
+func serveSession(conn net.Conn, capacity int, logf func(string, ...any)) error {
 	defer conn.Close()
 	peer := conn.RemoteAddr()
 	dec := gob.NewDecoder(conn)
@@ -59,6 +84,10 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	var hello Hello
 	if err := dec.Decode(&hello); err != nil {
+		if connDropped(err) {
+			logf("handshake from %v aborted: %v", peer, err)
+			return nil
+		}
 		return fmt.Errorf("rpc: %v: malformed handshake: %w", peer, err)
 	}
 	if hello.Magic != Magic || hello.Version != Version {
@@ -67,17 +96,20 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 		_ = enc.Encode(HelloReply{Err: reason}) // best effort before dying
 		return fmt.Errorf("rpc: %v: %s", peer, reason)
 	}
-	if err := enc.Encode(HelloReply{OK: true}); err != nil {
-		return fmt.Errorf("rpc: %v: handshake reply: %w", peer, err)
+	if err := enc.Encode(HelloReply{OK: true, Shards: capacity}); err != nil {
+		// The peer dialed and died before reading the reply — a crashed
+		// coordinator, not a protocol violation.
+		logf("handshake reply to %v failed: %v", peer, err)
+		return nil
 	}
 	conn.SetDeadline(time.Time{})
-	logf("session from %v", peer)
+	logf("session from %v (%d slots)", peer, capacity)
 
-	var worker *core.WorkerState
+	workers := make([]*core.WorkerState, capacity)
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			if connDropped(err) {
 				logf("session from %v ended", peer)
 				return nil
 			}
@@ -86,6 +118,15 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 			return fmt.Errorf("rpc: %v: malformed request: %w", peer, err)
 		}
 		var rep Reply
+		if req.Shard < 0 || req.Shard >= capacity {
+			rep.Err = fmt.Sprintf("shard slot %d out of range (daemon capacity %d)", req.Shard, capacity)
+			if err := enc.Encode(rep); err != nil {
+				logf("session from %v: reply failed: %v", peer, err)
+				return nil
+			}
+			continue
+		}
+		worker := workers[req.Shard]
 		switch req.Op {
 		case OpBuild:
 			if req.Spec == nil {
@@ -97,9 +138,9 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 				rep.Err = err.Error()
 				break
 			}
-			worker = w
-			rep.NumEdges = worker.NumEdges()
-			logf("built shard %d/%d: %d edges", req.Spec.Index+1, req.Spec.Shards, rep.NumEdges)
+			workers[req.Shard] = w
+			rep.NumEdges = w.NumEdges()
+			logf("built shard %d/%d in slot %d: %d edges", req.Spec.Index+1, req.Spec.Shards, req.Shard, rep.NumEdges)
 		case OpOffer:
 			if worker == nil {
 				rep.Err = "offer before build"
@@ -141,4 +182,18 @@ func serveSession(conn net.Conn, logf func(string, ...any)) error {
 			return nil // peer gone mid-reply; not a protocol violation
 		}
 	}
+}
+
+// connDropped reports whether err is a connection-level failure — the peer
+// closed, vanished, was reset, or timed out — as opposed to a protocol
+// violation (decodable garbage, a version mismatch). Dropped connections
+// end the session; violations terminate the daemon.
+func connDropped(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -267,10 +267,32 @@ type Event struct {
 	Deletes int `json:"deletes"`
 }
 
-// StatusResponse is GET /v1/status: the daemon's identity and lifetime
-// ingest totals.
+// WorkerStatus is one shard worker's failover record in GET /v1/status
+// (core.WorkerHealth over the wire).
 //
 // grlint:api v1
+type WorkerStatus struct {
+	// Shard is the shard index; Addr names the shardd daemon hosting it
+	// (absent for an in-process worker).
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr,omitempty"`
+	// Live is false only when the shard is down with no replacement — the
+	// engine is broken and ingests will fail.
+	Live bool `json:"live"`
+	// Retries counts operations re-issued after a worker loss,
+	// Replacements successful worker rebuilds, and ReplayedBatches the
+	// routed batches replayed into replacements.
+	Retries         int64 `json:"retries"`
+	Replacements    int64 `json:"replacements"`
+	ReplayedBatches int64 `json:"replayed_batches"`
+	// LastError is the most recent worker-loss cause (absent if none).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatusResponse is GET /v1/status: the daemon's identity, lifetime ingest
+// totals, and the worker fleet's health.
+//
+// grlint:api v2
 type StatusResponse struct {
 	// APIVersion is the schema generation (this package's Version).
 	APIVersion int `json:"api_version"`
@@ -289,6 +311,26 @@ type StatusResponse struct {
 	Batches int `json:"batches"`
 	Edges   int `json:"edges"`
 	Deletes int `json:"deletes"`
+	// Fleet is the per-shard worker health of a sharded engine, as of the
+	// current snapshot (absent for single-store engines).
+	Fleet []WorkerStatus `json:"fleet,omitempty"`
+	// DroppedEvents counts SSE drift events dropped (lifetime) because a
+	// subscriber's buffer was full — a rising value means a slow /v1/events
+	// consumer is losing drift notifications.
+	DroppedEvents int64 `json:"dropped_events"`
+}
+
+// WorkerStatusFrom renders one core.WorkerHealth record over the wire.
+func WorkerStatusFrom(h core.WorkerHealth) WorkerStatus {
+	return WorkerStatus{
+		Shard:           h.Shard,
+		Addr:            h.Addr,
+		Live:            h.Live,
+		Retries:         h.Retries,
+		Replacements:    h.Replacements,
+		ReplayedBatches: h.ReplayedBatches,
+		LastError:       h.LastError,
+	}
 }
 
 // MetricName names opt's ranking metric as the API reports it.

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"testing"
+
+	"grminer/internal/core"
+	"grminer/internal/dataset"
+	"grminer/internal/serve/apiv1"
+)
+
+// A subscriber that stops draining must not block ingest: broadcast drops
+// the event and counts the drop for /v1/status.
+func TestBroadcastDropsForFullSubscriber(t *testing.T) {
+	g := dataset.ToyDating()
+	inc, err := core.NewIncremental(g, core.Options{MinSupp: 2, MinScore: 0.5, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(inc, g)
+
+	ch, cancel := s.subscribe()
+	defer cancel()
+
+	// Fill the subscriber's buffer and then some; the overflow must be
+	// dropped, not block.
+	cap := cap(ch)
+	for i := 0; i < cap+3; i++ {
+		s.broadcast(apiv1.Event{Epoch: uint64(i)})
+	}
+	if got := s.droppedEvents.Load(); got != 3 {
+		t.Fatalf("dropped %d events, want 3 (buffer %d, sent %d)", got, cap, cap+3)
+	}
+	if len(ch) != cap {
+		t.Fatalf("subscriber holds %d events, want a full buffer of %d", len(ch), cap)
+	}
+}

@@ -49,6 +49,14 @@ type Explainer interface {
 	Explain(gr.GR) (metrics.Counts, bool)
 }
 
+// FleetReporter is optionally satisfied by sharded engines that track
+// per-worker failover health (grminer.Engine, core.IncrementalSharded); the
+// server then exposes the fleet in GET /v1/status. Health is captured into
+// each snapshot under the write lock, so status reads stay wait-free.
+type FleetReporter interface {
+	FleetHealth() []core.WorkerHealth
+}
+
 // Snapshot is one published, immutable view of the mining state. Everything
 // reachable from it is owned by the snapshot alone (cloned at publish
 // time); readers may hold it indefinitely.
@@ -72,6 +80,9 @@ type Snapshot struct {
 	// Digest fingerprints (Epoch, TopK); the race stress test recomputes
 	// it reader-side to prove snapshots are never observed torn.
 	Digest uint64
+	// Fleet is the sharded engine's per-worker failover health at publish
+	// time (nil for single-store engines).
+	Fleet []core.WorkerHealth
 
 	schema *graph.Schema
 }
@@ -101,9 +112,10 @@ func (s *Snapshot) VerifyDigest() bool { return s.digest() == s.Digest }
 
 // Server wires an Engine to the /v1 handler set.
 type Server struct {
-	eng Engine
-	g   *graph.Graph
-	exp Explainer // nil when the engine maintains no per-rule counts
+	eng   Engine
+	g     *graph.Graph
+	exp   Explainer     // nil when the engine maintains no per-rule counts
+	fleet FleetReporter // nil when the engine tracks no worker fleet
 
 	// mu guards the engine and its graph: ingest takes the write lock,
 	// graph-scanning queries the read lock. Snapshot reads take neither.
@@ -113,6 +125,11 @@ type Server struct {
 	subMu   sync.Mutex
 	subs    map[int]chan apiv1.Event
 	nextSub int
+
+	// droppedEvents counts drift events discarded because a subscriber's
+	// buffer was full; surfaced in /v1/status so operators can spot slow
+	// SSE consumers.
+	droppedEvents atomic.Int64
 }
 
 // New wraps an incremental engine (which owns g) and publishes epoch 1 from
@@ -121,6 +138,9 @@ func New(eng Engine, g *graph.Graph) *Server {
 	s := &Server{eng: eng, g: g, subs: make(map[int]chan apiv1.Event)}
 	if exp, ok := eng.(Explainer); ok {
 		s.exp = exp
+	}
+	if fr, ok := eng.(FleetReporter); ok {
+		s.fleet = fr
 	}
 	s.snap.Store(s.buildSnapshot(eng.Result(), nil))
 	return s
@@ -151,6 +171,9 @@ func (s *Server) buildSnapshot(res *core.Result, prev *Snapshot) *Snapshot {
 		for i := range snap.TopK {
 			snap.Counts[i], snap.HasCounts[i] = s.exp.Explain(snap.TopK[i].GR)
 		}
+	}
+	if s.fleet != nil {
+		snap.Fleet = s.fleet.FleetHealth()
 	}
 	snap.Digest = snap.digest()
 	return snap
@@ -188,6 +211,7 @@ func (s *Server) broadcast(ev apiv1.Event) {
 		select {
 		case ch <- ev:
 		default:
+			s.droppedEvents.Add(1)
 		}
 	}
 	s.subMu.Unlock()
@@ -519,17 +543,25 @@ func writeEvent(w http.ResponseWriter, name string, ev apiv1.Event) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, apiv1.StatusResponse{
-		APIVersion:   apiv1.Version,
-		Epoch:        snap.Epoch,
-		TotalEdges:   snap.TotalEdges,
-		Metric:       apiv1.MetricName(snap.Options),
-		MinSupp:      snap.Options.MinSupp,
-		MinScore:     snap.Options.MinScore,
-		K:            snap.Options.K,
-		DynamicFloor: snap.Options.DynamicFloor,
-		Batches:      snap.Cumulative.Batches,
-		Edges:        snap.Cumulative.Edges,
-		Deletes:      snap.Cumulative.Deleted,
-	})
+	out := apiv1.StatusResponse{
+		APIVersion:    apiv1.Version,
+		Epoch:         snap.Epoch,
+		TotalEdges:    snap.TotalEdges,
+		Metric:        apiv1.MetricName(snap.Options),
+		MinSupp:       snap.Options.MinSupp,
+		MinScore:      snap.Options.MinScore,
+		K:             snap.Options.K,
+		DynamicFloor:  snap.Options.DynamicFloor,
+		Batches:       snap.Cumulative.Batches,
+		Edges:         snap.Cumulative.Edges,
+		Deletes:       snap.Cumulative.Deleted,
+		DroppedEvents: s.droppedEvents.Load(),
+	}
+	if len(snap.Fleet) > 0 {
+		out.Fleet = make([]apiv1.WorkerStatus, 0, len(snap.Fleet))
+		for _, h := range snap.Fleet {
+			out.Fleet = append(out.Fleet, apiv1.WorkerStatusFrom(h))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

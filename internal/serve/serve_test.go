@@ -362,6 +362,50 @@ func TestStatusHandler(t *testing.T) {
 	}
 }
 
+// A fleet-tracking engine's per-worker health shows up in /v1/status; a
+// single-store engine's status omits the fleet entirely.
+func TestStatusFleet(t *testing.T) {
+	g := dataset.ToyDating()
+	shinc, err := core.NewIncrementalSharded(g, core.Options{MinSupp: 2, MinScore: 0.5, K: 10},
+		core.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := serve.New(shinc, g).Handler()
+
+	var st apiv1.StatusResponse
+	decode(t, get(t, h, "/v1/status"), http.StatusOK, &st)
+	if len(st.Fleet) != 3 {
+		t.Fatalf("fleet has %d workers, want 3: %+v", len(st.Fleet), st.Fleet)
+	}
+	for i, w := range st.Fleet {
+		if w.Shard != i || !w.Live {
+			t.Errorf("worker %d: %+v, want live shard %d", i, w, i)
+		}
+		if w.Retries != 0 || w.Replacements != 0 || w.LastError != "" {
+			t.Errorf("worker %d reports failover activity on a healthy fleet: %+v", i, w)
+		}
+	}
+	if st.DroppedEvents != 0 {
+		t.Errorf("fresh server dropped %d events", st.DroppedEvents)
+	}
+
+	// The fleet tracks across ingests (health is re-captured per snapshot).
+	post(t, h, "/v1/ingest", `{"ins":[{"src":0,"dst":7,"vals":[1]}]}`)
+	decode(t, get(t, h, "/v1/status"), http.StatusOK, &st)
+	if st.Epoch != 2 || len(st.Fleet) != 3 {
+		t.Errorf("after ingest: epoch %d fleet %d, want 2/3", st.Epoch, len(st.Fleet))
+	}
+
+	// Single-store engines have no fleet.
+	single, _ := newServer(t)
+	var plain apiv1.StatusResponse
+	decode(t, get(t, single.Handler(), "/v1/status"), http.StatusOK, &plain)
+	if plain.Fleet != nil {
+		t.Errorf("single-store status reports a fleet: %+v", plain.Fleet)
+	}
+}
+
 // The SSE stream greets with the current epoch and emits one drift event per
 // applied batch.
 func TestEventsStream(t *testing.T) {
