@@ -88,6 +88,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "mine over N deterministic edge shards merged by the shard coordinator (0 = single store; may exceed the -workers address count to multiplex)")
 		standby   = flag.String("standby", "", "comma-separated standby shardd addresses for failover replacement (remote shards only)")
 		shardBy   = flag.String("shard-by", "src", "shard routing strategy: src (hash of source node) | rhs (hash of destination attribute row)")
+		chkEvery  = flag.Int("checkpoint-interval", grminer.DefaultCheckpointInterval, "checkpoint each shard's worker state every N acknowledged -follow batches, truncating its replay log so recovery replays at most N batches (0 = never checkpoint, full replay; sharded -follow only)")
 		jsonFlag  = flag.Bool("json", false, "write the top-k as versioned v1 API JSON to stdout (informational output moves to stderr)")
 	)
 	flag.Parse()
@@ -136,9 +137,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *chkEvery < 0 {
+		fmt.Fprintln(os.Stderr, "grminer: -checkpoint-interval must be >= 0 (0 disables checkpointing)")
+		os.Exit(1)
+	}
 	var shardOpt grminer.ShardOptions
 	if *shards > 0 || len(remote) > 0 {
-		shardOpt = grminer.ShardOptions{Shards: *shards, Strategy: strategy}
+		shardOpt = grminer.ShardOptions{Shards: *shards, Strategy: strategy,
+			CheckpointInterval: checkpointInterval(*chkEvery)}
 	}
 
 	g, err := loadGraph(*data, *schemaF, *nodesF, *edgesF, *nodes, *deg, *seed)
@@ -301,6 +307,16 @@ func parseWorkersFlag(v string) (parallelism int, remote []string, err error) {
 		}
 	}
 	return 0, remote, nil
+}
+
+// checkpointInterval maps the -checkpoint-interval flag value onto
+// ShardOptions.CheckpointInterval, where zero means "use the default" and
+// disabling is spelled negative.
+func checkpointInterval(flagValue int) int {
+	if flagValue == 0 {
+		return -1
+	}
+	return flagValue
 }
 
 // parseAddrList splits a comma-separated host:port list, validating each

@@ -72,6 +72,7 @@ func main() {
 		shardBy  = flag.String("shard-by", "src", "shard routing strategy: src | rhs")
 		standby  = flag.String("standby", "", "comma-separated standby shardd addresses for failover replacement (remote shards only)")
 		poolCap  = flag.Int("pool-cap", 0, "bound the tracked candidate pool (single-store only; exact via re-mine-on-underflow)")
+		chkEvery = flag.Int("checkpoint-interval", grminer.DefaultCheckpointInterval, "checkpoint each shard's worker state every N acknowledged ingest batches, truncating its replay log so recovery replays at most N batches (0 = never checkpoint, full replay; sharded engines only)")
 	)
 	flag.Parse()
 
@@ -115,8 +116,12 @@ func main() {
 		Auto:     *auto,
 		Procs:    *procs,
 	}
+	if *chkEvery < 0 {
+		fail(fmt.Errorf("-checkpoint-interval must be >= 0 (0 disables checkpointing)"))
+	}
 	if *shards > 0 || len(remote) > 0 {
-		cfg.Shard = grminer.ShardOptions{Shards: *shards, Strategy: strategy}
+		cfg.Shard = grminer.ShardOptions{Shards: *shards, Strategy: strategy,
+			CheckpointInterval: checkpointInterval(*chkEvery)}
 	}
 
 	gs := g.Stats()
@@ -170,6 +175,16 @@ func fail(err error) {
 	}
 	fmt.Fprintln(os.Stderr, "grminerd:", err)
 	os.Exit(1)
+}
+
+// checkpointInterval maps the -checkpoint-interval flag value onto
+// ShardOptions.CheckpointInterval, where zero means "use the default" and
+// disabling is spelled negative.
+func checkpointInterval(flagValue int) int {
+	if flagValue == 0 {
+		return -1
+	}
+	return flagValue
 }
 
 // parseAddrList splits a comma-separated host:port list, validating each

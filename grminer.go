@@ -143,6 +143,11 @@ type (
 // Null is the null attribute value; it never appears in a descriptor.
 const Null = graph.Null
 
+// DefaultCheckpointInterval is how many acknowledged ingest batches a shard
+// supervisor logs between worker-state checkpoints when
+// ShardOptions.CheckpointInterval is left zero.
+const DefaultCheckpointInterval = core.DefaultCheckpointInterval
+
 // NewSchema validates and returns a schema.
 func NewSchema(node, edge []Attribute) (*Schema, error) { return graph.NewSchema(node, edge) }
 

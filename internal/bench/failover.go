@@ -26,6 +26,19 @@ type FailoverWorkerStat struct {
 	Retries         int64  `json:"retries"`
 	Replacements    int64  `json:"replacements"`
 	ReplayedBatches int64  `json:"replayed_batches"`
+	CheckpointEpoch int64  `json:"checkpoint_epoch"`
+	LogSuffixLen    int    `json:"log_suffix_len"`
+}
+
+// RecoveryPoint is one stream length on the recovery-latency curve: the same
+// kill-and-replace drill run after StreamBatches acknowledged batches. With
+// checkpointing the replayed-batch count (and so recovery latency) must stay
+// bounded by the checkpoint interval however long the stream ran first —
+// the curve is flat where pre-checkpoint recovery scaled linearly.
+type RecoveryPoint struct {
+	StreamBatches   int     `json:"stream_batches"`
+	ReplayedBatches int64   `json:"replayed_batches"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
 }
 
 // FailoverReport is the machine-readable snapshot written to
@@ -46,10 +59,13 @@ type FailoverReport struct {
 	Standbys int `json:"standbys"`
 	Shards   int `json:"shards"`
 	// Batches streamed; the victim daemon dies after KillAfterBatch of
-	// them have been acknowledged.
-	Batches        int    `json:"batches"`
-	KillAfterBatch int    `json:"kill_after_batch"`
-	KilledAddr     string `json:"killed_addr"`
+	// them have been acknowledged. CheckpointInterval is the supervisor's
+	// checkpoint cadence (acked batches between worker-state snapshots),
+	// so recovery replays at most that many batches per replacement.
+	Batches            int    `json:"batches"`
+	KillAfterBatch     int    `json:"kill_after_batch"`
+	CheckpointInterval int    `json:"checkpoint_interval"`
+	KilledAddr         string `json:"killed_addr"`
 	// BaselineBatchSeconds is the mean pre-kill batch wall clock;
 	// RecoverySeconds is the first post-kill batch (detection + capped
 	// dial backoff + rebuild + replay + the batch itself).
@@ -57,10 +73,19 @@ type FailoverReport struct {
 	RecoverySeconds      float64 `json:"recovery_seconds"`
 	// Replacements/Retries/ReplayedBatches aggregate the coordinator's
 	// per-shard failover counters; Fleet carries them per shard.
-	Replacements    int64                `json:"replacements"`
-	Retries         int64                `json:"retries"`
-	ReplayedBatches int64                `json:"replayed_batches"`
-	Fleet           []FailoverWorkerStat `json:"fleet"`
+	// MaxReplayedBatches is the worst single shard's replay count — the
+	// number the checkpoint interval must bound.
+	Replacements       int64                `json:"replacements"`
+	Retries            int64                `json:"retries"`
+	ReplayedBatches    int64                `json:"replayed_batches"`
+	MaxReplayedBatches int64                `json:"max_replayed_batches"`
+	Fleet              []FailoverWorkerStat `json:"fleet"`
+	// RecoveryCurve re-runs the drill at growing stream lengths (in-process
+	// fleets only); ReplayBounded is true when every replacement — main run
+	// and curve — replayed at most CheckpointInterval batches, i.e. recovery
+	// cost is a function of the interval, not of how long the stream ran.
+	RecoveryCurve []RecoveryPoint `json:"recovery_curve,omitempty"`
+	ReplayBounded bool            `json:"replay_bounded"`
 	// AllLive: every shard ended on a live worker. Identical: every
 	// post-batch top-k (before AND after the kill) matched a fresh
 	// single-store mine of the same graph — the unkilled oracle.
@@ -190,16 +215,21 @@ func Failover(w io.Writer, cfg Config) error {
 		Dataset: "pokec-like", Nodes: g.NumNodes(), Edges: g.NumEdges(),
 		MinSupp: cfg.MinSupp, MinNhp: cfg.MinNhp, K: cfg.K,
 		Workers: len(addrs), Standbys: len(standbys), Shards: shards,
-		KillAfterBatch: 3, KilledAddr: killedAddr, Identical: true,
+		KillAfterBatch: 3, CheckpointInterval: 3, KilledAddr: killedAddr,
+		ReplayBounded: true, Identical: true,
 	}
-	fmt.Fprintf(w, "== Failover: kill a multiplexed worker mid-stream, replay onto the standby ==  |V|=%d |E|=%d minSupp=%d minNhp=%0.0f%% k=%d\n",
+	fmt.Fprintf(w, "== Failover: kill a multiplexed worker mid-stream, restore from checkpoint on the standby ==  |V|=%d |E|=%d minSupp=%d minNhp=%0.0f%% k=%d\n",
 		rep.Nodes, rep.Edges, rep.MinSupp, 100*rep.MinNhp, rep.K)
-	fmt.Fprintf(w, "  fleet: %d shards over %d workers (+%d standby), victim %s after batch %d\n",
-		shards, len(addrs), len(standbys), killedAddr, rep.KillAfterBatch)
+	fmt.Fprintf(w, "  fleet: %d shards over %d workers (+%d standby), checkpoint every %d batches, victim %s after batch %d\n",
+		shards, len(addrs), len(standbys), rep.CheckpointInterval, killedAddr, rep.KillAfterBatch)
+
+	// The curve below needs the pre-stream graph; Apply mutates g in place.
+	curveBase := copyGraph(g)
 
 	fleet := rpc.NewFleet(addrs, rpc.FleetOptions{Standbys: standbys})
 	defer fleet.Close()
-	inc, err := core.NewIncrementalShardedFrom(g, opt, core.ShardOptions{Shards: shards}, fleet)
+	inc, err := core.NewIncrementalShardedFrom(g, opt,
+		core.ShardOptions{Shards: shards, CheckpointInterval: rep.CheckpointInterval}, fleet)
 	if err != nil {
 		return err
 	}
@@ -255,16 +285,24 @@ func Failover(w io.Writer, cfg Config) error {
 		rep.Replacements += h.Replacements
 		rep.Retries += h.Retries
 		rep.ReplayedBatches += h.ReplayedBatches
+		if h.ReplayedBatches > rep.MaxReplayedBatches {
+			rep.MaxReplayedBatches = h.ReplayedBatches
+		}
+		if h.ReplayedBatches > h.Replacements*int64(rep.CheckpointInterval) {
+			rep.ReplayBounded = false
+		}
 		rep.AllLive = rep.AllLive && h.Live
 		rep.Fleet = append(rep.Fleet, FailoverWorkerStat{
 			Shard: h.Shard, Addr: h.Addr, Live: h.Live,
 			Retries: h.Retries, Replacements: h.Replacements,
 			ReplayedBatches: h.ReplayedBatches,
+			CheckpointEpoch: h.CheckpointEpoch, LogSuffixLen: h.LogSuffixLen,
 		})
 	}
 
-	fmt.Fprintf(w, "  recovery: %.4fs (baseline batch %.4fs); %d replacements, %d re-issued ops, %d batches replayed\n",
-		rep.RecoverySeconds, rep.BaselineBatchSeconds, rep.Replacements, rep.Retries, rep.ReplayedBatches)
+	fmt.Fprintf(w, "  recovery: %.4fs (baseline batch %.4fs); %d replacements, %d re-issued ops, %d batches replayed (worst shard %d, interval %d)\n",
+		rep.RecoverySeconds, rep.BaselineBatchSeconds, rep.Replacements, rep.Retries,
+		rep.ReplayedBatches, rep.MaxReplayedBatches, rep.CheckpointInterval)
 	switch {
 	case rep.Identical && rep.AllLive && rep.Replacements > 0:
 		fmt.Fprintln(w, "  shape: worker loss absorbed — every post-kill top-k ≡ the unkilled oracle ✓")
@@ -272,6 +310,33 @@ func Failover(w io.Writer, cfg Config) error {
 		fmt.Fprintln(w, "  shape: WARNING — the kill triggered no replacement (victim never consulted?)")
 	default:
 		fmt.Fprintln(w, "  shape: WARNING — the run diverged from the unkilled oracle after the kill")
+	}
+
+	// Recovery-latency-vs-stream-length curve (in-process fleets only): the
+	// same drill after ever-longer streams. Pre-checkpoint, replay — and so
+	// recovery latency — grew linearly with the acknowledged stream; with a
+	// checkpoint every CheckpointInterval batches the replayed-batch count
+	// must stay flat however long the stream ran first.
+	if cfg.FailoverWorkers == "" {
+		fmt.Fprintf(w, "  recovery vs stream length (checkpoint interval %d):\n", rep.CheckpointInterval)
+		for _, streamLen := range []int{4, 8, 12} {
+			pt, err := recoveryAtLength(copyGraph(curveBase), opt, shards,
+				rep.CheckpointInterval, streamLen, cfg.Seed+int64(100*streamLen))
+			if err != nil {
+				return fmt.Errorf("bench: recovery curve at %d batches: %w", streamLen, err)
+			}
+			if pt.ReplayedBatches > int64(rep.CheckpointInterval) {
+				rep.ReplayBounded = false
+			}
+			rep.RecoveryCurve = append(rep.RecoveryCurve, pt)
+			fmt.Fprintf(w, "    %2d batches streamed: worst shard replayed %d, recovery %.4fs\n",
+				pt.StreamBatches, pt.ReplayedBatches, pt.RecoverySeconds)
+		}
+		if rep.ReplayBounded {
+			fmt.Fprintln(w, "  shape: replay bounded by the checkpoint interval at every stream length — recovery cost is flat ✓")
+		} else {
+			fmt.Fprintln(w, "  shape: WARNING — some replacement replayed more than the checkpoint interval")
+		}
 	}
 
 	if cfg.JSONDir != "" {
@@ -286,6 +351,85 @@ func Failover(w io.Writer, cfg Config) error {
 		fmt.Fprintf(w, "  wrote %s\n", path)
 	}
 	return nil
+}
+
+// copyGraph returns an independent copy of g's live edges and node values,
+// so a curve run's Apply stream cannot mutate another run's graph.
+func copyGraph(g *graph.Graph) *graph.Graph {
+	out := graph.MustNew(g.Schema(), g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		vals := append([]graph.Value(nil), g.NodeValues(v)...)
+		if err := out.SetNodeValues(v, vals...); err != nil {
+			panic(err)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if !g.EdgeAlive(e) {
+			continue
+		}
+		if _, err := out.AddEdge(g.Src(e), g.Dst(e), g.EdgeValues(e)...); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// recoveryAtLength runs one recovery-curve point: a fresh in-process fleet
+// (two primaries, one standby) streams streamLen batches with the given
+// checkpoint interval, the victim daemon dies right before the final batch,
+// and that batch's wall clock — detection + restore-from-checkpoint +
+// bounded replay + the batch itself — is the recovery latency. The reported
+// replay count is the worst single shard's.
+func recoveryAtLength(g *graph.Graph, opt core.Options, shards, interval, streamLen int, seed int64) (RecoveryPoint, error) {
+	pt := RecoveryPoint{StreamBatches: streamLen}
+	daemons := make([]*killableDaemon, 3)
+	for i := range daemons {
+		kd, err := startKillableDaemon(2)
+		if err != nil {
+			return pt, err
+		}
+		daemons[i] = kd
+		defer kd.Kill()
+	}
+	fleet := rpc.NewFleet([]string{daemons[0].addr, daemons[1].addr},
+		rpc.FleetOptions{Standbys: []string{daemons[2].addr}})
+	defer fleet.Close()
+	inc, err := core.NewIncrementalShardedFrom(g, opt,
+		core.ShardOptions{Shards: shards, CheckpointInterval: interval}, fleet)
+	if err != nil {
+		return pt, err
+	}
+	defer inc.Close()
+
+	schema := g.Schema()
+	r := rand.New(rand.NewSource(seed))
+	const batchSize = 150
+	for b := 0; b < streamLen; b++ {
+		if b == streamLen-1 {
+			daemons[0].Kill()
+		}
+		edges := make([]core.EdgeInsert, batchSize)
+		for i := range edges {
+			e := core.EdgeInsert{Src: r.Intn(g.NumNodes()), Dst: r.Intn(g.NumNodes())}
+			for _, attr := range schema.Edge {
+				e.Vals = append(e.Vals, graph.Value(1+r.Intn(attr.Domain)))
+			}
+			edges[i] = e
+		}
+		start := time.Now()
+		if _, _, err := inc.Apply(edges); err != nil {
+			return pt, fmt.Errorf("batch %d of %d: %w", b, streamLen, err)
+		}
+		if b == streamLen-1 {
+			pt.RecoverySeconds = time.Since(start).Seconds()
+		}
+	}
+	for _, h := range inc.FleetHealth() {
+		if h.ReplayedBatches > pt.ReplayedBatches {
+			pt.ReplayedBatches = h.ReplayedBatches
+		}
+	}
+	return pt, nil
 }
 
 // splitAddrs parses a comma-separated address list, dropping empties.

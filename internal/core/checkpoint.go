@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"grminer/internal/graph"
+	"grminer/internal/store"
+)
+
+// CheckpointVersion is the checkpoint blob format generation. A blob is
+// opaque to everything between the worker that wrote it and the worker that
+// restores it — the supervisor and the rpc layer ship it as raw bytes — so
+// the version lives inside the blob, not in the wire protocol: bumping it
+// does not bump the rpc version, and a restore of a foreign generation fails
+// closed (the supervisor then marks the shard down rather than guessing).
+const CheckpointVersion = 1
+
+// Checkpointer is a ShardWorker that can serialize its full shard state
+// into an opaque versioned blob. Supervisors checkpoint through it every
+// CheckpointInterval acknowledged batches and truncate their replay logs to
+// the post-checkpoint suffix (DESIGN.md §9): recovery becomes
+// install-checkpoint + replay-at-most-interval-batches instead of
+// replay-everything. Workers without it (or remote daemons predating wire
+// v4) simply keep the full-log behavior.
+type Checkpointer interface {
+	Checkpoint() ([]byte, error)
+}
+
+// Restorer is a ShardWorker that can be (re)initialized from a checkpoint
+// blob plus the shard's spec. The spec supplies what the blob deliberately
+// omits — schema and the full node table, which checkpointing would
+// otherwise re-ship unchanged every interval — and the blob supplies
+// everything that moved since build: the shard's edge log, tombstones, the
+// compact store's exact arrays, the intern dictionary, and the maintained
+// pool.
+type Restorer interface {
+	Restore(spec WorkerSpec, blob []byte) error
+}
+
+// RestoringBuilder is a RebuildingBuilder that can place a replacement
+// worker directly from a checkpoint blob, skipping the wasted spec-time
+// store build a Rebuild-then-Restore pair would pay. internal/rpc.Fleet
+// implements it by shipping the blob to the replacement daemon.
+type RestoringBuilder interface {
+	RebuildingBuilder
+	RebuildRestore(spec WorkerSpec, blob []byte) (ShardWorker, error)
+}
+
+// checkpointImage is the serialized form of a WorkerState. The worker's
+// private graph is persisted as its append-only edge log (every edge ever
+// added, in id order, dead ids listed separately) because edge ids — which
+// the store's EID column references — are positional in that log; the node
+// table and schema come from the spec at restore time. The store rides
+// along as its exact array snapshot, so a restored worker is bit-identical,
+// not merely equivalent: same row ids, same tombstones, same interned ids,
+// same maintained pool.
+type checkpointImage struct {
+	Version       int
+	Index, Shards int
+	NumNodes      int
+
+	EdgeSrc   []int32
+	EdgeDst   []int32
+	EdgeVals  []graph.Value
+	DeadEdges []int32
+
+	Store store.State
+
+	Seeded bool
+	Pool   []ShardCandidate
+}
+
+// Checkpoint serializes the worker's full shard state — graph edge log with
+// tombstones, compact store arrays, intern dictionary, maintained pool and
+// its seeded-ness, ingestion high-water mark — into an opaque versioned
+// blob. The inverse is Restore / NewWorkerStateFromCheckpoint.
+func (w *WorkerState) Checkpoint() ([]byte, error) {
+	ne := len(w.g.Schema().Edge)
+	m := w.g.NumEdges()
+	img := checkpointImage{
+		Version:  CheckpointVersion,
+		Index:    w.idx,
+		Shards:   w.shards,
+		NumNodes: w.g.NumNodes(),
+		EdgeSrc:  make([]int32, m),
+		EdgeDst:  make([]int32, m),
+		Store:    w.st.State(),
+		Seeded:   w.pool != nil,
+	}
+	if ne > 0 {
+		img.EdgeVals = make([]graph.Value, m*ne)
+	}
+	for e := 0; e < m; e++ {
+		img.EdgeSrc[e] = int32(w.g.Src(e))
+		img.EdgeDst[e] = int32(w.g.Dst(e))
+		if ne > 0 {
+			copy(img.EdgeVals[e*ne:(e+1)*ne], w.g.EdgeValues(e))
+		}
+		if !w.g.EdgeAlive(e) {
+			img.DeadEdges = append(img.DeadEdges, int32(e))
+		}
+	}
+	if w.pool != nil {
+		img.Pool = make([]ShardCandidate, 0, len(w.pool))
+		for _, t := range w.pool {
+			img.Pool = append(img.Pool, ShardCandidate{GR: t.gr, Counts: t.c})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("core: worker %d: checkpoint encode: %w", w.idx, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// NewWorkerStateFromCheckpoint builds a live worker from its spec and a
+// checkpoint blob, reproducing the checkpointed worker bit-identically. The
+// spec must describe the same shard the blob was taken from (index, shard
+// count, node table); mismatches and foreign blob versions fail closed.
+func NewWorkerStateFromCheckpoint(spec WorkerSpec, blob []byte) (*WorkerState, error) {
+	var img checkpointImage
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: shard %d: checkpoint decode: %w", spec.Index, err)
+	}
+	if img.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: shard %d: checkpoint version %d, this build speaks %d",
+			spec.Index, img.Version, CheckpointVersion)
+	}
+	if img.Index != spec.Index || img.Shards != spec.Shards {
+		return nil, fmt.Errorf("core: checkpoint for shard %d/%d offered to shard %d/%d",
+			img.Index, img.Shards, spec.Index, spec.Shards)
+	}
+	if img.NumNodes != spec.NumNodes {
+		return nil, fmt.Errorf("core: shard %d: checkpoint node table (%d nodes) disagrees with spec (%d)",
+			spec.Index, img.NumNodes, spec.NumNodes)
+	}
+	if len(img.EdgeDst) != len(img.EdgeSrc) {
+		return nil, fmt.Errorf("core: shard %d: checkpoint edge arrays disagree", spec.Index)
+	}
+
+	schema, err := graph.NewSchema(spec.NodeAttrs, spec.EdgeAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker spec schema: %w", err)
+	}
+	nv, ne := len(schema.Node), len(schema.Edge)
+	if len(spec.NodeVals) != spec.NumNodes*nv {
+		return nil, fmt.Errorf("core: worker spec: %d node values for %d nodes × %d attrs",
+			len(spec.NodeVals), spec.NumNodes, nv)
+	}
+	if ne > 0 && len(img.EdgeVals) != len(img.EdgeSrc)*ne {
+		return nil, fmt.Errorf("core: shard %d: checkpoint edge values disagree with schema", spec.Index)
+	}
+	g, err := graph.New(schema, spec.NumNodes)
+	if err != nil {
+		return nil, err
+	}
+	for n := 0; n < spec.NumNodes; n++ {
+		if err := g.SetNodeValues(n, spec.NodeVals[n*nv:(n+1)*nv]...); err != nil {
+			return nil, fmt.Errorf("core: worker spec node %d: %w", n, err)
+		}
+	}
+	// Replay the edge log in id order — edge ids are positional, and the
+	// store snapshot's EID column references them — then re-tombstone.
+	for i := range img.EdgeSrc {
+		var vals []graph.Value
+		if ne > 0 {
+			vals = img.EdgeVals[i*ne : (i+1)*ne]
+		}
+		if _, err := g.AddEdge(int(img.EdgeSrc[i]), int(img.EdgeDst[i]), vals...); err != nil {
+			return nil, fmt.Errorf("core: shard %d: checkpoint edge %d: %w", spec.Index, i, err)
+		}
+	}
+	for _, e := range img.DeadEdges {
+		if err := g.RemoveEdge(int(e)); err != nil {
+			return nil, fmt.Errorf("core: shard %d: checkpoint tombstone %d: %w", spec.Index, e, err)
+		}
+	}
+
+	opt, err := spec.Opt.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt, err = opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if spec.ShardMinSupp < 1 {
+		return nil, fmt.Errorf("core: worker spec: shard minSupp %d < 1", spec.ShardMinSupp)
+	}
+	st, err := store.FromState(g, img.Store)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard %d: checkpoint store: %w", spec.Index, err)
+	}
+	w := &WorkerState{
+		g:       g,
+		st:      st,
+		opt:     opt,
+		metric:  opt.Metric,
+		minSupp: spec.ShardMinSupp,
+		idx:     spec.Index,
+		shards:  spec.Shards,
+		scr:     newMinerScratch(st.Dict()),
+	}
+	if img.Seeded {
+		w.pool = make(map[string]*workerEntry, len(img.Pool))
+		for _, cand := range img.Pool {
+			w.upsert(cand.GR, cand.Counts)
+		}
+	}
+	return w, nil
+}
+
+// Restore reinitializes the worker in place from a checkpoint blob; the
+// shardd daemon uses it to install a shipped checkpoint into an existing
+// slot. On error the worker is left unchanged.
+func (w *WorkerState) Restore(spec WorkerSpec, blob []byte) error {
+	nw, err := NewWorkerStateFromCheckpoint(spec, blob)
+	if err != nil {
+		return err
+	}
+	*w = *nw
+	return nil
+}

@@ -19,13 +19,18 @@ func (e lostErr) Error() string    { return e.msg }
 func (e lostErr) WorkerLost() bool { return true }
 
 // fakeWorker scripts a ShardWorker: it records every operation and can be
-// told to fail the next ops with transport loss or an in-band error.
+// told to fail the next ops with transport loss or an in-band error. It
+// also implements Checkpointer/Restorer so the supervisor's truncation
+// bookkeeping can be tested without real worker state: a checkpoint blob
+// is just the worker's address.
 type fakeWorker struct {
-	addr     string
-	ops      []string
-	failLost int   // fail this many upcoming ops with worker loss
-	inBand   error // non-nil: fail every op with this plain error
-	closed   bool
+	addr       string
+	ops        []string
+	failLost   int   // fail this many upcoming ops with worker loss
+	inBand     error // non-nil: fail every op with this plain error
+	chkErr     error // non-nil: Checkpoint fails with this
+	restoreErr error // non-nil: Restore fails with this
+	closed     bool
 }
 
 func (f *fakeWorker) step(op string) error {
@@ -63,12 +68,29 @@ func (f *fakeWorker) Ingest(b Batch) (IngestReply, error) {
 	return IngestReply{}, f.step(fmt.Sprintf("ingest:%d", len(b.Ins)))
 }
 
+func (f *fakeWorker) Checkpoint() ([]byte, error) {
+	if f.chkErr != nil {
+		return nil, f.chkErr
+	}
+	f.ops = append(f.ops, "checkpoint")
+	return []byte(f.addr), nil
+}
+
+func (f *fakeWorker) Restore(spec WorkerSpec, blob []byte) error {
+	if f.restoreErr != nil {
+		return f.restoreErr
+	}
+	f.ops = append(f.ops, "restore:"+string(blob))
+	return nil
+}
+
 // fakeBuilder hands out scripted replacement workers.
 type fakeBuilder struct {
-	rebuilds            int
-	replacements        []*fakeWorker
-	replacementFailLost int // scripted failLost for each new replacement
-	err                 error
+	rebuilds              int
+	replacements          []*fakeWorker
+	replacementFailLost   int   // scripted failLost for each new replacement
+	replacementRestoreErr error // scripted restoreErr for each new replacement
+	err                   error
 }
 
 func (fb *fakeBuilder) Build(WorkerSpec) (ShardWorker, error) {
@@ -80,7 +102,11 @@ func (fb *fakeBuilder) Rebuild(WorkerSpec) (ShardWorker, error) {
 	if fb.err != nil {
 		return nil, fb.err
 	}
-	w := &fakeWorker{addr: fmt.Sprintf("replacement-%d", fb.rebuilds), failLost: fb.replacementFailLost}
+	w := &fakeWorker{
+		addr:       fmt.Sprintf("replacement-%d", fb.rebuilds),
+		failLost:   fb.replacementFailLost,
+		restoreErr: fb.replacementRestoreErr,
+	}
 	fb.replacements = append(fb.replacements, w)
 	return w, nil
 }
@@ -95,7 +121,7 @@ func batchOf(n int) Batch {
 func TestSupervisorReplaysAfterLoss(t *testing.T) {
 	w0 := &fakeWorker{addr: "home"}
 	fb := &fakeBuilder{}
-	sup := newSupervisor(WorkerSpec{Index: 2, Shards: 4}, fb, w0)
+	sup := newSupervisor(WorkerSpec{Index: 2, Shards: 4}, fb, w0, 0)
 
 	if _, _, err := sup.Offer(nil); err != nil {
 		t.Fatal(err)
@@ -147,7 +173,7 @@ func TestSupervisorReplaysAfterLoss(t *testing.T) {
 func TestSupervisorInBandErrorNoFailover(t *testing.T) {
 	w0 := &fakeWorker{addr: "home", inBand: errors.New("batch rejected: edge out of range")}
 	fb := &fakeBuilder{}
-	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 0)
 
 	_, err := sup.Ingest(batchOf(1))
 	if err == nil || !strings.Contains(err.Error(), "rejected") {
@@ -166,7 +192,7 @@ func TestSupervisorInBandErrorNoFailover(t *testing.T) {
 func TestSupervisorRebuildFailureMarksDown(t *testing.T) {
 	w0 := &fakeWorker{addr: "home", failLost: 1}
 	fb := &fakeBuilder{err: errors.New("every candidate refused")}
-	sup := newSupervisor(WorkerSpec{Index: 1, Shards: 2}, fb, w0)
+	sup := newSupervisor(WorkerSpec{Index: 1, Shards: 2}, fb, w0, 0)
 
 	_, _, err := sup.Offer(nil)
 	if err == nil || !strings.Contains(err.Error(), "no replacement available") {
@@ -185,7 +211,7 @@ func TestSupervisorRebuildFailureMarksDown(t *testing.T) {
 func TestSupervisorSingleRecoveryPerOp(t *testing.T) {
 	w0 := &fakeWorker{addr: "home", failLost: 1}
 	fb := &fakeBuilder{replacementFailLost: 1}
-	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 0)
 
 	_, _, err := sup.Offer(nil)
 	var lost interface{ WorkerLost() bool }
@@ -197,11 +223,211 @@ func TestSupervisorSingleRecoveryPerOp(t *testing.T) {
 	}
 }
 
+// Every interval acked batches the supervisor checkpoints the worker and
+// truncates the replay log; recovery then installs the blob and replays at
+// most interval batches, regardless of how long the stream ran.
+func TestSupervisorCheckpointTruncatesLog(t *testing.T) {
+	w0 := &fakeWorker{addr: "home"}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 2)
+
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := sup.Ingest(batchOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"seed", "ingest:1", "ingest:2", "checkpoint"}
+	if got := fmt.Sprint(w0.ops); got != fmt.Sprint(want) {
+		t.Fatalf("ops before loss %v, want %v", w0.ops, want)
+	}
+	h := sup.healthSnapshot()
+	if h.CheckpointEpoch != 1 || h.LogSuffixLen != 0 {
+		t.Fatalf("after checkpoint: epoch %d suffix %d, want 1 and 0", h.CheckpointEpoch, h.LogSuffixLen)
+	}
+
+	// One post-checkpoint batch, then a loss: the replacement restores the
+	// blob and replays only the suffix — never the seed, never batches 1-2.
+	if _, err := sup.Ingest(batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	if h := sup.healthSnapshot(); h.LogSuffixLen != 1 {
+		t.Fatalf("log suffix %d after one post-checkpoint batch, want 1", h.LogSuffixLen)
+	}
+	w0.failLost = 1
+	if _, err := sup.Ingest(batchOf(4)); err != nil {
+		t.Fatalf("ingest across the loss: %v", err)
+	}
+	want = []string{"restore:home", "ingest:3", "ingest:4", "checkpoint"}
+	if got := fmt.Sprint(fb.replacements[0].ops); got != fmt.Sprint(want) {
+		t.Errorf("replacement ops %v, want %v", fb.replacements[0].ops, want)
+	}
+	h = sup.healthSnapshot()
+	if h.ReplayedBatches != 1 || h.ReplayedBatches > int64(sup.interval) {
+		t.Errorf("replayed %d batches, want 1 (≤ interval %d)", h.ReplayedBatches, sup.interval)
+	}
+	// The re-issued batch 4 made the suffix 2 long again — a second
+	// checkpoint (now from the replacement) truncated it.
+	if h.CheckpointEpoch != 2 || h.LogSuffixLen != 0 {
+		t.Errorf("after recovery: epoch %d suffix %d, want 2 and 0", h.CheckpointEpoch, h.LogSuffixLen)
+	}
+}
+
+// A failed checkpoint must not truncate anything: the supervisor keeps the
+// old blob and the longer log — recovery is exact either way, just slower —
+// and retries at the next interval.
+func TestSupervisorCheckpointFailureKeepsLog(t *testing.T) {
+	w0 := &fakeWorker{addr: "home", chkErr: errors.New("blob too rich")}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 2)
+
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := sup.Ingest(batchOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := sup.healthSnapshot()
+	if h.CheckpointEpoch != 0 || h.LogSuffixLen != 4 {
+		t.Fatalf("failed checkpoints truncated: epoch %d suffix %d, want 0 and 4", h.CheckpointEpoch, h.LogSuffixLen)
+	}
+	// Recovery falls back to the full pre-checkpoint replay: seed + log.
+	// The replacement checkpoints fine, so the re-issued batch tips the
+	// (full) log over the interval and truncation finally resumes.
+	w0.failLost = 1
+	if _, err := sup.Ingest(batchOf(5)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"seed", "ingest:1", "ingest:2", "ingest:3", "ingest:4", "ingest:5", "checkpoint"}
+	if got := fmt.Sprint(fb.replacements[0].ops); got != fmt.Sprint(want) {
+		t.Errorf("fallback replay ops %v, want %v", fb.replacements[0].ops, want)
+	}
+	h = sup.healthSnapshot()
+	if h.CheckpointEpoch != 1 || h.LogSuffixLen != 0 {
+		t.Errorf("after recovery: epoch %d suffix %d, want 1 and 0", h.CheckpointEpoch, h.LogSuffixLen)
+	}
+}
+
+// Once a checkpoint truncated the log, a replacement that cannot restore
+// the blob cannot host the shard — the log prefix is gone, so full replay
+// is impossible and the recovery must fail closed, not silently diverge.
+func TestSupervisorRestoreFailureMarksDown(t *testing.T) {
+	w0 := &fakeWorker{addr: "home"}
+	fb := &fakeBuilder{replacementRestoreErr: errors.New("foreign blob version")}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 1)
+
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Ingest(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w0.failLost = 1
+	_, err := sup.Ingest(batchOf(2))
+	if err == nil || !strings.Contains(err.Error(), "checkpoint restore failed") {
+		t.Fatalf("restore failure not surfaced: %v", err)
+	}
+	if h := sup.healthSnapshot(); h.Live {
+		t.Errorf("shard still reports live after a failed restore: %+v", h)
+	}
+	if len(fb.replacements) != 1 || !fb.replacements[0].closed {
+		t.Error("failed replacement not closed")
+	}
+}
+
+// Regression for the kill-during-seed double-offer: when the op that died
+// IS the seeding Offer and nothing else needs replaying, the replay side
+// must leave the seed to the re-issued operation — the replacement sees
+// exactly one seed, not two.
+func TestSupervisorKillDuringSeedSingleSeed(t *testing.T) {
+	w0 := &fakeWorker{addr: "home"}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 0)
+
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A mid-run re-seed (the engine re-offers on every sharded mine) dies:
+	// seeded is already true, the log is empty.
+	w0.failLost = 1
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatalf("seed offer across the loss: %v", err)
+	}
+	want := []string{"seed"}
+	if got := fmt.Sprint(fb.replacements[0].ops); got != fmt.Sprint(want) {
+		t.Errorf("replacement ops %v, want exactly one seed", fb.replacements[0].ops)
+	}
+
+	// With batches in the log the replay seed is mandatory (workers refuse
+	// Ingest before a seeding Offer): the double-seed is kept there, and
+	// TestDoubleSeedIdempotent pins that it is harmless on real state.
+	if _, err := sup.Ingest(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	fb.replacements[0].failLost = 1
+	if _, _, err := sup.Offer(nil); err != nil {
+		t.Fatalf("second seed offer across the loss: %v", err)
+	}
+	want = []string{"seed", "ingest:1", "seed"}
+	if got := fmt.Sprint(fb.replacements[1].ops); got != fmt.Sprint(want) {
+		t.Errorf("replacement ops %v, want %v", fb.replacements[1].ops, want)
+	}
+}
+
+// FleetHealth must keep answering while a recovery is in flight: the
+// supervisor reports Recovering instead of blocking the snapshot on the
+// rebuild. The fake builder blocks its Rebuild until the health snapshot
+// has been observed, which deadlocks if recover still holds the lock.
+func TestSupervisorHealthDuringRecovery(t *testing.T) {
+	w0 := &fakeWorker{addr: "home", failLost: 1}
+	fb := &fakeBuilder{}
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 0)
+
+	rebuilding := make(chan struct{})
+	observed := make(chan WorkerHealth, 1)
+	blocking := &blockingBuilder{fakeBuilder: fb, entered: rebuilding, release: make(chan struct{})}
+	sup.rb = blocking
+
+	go func() {
+		<-rebuilding
+		observed <- sup.healthSnapshot()
+		close(blocking.release)
+	}()
+	if _, _, err := sup.Offer(&OfferBound{}); err != nil {
+		t.Fatalf("offer across the loss: %v", err)
+	}
+	h := <-observed
+	if !h.Recovering {
+		t.Errorf("mid-recovery snapshot %+v, want Recovering", h)
+	}
+	if h := sup.healthSnapshot(); h.Recovering || !h.Live {
+		t.Errorf("post-recovery snapshot %+v, want live and not recovering", h)
+	}
+}
+
+// blockingBuilder gates Rebuild on a channel so a test can observe
+// mid-recovery state.
+type blockingBuilder struct {
+	*fakeBuilder
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (bb *blockingBuilder) Rebuild(spec WorkerSpec) (ShardWorker, error) {
+	close(bb.entered)
+	<-bb.release
+	return bb.fakeBuilder.Rebuild(spec)
+}
+
 // A worker that was never pool-seeded must not be re-seeded on replay.
 func TestSupervisorUnseededReplaySkipsSeed(t *testing.T) {
 	w0 := &fakeWorker{addr: "home"}
 	fb := &fakeBuilder{}
-	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0)
+	sup := newSupervisor(WorkerSpec{Index: 0, Shards: 1}, fb, w0, 0)
 
 	if _, err := sup.Ingest(batchOf(3)); err != nil {
 		t.Fatal(err)

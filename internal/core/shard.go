@@ -78,6 +78,13 @@ import (
 	"grminer/internal/topk"
 )
 
+// DefaultCheckpointInterval is the acknowledged-batch count between worker
+// checkpoints when ShardOptions leaves CheckpointInterval zero. Recovery
+// replays at most this many batches, so the value trades checkpoint traffic
+// (one full-state blob per interval per shard) against worst-case recovery
+// latency; OPERATIONS.md has the sizing guidance.
+const DefaultCheckpointInterval = 8
+
 // ShardOptions selects the sharding layout of a sharded mine.
 type ShardOptions struct {
 	// Shards is the number of edge partitions (≥ 1).
@@ -85,6 +92,16 @@ type ShardOptions struct {
 	// Strategy is the deterministic edge-routing rule; the zero value
 	// selects graph.ShardBySource.
 	Strategy graph.ShardStrategy
+	// CheckpointInterval is the number of acknowledged ingest batches
+	// between worker checkpoints on failover-supervised deployments: the
+	// supervisor pulls a full-state blob from the worker every interval and
+	// truncates its replay log to the post-checkpoint suffix, bounding
+	// recovery replay by the interval instead of the stream length
+	// (DESIGN.md §9). Zero selects DefaultCheckpointInterval; a negative
+	// value disables checkpointing (full-log replay, the pre-checkpoint
+	// behavior). Irrelevant without a RebuildingBuilder — no supervisor, no
+	// log to truncate.
+	CheckpointInterval int
 }
 
 // normalize fills defaults and validates.
@@ -97,6 +114,9 @@ func (so ShardOptions) normalize() (ShardOptions, error) {
 	}
 	if _, err := graph.ParseShardStrategy(string(so.Strategy)); err != nil {
 		return so, err
+	}
+	if so.CheckpointInterval == 0 {
+		so.CheckpointInterval = DefaultCheckpointInterval
 	}
 	return so, nil
 }
@@ -214,7 +234,7 @@ func buildShardDeployment(g *graph.Graph, opt Options, so ShardOptions, build Fl
 		}
 		workers[i] = w
 	}
-	superviseWorkers(build, specs, workers)
+	superviseWorkers(build, specs, workers, so.CheckpointInterval)
 	return opt, plan, sketches, workers, nil
 }
 

@@ -160,3 +160,41 @@ func (d *Dict) GRFrom(l, w, r DescID) GRID {
 	d.grs[key] = id
 	return id
 }
+
+// DictState is a Dict's serializable interning state: the trie edges and GR
+// triples with their assigned ids. The Layout is deliberately absent — pair
+// ids are pure schema arithmetic, so the restoring side rebuilds the layout
+// from its own schema and FromState grafts the interned ids back on. A
+// restored Dict hands out the exact same ids for the exact same inputs, which
+// is what lets slice tables indexed by DescID/GRID survive a worker
+// checkpoint round trip (DESIGN.md §9).
+type DictState struct {
+	Trie  map[uint64]DescID
+	NDesc DescID
+	GRs   map[[3]DescID]GRID
+	NGR   GRID
+}
+
+// State snapshots the dictionary's interning state. The returned maps alias
+// the live dictionary; callers serialize them (gob copies) rather than
+// mutating them.
+func (d *Dict) State() DictState {
+	return DictState{Trie: d.trie, NDesc: d.nDesc, GRs: d.grs, NGR: d.nGR}
+}
+
+// FromState rebuilds a dictionary over layout with st's id assignments.
+// Nil maps (an empty dictionary serialized through gob) restore as empty.
+func FromState(layout *Layout, st DictState) *Dict {
+	d := NewDict(layout)
+	if st.Trie != nil {
+		d.trie = st.Trie
+	}
+	if st.GRs != nil {
+		d.grs = st.GRs
+	}
+	if st.NDesc > d.nDesc {
+		d.nDesc = st.NDesc
+	}
+	d.nGR = st.NGR
+	return d
+}

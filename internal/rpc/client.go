@@ -249,6 +249,25 @@ func (s *Slot) Ingest(batch core.Batch) (core.IngestReply, error) {
 	return rep.Ingest, nil
 }
 
+// Checkpoint asks the daemon to serialize the slot's full shard state into
+// an opaque versioned blob (see core.Checkpointer). Supervisors retain the
+// blob in place of their replay-log prefix.
+func (s *Slot) Checkpoint() ([]byte, error) {
+	rep, err := s.call(Request{Op: OpCheckpoint})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Checkpoint, nil
+}
+
+// Restore installs a checkpointed shard state into the slot, replacing any
+// worker built there (see core.Restorer). The spec must describe the same
+// shard the blob was taken from; the daemon rejects mismatches in-band.
+func (s *Slot) Restore(spec core.WorkerSpec, blob []byte) error {
+	_, err := s.call(Request{Op: OpRestore, Spec: &spec, Checkpoint: blob})
+	return err
+}
+
 // Close releases the slot; the connection closes when its last slot does.
 func (s *Slot) Close() error {
 	s.mu.Lock()

@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -31,11 +32,13 @@ type FleetOptions struct {
 
 // Fleet places the shards of a deployment across a set of worker daemons,
 // multiplexing slots when there are fewer daemons than shards, and rebuilds
-// lost shards onto replacement daemons. It implements core.RebuildingBuilder,
-// so coordinators constructed from a Fleet survive worker loss: core wraps
-// each worker in a replay supervisor that rebuilds the dead shard's
-// WorkerSpec here and replays the coordinator-kept routed-batch log into
-// the replacement (DESIGN.md §9).
+// lost shards onto replacement daemons. It implements core.RebuildingBuilder
+// and core.RestoringBuilder, so coordinators constructed from a Fleet survive
+// worker loss: core wraps each worker in a replay supervisor that rebuilds
+// the dead shard here — from its latest checkpoint blob when one exists,
+// from the WorkerSpec otherwise — and replays the coordinator-kept
+// routed-batch log (or just its post-checkpoint suffix) into the
+// replacement (DESIGN.md §9).
 //
 // Placement is deterministic: shard i of an n-daemon fleet lives on
 // addrs[i mod n]. Each daemon advertises its slot capacity at handshake;
@@ -45,9 +48,14 @@ type Fleet struct {
 	addrs []string
 	opt   FleetOptions
 
-	mu    sync.Mutex
-	conns map[string]*Client
-	dials map[string]*dialCall
+	// done closes when the fleet closes, aborting any backoff sleep a
+	// redial loop is parked in.
+	done chan struct{}
+
+	mu     sync.Mutex
+	conns  map[string]*Client
+	dials  map[string]*dialCall
+	closed bool
 }
 
 // dialCall is one in-flight dial to an address, shared by every concurrent
@@ -75,6 +83,7 @@ func NewFleet(addrs []string, opt FleetOptions) *Fleet {
 	return &Fleet{
 		addrs: append([]string(nil), addrs...),
 		opt:   opt,
+		done:  make(chan struct{}),
 		conns: make(map[string]*Client),
 		dials: make(map[string]*dialCall),
 	}
@@ -113,6 +122,47 @@ func (f *Fleet) Rebuild(spec core.WorkerSpec) (core.ShardWorker, error) {
 	}
 	return nil, fmt.Errorf("rpc: no replacement worker for shard %d/%d: %w",
 		spec.Index, spec.Shards, errors.Join(errs...))
+}
+
+// RebuildRestore builds a replacement worker for a lost shard from a
+// checkpoint blob instead of from scratch: the spec and blob ship together
+// and the daemon installs the deserialized state into the slot. Candidate
+// ordering matches Rebuild. It implements core.RestoringBuilder, so
+// supervisors that hold a checkpoint replay only the post-checkpoint log
+// suffix into the worker returned here.
+func (f *Fleet) RebuildRestore(spec core.WorkerSpec, blob []byte) (core.ShardWorker, error) {
+	if len(f.addrs) == 0 {
+		return nil, errors.New("rpc: fleet has no worker addresses")
+	}
+	home := f.addrs[spec.Index%len(f.addrs)]
+	var errs []error
+	for _, addr := range f.rebuildCandidates(home) {
+		w, err := f.restoreOn(addr, spec, blob)
+		if err == nil {
+			return w, nil
+		}
+		errs = append(errs, err)
+	}
+	return nil, fmt.Errorf("rpc: no restorable replacement worker for shard %d/%d: %w",
+		spec.Index, spec.Shards, errors.Join(errs...))
+}
+
+// restoreOn acquires a connection to addr, allocates a slot, and installs
+// the checkpointed shard state in it.
+func (f *Fleet) restoreOn(addr string, spec core.WorkerSpec, blob []byte) (core.ShardWorker, error) {
+	c, err := f.acquire(addr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Slot()
+	if err != nil {
+		return nil, fmt.Errorf("rpc: shard %d/%d: %w", spec.Index, spec.Shards, err)
+	}
+	if err := s.Restore(spec, blob); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // rebuildCandidates orders the addresses a replacement may come from:
@@ -205,13 +255,23 @@ func (f *Fleet) acquire(addr string) (*Client, error) {
 
 // dial performs the retry/backoff loop around Dial. Only transport-class
 // failures (*TransportError) are retried; a handshake rejection is a
-// deployment error retrying cannot fix.
+// deployment error retrying cannot fix. Each pause is jittered — uniform in
+// [backoff/2, backoff] — so the redial loops of many shards lost with one
+// daemon spread out instead of hammering its restarting listener in
+// lockstep, and the sleep aborts immediately when the fleet closes.
 func (f *Fleet) dial(addr string) (*Client, error) {
 	backoff := f.opt.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < f.opt.DialRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			pause := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			t := time.NewTimer(pause)
+			select {
+			case <-t.C:
+			case <-f.done:
+				t.Stop()
+				return nil, fmt.Errorf("rpc: fleet closed while redialing %s (last error: %w)", addr, lastErr)
+			}
 			backoff *= 2
 			if backoff > f.opt.BackoffCap {
 				backoff = f.opt.BackoffCap
@@ -231,12 +291,17 @@ func (f *Fleet) dial(addr string) (*Client, error) {
 	return nil, lastErr
 }
 
-// Close tears down every connection the fleet holds open. Workers built
-// from the fleet become unusable; normally coordinators close their workers
-// individually and Close is only needed to reclaim stray connections.
+// Close tears down every connection the fleet holds open and aborts any
+// redial backoff in flight. Workers built from the fleet become unusable;
+// normally coordinators close their workers individually and Close is only
+// needed to reclaim stray connections.
 func (f *Fleet) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if !f.closed {
+		f.closed = true
+		close(f.done)
+	}
 	var first error
 	for addr, c := range f.conns {
 		if err := c.Close(); err != nil && first == nil {

@@ -15,6 +15,8 @@
 //	client → Request{Shard, Op: "offer", Bound}  server → Reply{Offers, Stats}
 //	client → Request{Shard, Op: "counts", GRs}   server → Reply{Counts}
 //	client → Request{Shard, Op: "ingest", Edges, Deletes} server → Reply{Ingest}
+//	client → Request{Shard, Op: "checkpoint"}    server → Reply{Checkpoint}
+//	client → Request{Shard, Op: "restore", Spec, Checkpoint} server → Reply{NumEdges}
 //	... more ops, interleaving slots freely ...
 //	client closes the connection; the daemon discards all worker state and
 //	accepts the next session.
@@ -48,9 +50,17 @@ import (
 //	   the slot). A v2 daemon would route every slot's requests into one
 //	   worker — the bump turns that silent state corruption into a loud
 //	   handshake rejection.
+//	4: checkpoint/restore. Workers serialize their full shard state into
+//	   an opaque versioned blob (Reply.Checkpoint) and replacements are
+//	   restored from one (Request.Checkpoint), so supervisors can truncate
+//	   their replay logs to the post-checkpoint suffix. A v3 daemon would
+//	   answer "unknown op" to every checkpoint request — recoverable, but
+//	   a fleet silently falling back to unbounded full replay is exactly
+//	   the latency cliff checkpointing exists to remove, so version skew
+//	   is rejected at handshake like every other revision.
 const (
 	Magic   = "grminer-shard"
-	Version = 3
+	Version = 4
 )
 
 // Hello is the client's first message on a fresh connection.
@@ -75,17 +85,19 @@ type HelloReply struct {
 
 // Op names a request type.
 const (
-	OpBuild  = "build"
-	OpOffer  = "offer"
-	OpCounts = "counts"
-	OpIngest = "ingest"
+	OpBuild      = "build"
+	OpOffer      = "offer"
+	OpCounts     = "counts"
+	OpIngest     = "ingest"
+	OpCheckpoint = "checkpoint"
+	OpRestore    = "restore"
 )
 
 // Request is one coordinator → worker message after the handshake. Shard
 // addresses the daemon-side worker slot (0 ≤ Shard < HelloReply.Shards);
 // Op selects which payload field is meaningful.
 //
-// grlint:wire v3
+// grlint:wire v4
 type Request struct {
 	Shard   int
 	Op      string
@@ -94,12 +106,16 @@ type Request struct {
 	GRs     []gr.GR
 	Edges   []core.EdgeInsert
 	Deletes []core.EdgeDelete
+	// Checkpoint carries the state blob of a restore request. The blob is
+	// opaque at this layer; its own version field is checked by core when
+	// the worker installs it.
+	Checkpoint []byte
 }
 
 // Reply is one worker → coordinator message. A non-empty Err reports an
 // operation failure; the session stays open.
 //
-// grlint:wire v1
+// grlint:wire v2
 type Reply struct {
 	Err      string
 	NumEdges int
@@ -107,4 +123,6 @@ type Reply struct {
 	Stats    core.Stats
 	Counts   []metrics.Counts
 	Ingest   core.IngestReply
+	// Checkpoint is the opaque state blob answering a checkpoint request.
+	Checkpoint []byte
 }

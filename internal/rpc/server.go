@@ -174,6 +174,32 @@ func serveSession(conn net.Conn, capacity int, logf func(string, ...any)) error 
 				break
 			}
 			rep.Ingest, rep.NumEdges = ing, ing.NumEdges
+		case OpCheckpoint:
+			if worker == nil {
+				rep.Err = "checkpoint before build"
+				break
+			}
+			blob, err := worker.Checkpoint()
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			rep.Checkpoint, rep.NumEdges = blob, worker.NumEdges()
+			logf("checkpointed slot %d: %d bytes", req.Shard, len(blob))
+		case OpRestore:
+			if req.Spec == nil || req.Checkpoint == nil {
+				rep.Err = "restore request without a worker spec and checkpoint blob"
+				break
+			}
+			w, err := core.NewWorkerStateFromCheckpoint(*req.Spec, req.Checkpoint)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			workers[req.Shard] = w
+			rep.NumEdges = w.NumEdges()
+			logf("restored shard %d/%d into slot %d from a %d-byte checkpoint: %d edges",
+				req.Spec.Index+1, req.Spec.Shards, req.Shard, len(req.Checkpoint), rep.NumEdges)
 		default:
 			rep.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}

@@ -270,21 +270,29 @@ type Event struct {
 // WorkerStatus is one shard worker's failover record in GET /v1/status
 // (core.WorkerHealth over the wire).
 //
-// grlint:api v1
+// grlint:api v2
 type WorkerStatus struct {
 	// Shard is the shard index; Addr names the shardd daemon hosting it
 	// (absent for an in-process worker).
 	Shard int    `json:"shard"`
 	Addr  string `json:"addr,omitempty"`
 	// Live is false only when the shard is down with no replacement — the
-	// engine is broken and ingests will fail.
-	Live bool `json:"live"`
+	// engine is broken and ingests will fail. Recovering is true while a
+	// replacement is being rebuilt (the shard is briefly neither).
+	Live       bool `json:"live"`
+	Recovering bool `json:"recovering,omitempty"`
 	// Retries counts operations re-issued after a worker loss,
 	// Replacements successful worker rebuilds, and ReplayedBatches the
 	// routed batches replayed into replacements.
 	Retries         int64 `json:"retries"`
 	Replacements    int64 `json:"replacements"`
 	ReplayedBatches int64 `json:"replayed_batches"`
+	// CheckpointEpoch counts the checkpoints taken of this shard;
+	// LogSuffixLen is the replay-log suffix retained past the newest
+	// checkpoint — a healthy checkpointing shard keeps it hovering below
+	// the checkpoint interval, bounding recovery replay.
+	CheckpointEpoch int64 `json:"checkpoint_epoch"`
+	LogSuffixLen    int   `json:"log_suffix_len"`
 	// LastError is the most recent worker-loss cause (absent if none).
 	LastError string `json:"last_error,omitempty"`
 }
@@ -326,9 +334,12 @@ func WorkerStatusFrom(h core.WorkerHealth) WorkerStatus {
 		Shard:           h.Shard,
 		Addr:            h.Addr,
 		Live:            h.Live,
+		Recovering:      h.Recovering,
 		Retries:         h.Retries,
 		Replacements:    h.Replacements,
 		ReplayedBatches: h.ReplayedBatches,
+		CheckpointEpoch: h.CheckpointEpoch,
+		LogSuffixLen:    h.LogSuffixLen,
 		LastError:       h.LastError,
 	}
 }

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"fmt"
+
+	"grminer/internal/graph"
+	"grminer/internal/intern"
+)
+
+// State is a Store's serializable snapshot: every array of the compact
+// model, the tombstone set, the subset/high-water bookkeeping, whether
+// posting lists were enabled, and the intern dictionary's id assignments.
+// It is the store half of a worker checkpoint blob (DESIGN.md §9) — the
+// graph itself is not included (the checkpoint layer reconstructs it from
+// the spec plus the edge log) — and round-trips bit-identically:
+// FromState(g, s.State()) yields a store whose arrays, row ids, tombstones,
+// and interned ids all equal the original's.
+//
+// The slices alias the live store; State is a snapshot to serialize (gob
+// copies), not a stable deep copy.
+type State struct {
+	Subset   bool
+	Ingested int
+
+	LNode []int32
+	LVals []graph.Value
+	LOut  []int32
+	LInd  []int32
+
+	ESrc  []int32
+	EPtr  []int32
+	EVals []graph.Value
+	EID   []int32
+
+	RNode []int32
+	RVals []graph.Value
+
+	LRowOf []int32
+	RRowOf []int32
+
+	Dead      []bool
+	DeadCount int
+
+	// Postings records that EnablePostings had run; the restoring side
+	// rebuilds the lists from the rows (they are a pure function of them)
+	// instead of shipping them.
+	Postings bool
+
+	// HasDict guards Dict: a store whose Dict() was never called restores
+	// without one, so first use still lazily creates it.
+	HasDict bool
+	Dict    intern.DictState
+}
+
+// State snapshots the store for serialization.
+func (s *Store) State() State {
+	st := State{
+		Subset:    s.subset,
+		Ingested:  s.ingested,
+		LNode:     s.lNode,
+		LVals:     s.lVals,
+		LOut:      s.lOut,
+		LInd:      s.lInd,
+		ESrc:      s.eSrc,
+		EPtr:      s.ePtr,
+		EVals:     s.eVals,
+		EID:       s.eID,
+		RNode:     s.rNode,
+		RVals:     s.rVals,
+		LRowOf:    s.lRowOf,
+		RRowOf:    s.rRowOf,
+		Dead:      s.dead,
+		DeadCount: s.deadCount,
+		Postings:  s.post != nil,
+		HasDict:   s.dict != nil,
+	}
+	if s.dict != nil {
+		st.Dict = s.dict.State()
+	}
+	return st
+}
+
+// FromState reconstructs a store over g from a snapshot. g must be the same
+// graph the snapshot was taken against (same schema, nodes, and edge ids);
+// only cheap structural consistency is checked here — callers wanting the
+// full cross-check run Validate on the result.
+func FromState(g *graph.Graph, st State) (*Store, error) {
+	rows := len(st.EID)
+	if len(st.ESrc) != rows || len(st.EPtr) != rows {
+		return nil, fmt.Errorf("store: state: EArray columns disagree (%d ids, %d srcs, %d ptrs)",
+			rows, len(st.ESrc), len(st.EPtr))
+	}
+	if st.Dead != nil && len(st.Dead) != rows {
+		return nil, fmt.Errorf("store: state: %d tombstone marks for %d rows", len(st.Dead), rows)
+	}
+	if st.DeadCount > rows || st.DeadCount < 0 {
+		return nil, fmt.Errorf("store: state: dead count %d out of range for %d rows", st.DeadCount, rows)
+	}
+	n := g.NumNodes()
+	if len(st.LRowOf) != n || len(st.RRowOf) != n {
+		return nil, fmt.Errorf("store: state: row maps cover %d/%d nodes, graph has %d",
+			len(st.LRowOf), len(st.RRowOf), n)
+	}
+	s := &Store{
+		g:         g,
+		subset:    st.Subset,
+		ingested:  st.Ingested,
+		lNode:     st.LNode,
+		lVals:     st.LVals,
+		lOut:      st.LOut,
+		lInd:      st.LInd,
+		eSrc:      st.ESrc,
+		ePtr:      st.EPtr,
+		eVals:     st.EVals,
+		eID:       st.EID,
+		rNode:     st.RNode,
+		rVals:     st.RVals,
+		lRowOf:    st.LRowOf,
+		rRowOf:    st.RRowOf,
+		dead:      st.Dead,
+		deadCount: st.DeadCount,
+	}
+	if st.HasDict {
+		s.dict = intern.FromState(intern.NewLayout(g.Schema()), st.Dict)
+	}
+	if st.Postings {
+		s.EnablePostings()
+	}
+	return s, nil
+}
